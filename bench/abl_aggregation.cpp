@@ -1,0 +1,147 @@
+// Ablation A8 — direct vote sampling (BallotBox) vs epidemic aggregation
+// (push-sum [8]) under lying behaviour — the §II / §V-A design decision:
+//
+//   "we sample the population randomly rather than aggregating votes using
+//    gossip based aggregation methods [8]. This ensures that each node can
+//    only vote once for any moderator... Hence we trade speed and
+//    efficiency for security."
+//
+// Setup: N nodes hold a vote on one moderator (fraction p positive, rest
+// abstain at 0). A fraction f are liars targeting +1 (promoting a spam
+// moderator). We run both protocols over the same uniform random pairings
+// and compare every node's estimated average vote against the honest
+// ground truth, for increasing liar fractions.
+//
+// Expected shape: push-sum is *exact and fast* with f = 0 but collapses
+// under a single-digit percentage of liars (unbounded influence);
+// BallotBox error stays proportional to the liar fraction (one vote per
+// liar) — and in the full system liars are additionally gated by the
+// experience function, which push-sum cannot express at all.
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "baselines/pushsum.hpp"
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "vote/ballot_box.hpp"
+
+using namespace tribvote;
+
+namespace {
+
+constexpr std::size_t kN = 100;
+constexpr int kRounds = 6000;  // pairwise contacts
+constexpr double kVoteFraction = 0.4;  // 40% vote +1, others 0
+
+struct Errors {
+  double pushsum = 0;
+  double ballot = 0;
+};
+
+Errors run(double liar_fraction, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto n_liars = static_cast<std::size_t>(liar_fraction * kN);
+
+  // Ground truth over honest nodes only: mean vote value.
+  std::vector<double> value(kN, 0.0);
+  std::vector<bool> liar(kN, false);
+  double truth = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    liar[i] = i < n_liars;  // ids are symmetric; placement is irrelevant
+    value[i] = rng.next_bool(kVoteFraction) ? 1.0 : 0.0;
+    if (!liar[i]) truth += value[i];
+  }
+  truth /= static_cast<double>(kN - n_liars);
+
+  // Push-sum population (liars re-inject +1 mass).
+  std::vector<std::unique_ptr<baselines::PushSumNode>> pushsum;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (liar[i]) {
+      pushsum.push_back(std::make_unique<baselines::LyingPushSumNode>(
+          value[i], /*target=*/1.0, /*mass=*/0.5));
+    } else {
+      pushsum.push_back(std::make_unique<baselines::PushSumNode>(value[i]));
+    }
+  }
+
+  // BallotBox population: each node polls directly; a liar always claims
+  // +1. (No experience function here — this isolates the aggregation
+  // mechanism itself; E only strengthens the BallotBox side further.)
+  std::vector<vote::BallotBox> boxes(kN, vote::BallotBox(kN));
+  std::vector<std::set<std::size_t>> met(kN);
+
+  for (int round = 0; round < kRounds; ++round) {
+    const auto i = static_cast<std::size_t>(rng.next_below(kN));
+    auto j = static_cast<std::size_t>(rng.next_below(kN));
+    while (j == i) j = static_cast<std::size_t>(rng.next_below(kN));
+    // push-sum exchange (bidirectional).
+    pushsum[j]->absorb(pushsum[i]->emit());
+    pushsum[i]->absorb(pushsum[j]->emit());
+    // ballot exchange: each side records the other's (claimed) vote.
+    auto claimed = [&](std::size_t node) {
+      const double v = liar[node] ? 1.0 : value[node];
+      return v > 0 ? Opinion::kPositive : Opinion::kNone;
+    };
+    const auto vi = claimed(i);
+    const auto vj = claimed(j);
+    met[i].insert(j);
+    met[j].insert(i);
+    if (vj != Opinion::kNone) {
+      boxes[i].merge(static_cast<PeerId>(j), {{0, vj, 0}}, round);
+    }
+    if (vi != Opinion::kNone) {
+      boxes[j].merge(static_cast<PeerId>(i), {{0, vi, 0}}, round);
+    }
+  }
+
+  // Mean absolute error of honest nodes' estimates vs honest truth.
+  util::RunningStats pushsum_err, ballot_err;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (liar[i]) continue;
+    pushsum_err.add(std::abs(pushsum[i]->estimate() - truth));
+    // Ballot estimate: positives / sampled voters (abstainers are unseen,
+    // estimate over the sampled share of the population).
+    const auto tally = boxes[i].tally();
+    const double positives =
+        tally.contains(0) ? tally.at(0).positive : 0.0;
+    // Estimate: fraction of the peers this node actually met that claimed
+    // a positive vote (the opinion-poll estimator).
+    const double sample = static_cast<double>(met[i].size());
+    const double estimate = sample > 0 ? positives / sample : 0.0;
+    ballot_err.add(std::abs(estimate - truth));
+  }
+  return Errors{pushsum_err.mean(), ballot_err.mean()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("abl_aggregation",
+                "A8 — BallotBox direct sampling vs push-sum epidemic "
+                "aggregation [8] under lying voters");
+  const std::size_t replicas = bench::ablation_replica_count();
+
+  std::printf("\n%14s  %16s  %16s\n", "liar fraction", "push-sum error",
+              "ballot error");
+  util::CsvWriter csv("abl_aggregation.csv");
+  csv.write_row({"liar_fraction", "pushsum_error", "ballot_error"});
+  for (const double f : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    util::RunningStats ps, bb;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const Errors e = run(f, bench::env_seed() + 31 * r);
+      ps.add(e.pushsum);
+      bb.add(e.ballot);
+    }
+    std::printf("%14.2f  %16.4f  %16.4f\n", f, ps.mean(), bb.mean());
+    csv.field(f).field(ps.mean()).field(bb.mean());
+    csv.end_row();
+  }
+  std::printf(
+      "\npush-sum is exact with no liars but its error explodes with even "
+      "1-2%% liars;\nBallotBox error stays bounded by the liar fraction "
+      "(one identity = one vote).\n");
+  std::printf("\ncsv written: abl_aggregation.csv\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Ablation A10 — Credence-style object reputation vs moderator-bound vote
+// sampling under realistic voting sparsity — the §VIII comparison:
+//
+//   "users who don't vote, or do so only minimally, have no way of
+//    distinguishing between honest and malicious voters... nearly fifty
+//    percent of clients are isolated... In contrast our system doesn't
+//    rely on a large number of people voting, yet still works for all
+//    peers, regardless of their voting habits."
+//
+// Setup: the same population and the same voting sparsity for both
+// systems. A `voting_fraction` of peers vote (the paper's footnote 5
+// measured ≈5 votes per 1000 downloads on real platforms — voting is
+// rare); everyone gathers others' votes through gossip.
+//   * Credence: peers vote on *objects*; evaluation requires a vote
+//     correlation, which requires having voted on co-voted objects.
+//     Metric: fraction of peers isolated (no usable correlation).
+//   * This paper's system: votes bind to *moderators*; any peer merges
+//     sampled votes and, while bootstrapping, VoxPopuli top-K lists.
+//     Metric: fraction of peers with no ranking at all.
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "baselines/credence.hpp"
+#include "bench_common.hpp"
+#include "crypto/schnorr.hpp"
+#include "util/stats.hpp"
+#include "vote/agent.hpp"
+
+using namespace tribvote;
+
+namespace {
+
+constexpr std::size_t kPeers = 100;
+constexpr std::size_t kObjects = 40;   // files in the Credence world
+constexpr std::size_t kModerators = 5; // moderators in ours
+constexpr int kRounds = 3000;          // pairwise gossip contacts
+
+struct Outcome {
+  double credence_isolated = 0;
+  double tribvote_unranked = 0;
+};
+
+Outcome run(double voting_fraction, std::uint64_t seed) {
+  util::Rng rng(seed);
+  // Who votes at all (same set for both systems).
+  std::vector<bool> votes_at_all(kPeers, false);
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    votes_at_all[i] = rng.next_bool(voting_fraction);
+  }
+
+  // ---- Credence world ------------------------------------------------------
+  std::vector<baselines::CredencePeer> credence;
+  std::vector<std::vector<std::pair<baselines::ObjectId, Opinion>>>
+      histories(kPeers);
+  for (PeerId p = 0; p < kPeers; ++p) {
+    credence.emplace_back(p, baselines::CredenceConfig{});
+    if (!votes_at_all[p]) continue;
+    // A voter votes on ~25% of objects; objects have a ground-truth
+    // quality everyone agrees on (optimistic for Credence).
+    for (baselines::ObjectId obj = 0; obj < kObjects; ++obj) {
+      if (!rng.next_bool(0.25)) continue;
+      const Opinion op =
+          obj < kObjects / 2 ? Opinion::kPositive : Opinion::kNegative;
+      credence[p].cast(obj, op);
+      histories[p].emplace_back(obj, op);
+    }
+  }
+
+  // ---- this paper's world ----------------------------------------------------
+  std::vector<crypto::KeyPair> keys;
+  std::vector<std::unique_ptr<vote::VoteAgent>> agents;
+  for (PeerId p = 0; p < kPeers; ++p) {
+    util::Rng krng(seed ^ (7777 + p));
+    keys.push_back(crypto::generate_keypair(krng));
+  }
+  for (PeerId p = 0; p < kPeers; ++p) {
+    agents.push_back(std::make_unique<vote::VoteAgent>(
+        p, keys[p], vote::VoteConfig{}, [](PeerId) { return true; },
+        util::Rng(seed ^ (8888 + p))));
+    if (!votes_at_all[p]) continue;
+    // The same voting effort, bound to moderators.
+    for (ModeratorId m = 0; m < kModerators; ++m) {
+      if (!rng.next_bool(0.5)) continue;
+      agents[p]->cast_vote(m,
+                           m < kModerators / 2 ? Opinion::kPositive
+                                               : Opinion::kNegative,
+                           0);
+    }
+  }
+
+  // ---- identical gossip schedule over both ------------------------------------
+  for (int round = 0; round < kRounds; ++round) {
+    const auto i = static_cast<PeerId>(rng.next_below(kPeers));
+    auto j = static_cast<PeerId>(rng.next_below(kPeers));
+    while (j == i) j = static_cast<PeerId>(rng.next_below(kPeers));
+    credence[i].observe(j, histories[j]);
+    credence[j].observe(i, histories[i]);
+    vote::vote_exchange(*agents[i], *agents[j], round);
+  }
+
+  Outcome out;
+  std::size_t isolated = 0, unranked = 0;
+  for (PeerId p = 0; p < kPeers; ++p) {
+    if (credence[p].isolated()) ++isolated;
+    if (agents[p]->current_ranking().empty()) ++unranked;
+  }
+  out.credence_isolated = static_cast<double>(isolated) / kPeers;
+  out.tribvote_unranked = static_cast<double>(unranked) / kPeers;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("abl_credence_isolation",
+                "A10 — Credence object reputation vs moderator-bound vote "
+                "sampling: who can rank anything? (§VIII)");
+  const std::size_t replicas = bench::ablation_replica_count();
+
+  std::printf("\n%16s  %20s  %22s\n", "voting fraction",
+              "Credence isolated", "this system unranked");
+  util::CsvWriter csv("abl_credence_isolation.csv");
+  csv.write_row(
+      {"voting_fraction", "credence_isolated", "tribvote_unranked"});
+  for (const double f : {0.05, 0.10, 0.25, 0.50, 1.00}) {
+    util::RunningStats iso, unr;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const Outcome o = run(f, bench::env_seed() + 101 * r);
+      iso.add(o.credence_isolated);
+      unr.add(o.tribvote_unranked);
+    }
+    std::printf("%16.2f  %20.3f  %22.3f\n", f, iso.mean(), unr.mean());
+    csv.field(f).field(iso.mean()).field(unr.mean());
+    csv.end_row();
+  }
+  std::printf(
+      "\nCredence isolates exactly the non-voters (plus thin-overlap "
+      "voters); moderator-bound sampling + VoxPopuli rank for everyone.\n");
+  std::printf("\ncsv written: abl_credence_isolation.csv\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Shared scaffolding for the experiment harness binaries.
+//
+// Every bench regenerates one of the paper's figures (or an ablation):
+// it prints a human-readable table reproducing the figure's series to
+// stdout and writes the same data as CSV next to the working directory.
+//
+// Environment knobs:
+//   TRIBVOTE_REPLICAS  number of trace replicas (default 10, the paper's
+//                      count; set lower for a quick pass)
+//   TRIBVOTE_SEED      base seed for the trace dataset (default 20090525,
+//                      the IPPS 2009 conference date)
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "metrics/timeseries.hpp"
+#include "trace/generator.hpp"
+#include "util/csv.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline std::uint64_t env_seed() {
+  const char* v = std::getenv("TRIBVOTE_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 20090525ULL;
+}
+
+inline std::size_t replica_count() {
+  return env_size("TRIBVOTE_REPLICAS", 10);
+}
+
+/// Ablations default to fewer replicas than the headline figures — they
+/// compare configurations against each other, where 4 replicas already
+/// separate the curves. TRIBVOTE_ABL_REPLICAS overrides.
+inline std::size_t ablation_replica_count() {
+  return env_size("TRIBVOTE_ABL_REPLICAS",
+                  std::min<std::size_t>(4, replica_count()));
+}
+
+/// The standard dataset: `n` synthetic 7-day/100-peer traces calibrated to
+/// the filelist.org statistics (DESIGN.md §2).
+inline std::vector<trace::Trace> paper_dataset(std::size_t n) {
+  return trace::generate_dataset(trace::GeneratorParams{}, env_seed(), n);
+}
+
+/// Print a banner naming the experiment and its paper anchor.
+inline void banner(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("replicas=%zu seed=%llu\n", replica_count(),
+              static_cast<unsigned long long>(env_seed()));
+  std::printf("================================================================\n");
+}
+
+/// Print one aggregate series as "t(h)  mean  ±ci" rows under a label.
+/// `stride` subsamples the grid for readability (CSV keeps every point).
+inline void print_series(const char* label,
+                         const metrics::AggregateSeries& agg,
+                         std::size_t stride = 1) {
+  std::printf("\n-- %s --\n", label);
+  std::printf("%8s  %10s  %10s  %10s  %10s\n", "t_hours", "mean", "stderr",
+              "min", "max");
+  for (std::size_t i = 0; i < agg.times.size(); i += stride) {
+    std::printf("%8.1f  %10.4f  %10.4f  %10.4f  %10.4f\n",
+                to_hours(agg.times[i]), agg.mean[i], agg.stderr_mean[i],
+                agg.min[i], agg.max[i]);
+  }
+}
+
+/// Write one or more named aggregate series sharing a time grid to CSV.
+inline void write_csv(const std::string& filename,
+                      const std::vector<std::pair<
+                          std::string, metrics::AggregateSeries>>& series) {
+  util::CsvWriter csv(filename);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", filename.c_str());
+    return;
+  }
+  std::vector<std::string> header{"t_hours"};
+  for (const auto& [name, agg] : series) {
+    header.push_back(name + "_mean");
+    header.push_back(name + "_stderr");
+  }
+  csv.write_row(header);
+  if (series.empty()) return;
+  const auto& grid = series.front().second.times;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    csv.field(util::format_double(to_hours(grid[i]), 3));
+    for (const auto& [name, agg] : series) {
+      if (i < agg.mean.size()) {
+        csv.field(agg.mean[i]).field(agg.stderr_mean[i]);
+      } else {
+        csv.field("").field("");
+      }
+    }
+    csv.end_row();
+  }
+  std::printf("\ncsv written: %s\n", filename.c_str());
+}
+
+}  // namespace tribvote::bench

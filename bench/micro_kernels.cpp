@@ -1,0 +1,200 @@
+// P1 — microbenchmarks of the hot kernels (google-benchmark).
+//
+// These are the operations the discrete-event runs execute millions of
+// times; keeping them fast is what makes the 7-day × 100-peer experiments
+// tractable on one core.
+#include <benchmark/benchmark.h>
+
+#include "bartercast/maxflow.hpp"
+#include "bartercast/subjective_graph.hpp"
+#include "bt/piece_picker.hpp"
+#include "bt/swarm.hpp"
+#include "crypto/schnorr.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "vote/ballot_box.hpp"
+#include "vote/voxpopuli.hpp"
+
+namespace {
+
+using namespace tribvote;
+
+void BM_RngNextBelow(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1000));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_EventQueueSchedulePop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      (void)queue.schedule(static_cast<Time>(rng.next_below(10000)), [] {});
+    }
+    while (!queue.empty()) queue.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueSchedulePop)->Arg(256)->Arg(4096);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  util::Rng rng(3);
+  const crypto::KeyPair keys = crypto::generate_keypair(rng);
+  std::uint64_t msg = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sign(keys, ++msg, rng));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  util::Rng rng(4);
+  const crypto::KeyPair keys = crypto::generate_keypair(rng);
+  const crypto::Signature sig = crypto::sign(keys, 42, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(keys.pub, 42, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+bartercast::SubjectiveGraph random_graph(std::size_t nodes,
+                                         std::size_t edges,
+                                         std::uint64_t seed) {
+  bartercast::SubjectiveGraph g;
+  util::Rng rng(seed);
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto a = static_cast<PeerId>(rng.next_below(nodes));
+    const auto b = static_cast<PeerId>(rng.next_below(nodes));
+    if (a != b) g.update_direct(a, b, rng.next_double(1, 100), 0);
+  }
+  return g;
+}
+
+void BM_MaxflowTwoHopClosedForm(benchmark::State& state) {
+  const auto g =
+      random_graph(100, static_cast<std::size_t>(state.range(0)), 5);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const auto s = static_cast<PeerId>(rng.next_below(100));
+    const auto t = static_cast<PeerId>(rng.next_below(100));
+    benchmark::DoNotOptimize(bartercast::max_flow(g, s, t, 2));
+  }
+}
+BENCHMARK(BM_MaxflowTwoHopClosedForm)->Arg(400)->Arg(2000);
+
+void BM_MaxflowEdmondsKarp3Hop(benchmark::State& state) {
+  const auto g =
+      random_graph(100, static_cast<std::size_t>(state.range(0)), 7);
+  util::Rng rng(8);
+  for (auto _ : state) {
+    const auto s = static_cast<PeerId>(rng.next_below(100));
+    const auto t = static_cast<PeerId>(rng.next_below(100));
+    benchmark::DoNotOptimize(bartercast::max_flow(g, s, t, 3));
+  }
+}
+BENCHMARK(BM_MaxflowEdmondsKarp3Hop)->Arg(400)->Arg(2000);
+
+void BM_BallotBoxMerge(benchmark::State& state) {
+  std::vector<vote::VoteEntry> votes;
+  for (ModeratorId m = 0; m < 50; ++m) {
+    votes.push_back(vote::VoteEntry{m, Opinion::kPositive, 0});
+  }
+  for (auto _ : state) {
+    vote::BallotBox box(100);
+    for (PeerId voter = 0; voter < 30; ++voter) {
+      box.merge(voter, votes, static_cast<Time>(voter));
+    }
+    benchmark::DoNotOptimize(box.unique_voters());
+  }
+}
+BENCHMARK(BM_BallotBoxMerge);
+
+void BM_BallotBoxTally(benchmark::State& state) {
+  util::Rng rng(10);
+  vote::BallotBox box(100);
+  for (PeerId voter = 0; voter < 30; ++voter) {
+    for (ModeratorId m = 0; m < 10; ++m) {
+      box.merge(voter,
+                {vote::VoteEntry{m,
+                                 rng.next_bool(0.5) ? Opinion::kPositive
+                                                    : Opinion::kNegative,
+                                 0}},
+                0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(box.tally());
+  }
+}
+BENCHMARK(BM_BallotBoxTally);
+
+void BM_VoxPopuliMerge(benchmark::State& state) {
+  util::Rng rng(11);
+  vote::VoxPopuliCache cache(10, 3);
+  for (int i = 0; i < 10; ++i) {
+    vote::RankedList list;
+    list.push_back(static_cast<ModeratorId>(1 + rng.next_below(8)));
+    list.push_back(static_cast<ModeratorId>(10 + rng.next_below(8)));
+    list.push_back(static_cast<ModeratorId>(20 + rng.next_below(8)));
+    cache.add_list(list);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.merged_ranking());
+  }
+}
+BENCHMARK(BM_VoxPopuliMerge);
+
+void BM_PiecePickerRarest(benchmark::State& state) {
+  const std::size_t pieces = 700;
+  bt::PiecePicker picker(pieces);
+  util::Rng rng(12);
+  bt::Bitfield uploader(pieces), downloader(pieces);
+  std::vector<bool> in_flight(pieces, false);
+  for (std::size_t i = 0; i < pieces; ++i) {
+    for (std::uint64_t a = 0; a < rng.next_below(6); ++a) {
+      picker.add_have(i);
+    }
+    if (rng.next_bool(0.7)) uploader.set(i);
+    if (rng.next_bool(0.4)) downloader.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        picker.pick(uploader, downloader, in_flight, rng));
+  }
+}
+BENCHMARK(BM_PiecePickerRarest);
+
+void BM_SwarmTick(benchmark::State& state) {
+  const auto members = static_cast<PeerId>(state.range(0));
+  std::vector<trace::PeerProfile> peers;
+  for (PeerId id = 0; id < members; ++id) {
+    trace::PeerProfile p;
+    p.id = id;
+    p.upload_kbps = 96;
+    p.download_kbps = 768;
+    peers.push_back(p);
+  }
+  trace::SwarmSpec spec;
+  spec.size_mb = 256;
+  spec.piece_kb = 1024;
+  spec.initial_seeder = 0;
+  bt::TransferLedger ledger(members);
+  bt::BandwidthAllocator bandwidth(std::vector<double>(members, 96.0),
+                                   std::vector<double>(members, 768.0));
+  bt::Swarm swarm(spec, peers, ledger, bandwidth, util::Rng(13));
+  swarm.add_member(0, true);
+  for (PeerId p = 1; p < members; ++p) swarm.add_member(p, false);
+  for (auto _ : state) {
+    swarm.tick(10.0);
+  }
+}
+BENCHMARK(BM_SwarmTick)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+#include "attack/colluder.hpp"
+
+#include <cassert>
+
+namespace tribvote::attack {
+
+ColluderVoteAgent::ColluderVoteAgent(PeerId self,
+                                     const crypto::KeyPair& keys,
+                                     vote::VoteConfig config,
+                                     ExperienceCb experienced, util::Rng rng,
+                                     ColluderPlan plan)
+    : vote::VoteAgent(self, keys, config, std::move(experienced), rng),
+      plan_(std::move(plan)) {
+  assert(plan_.spam_moderator != kInvalidModerator);
+}
+
+vote::VoteListMessage ColluderVoteAgent::outgoing_votes(Time now) {
+  // Keep the colluder's "ballot paper" scripted: +M0, -victim. Casting on
+  // every call refreshes timestamps, making the lies look recent.
+  votes_.cast(plan_.spam_moderator, Opinion::kPositive, now);
+  if (plan_.victim_moderator != kInvalidModerator) {
+    votes_.cast(plan_.victim_moderator, Opinion::kNegative, now);
+  }
+  return vote::VoteAgent::outgoing_votes(now);
+}
+
+vote::RankedList ColluderVoteAgent::answer_topk() {
+  vote::RankedList lie;
+  lie.push_back(plan_.spam_moderator);
+  for (const ModeratorId decoy : plan_.decoys) {
+    if (lie.size() >= config_.k) break;
+    if (decoy != plan_.spam_moderator) lie.push_back(decoy);
+  }
+  return lie;
+}
+
+}  // namespace tribvote::attack

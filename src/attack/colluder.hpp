@@ -1,0 +1,54 @@
+// Flash-crowd / Sybil colluder (paper §VI-C).
+//
+// A colluder is a cheap new identity whose goal is to push a spam moderator
+// M0 to the top of other nodes' rankings. It subverts exactly what a
+// malicious client controls — its own outgoing messages:
+//
+//   * vote-list messages always promote M0 (and optionally demote a victim
+//     moderator), regardless of what the colluder "really" saw;
+//   * VoxPopuli requests are always answered, B_min or not, with a
+//     fabricated top-K list headed by M0.
+//
+// It cannot subvert other nodes' acceptance logic: honest nodes still apply
+// the experience function to its vote lists (which is why the BallotBox
+// tier resists the attack) but accept its top-K lies during bootstrap
+// (which is why VoxPopuli is the vulnerable window).
+#pragma once
+
+#include <vector>
+
+#include "vote/agent.hpp"
+
+namespace tribvote::attack {
+
+struct ColluderPlan {
+  ModeratorId spam_moderator = kInvalidModerator;  ///< M0 to promote
+  /// Optional honest moderator to demote with negative votes
+  /// (kInvalidModerator = none).
+  ModeratorId victim_moderator = kInvalidModerator;
+  /// Decoy moderators appended after M0 in fabricated top-K lists so the
+  /// lists look plausible (typically the honest moderators).
+  std::vector<ModeratorId> decoys;
+};
+
+class ColluderVoteAgent final : public vote::VoteAgent {
+ public:
+  ColluderVoteAgent(PeerId self, const crypto::KeyPair& keys,
+                    vote::VoteConfig config, ExperienceCb experienced,
+                    util::Rng rng, ColluderPlan plan);
+
+  /// Always votes +M0 (and -victim when configured), correctly signed with
+  /// the colluder's own key — the signature scheme cannot stop lies about
+  /// one's own opinion, only forgery of others'.
+  [[nodiscard]] vote::VoteListMessage outgoing_votes(Time now) override;
+
+  /// Always responds, with M0 ranked first.
+  [[nodiscard]] vote::RankedList answer_topk() override;
+
+  [[nodiscard]] const ColluderPlan& plan() const noexcept { return plan_; }
+
+ private:
+  ColluderPlan plan_;
+};
+
+}  // namespace tribvote::attack

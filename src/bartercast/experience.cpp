@@ -1,0 +1,3 @@
+// experience.hpp is header-only; this TU exists so the library always has
+// at least one object file and the header is compiled standalone once.
+#include "bartercast/experience.hpp"

@@ -1,0 +1,90 @@
+// The experience function E (paper §V-B) and the adaptive-threshold
+// extension sketched in §VII.
+//
+//   E_i(j) = true  iff  f_{j→i} >= T
+//
+// where f is the BarterCast max-flow contribution. The fixed-threshold form
+// is what all headline experiments use (T = 5 MB, chosen via Fig. 5);
+// AdaptiveThreshold implements the paper's proposed future-work refinement:
+// start at T = 0 and raise T whenever the dispersion of incoming votes
+// exceeds D_max (dispersion signals the presence of coordinated liars),
+// decaying T back when opinions re-converge.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bartercast/protocol.hpp"
+#include "util/ids.hpp"
+
+namespace tribvote::bartercast {
+
+/// Fixed-threshold experience function over a node's BarterAgent.
+class ExperienceFunction {
+ public:
+  /// `agent` must outlive the function object.
+  ExperienceFunction(const BarterAgent& agent, double threshold_mb)
+      : agent_(&agent), threshold_mb_(threshold_mb) {}
+
+  /// E_self(j): is j experienced from this node's point of view?
+  [[nodiscard]] bool operator()(PeerId j) const {
+    return agent_->contribution_of(j) >= threshold_mb_;
+  }
+
+  [[nodiscard]] double threshold_mb() const noexcept { return threshold_mb_; }
+  void set_threshold_mb(double t) noexcept { threshold_mb_ = t; }
+
+ private:
+  const BarterAgent* agent_;
+  double threshold_mb_;
+};
+
+/// Dispersion-driven adaptive threshold (§VII).
+///
+/// The node feeds in, per accepted vote batch, the *dispersion* of opinions
+/// it currently observes: the mean, over moderators with at least two
+/// sampled votes, of 1 - |pos - neg| / (pos + neg). Dispersion near 0 means
+/// consensus; near 1 means maximal disagreement, the signature of a
+/// vote-promotion attack. When dispersion exceeds `d_max` the threshold is
+/// multiplied up (bounded by `t_max`); otherwise it decays toward `t_min`.
+struct AdaptiveThresholdParams {
+  double t_min = 0.0;      ///< starting / floor threshold (MB)
+  double t_max = 256.0;    ///< cap (MB)
+  double d_max = 0.4;      ///< dispersion trigger
+  double raise_step = 2.0; ///< multiplier when triggered (from >=1 MB)
+  double decay = 0.8;      ///< multiplier when calm
+};
+
+class AdaptiveThreshold {
+ public:
+  using Params = AdaptiveThresholdParams;
+
+  explicit AdaptiveThreshold(Params params = Params{})
+      : params_(params), threshold_mb_(params.t_min) {}
+
+  /// Update with the current observed vote dispersion in [0, 1];
+  /// returns the new threshold.
+  double observe_dispersion(double dispersion) {
+    if (dispersion > params_.d_max) {
+      threshold_mb_ = std::min(
+          params_.t_max, std::max(1.0, threshold_mb_) * params_.raise_step);
+    } else {
+      threshold_mb_ =
+          std::max(params_.t_min, threshold_mb_ * params_.decay);
+      if (threshold_mb_ < 1.0 && params_.t_min < 1.0) {
+        // Below 1 MB the multiplicative decay stalls; snap to the floor.
+        threshold_mb_ = params_.t_min;
+      }
+    }
+    return threshold_mb_;
+  }
+
+  [[nodiscard]] double threshold_mb() const noexcept { return threshold_mb_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  double threshold_mb_;
+};
+
+}  // namespace tribvote::bartercast

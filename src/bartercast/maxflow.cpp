@@ -1,0 +1,122 @@
+#include "bartercast/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace tribvote::bartercast {
+
+namespace {
+
+/// Residual network restricted to nodes within `max_path_edges` of the
+/// source along forward edges (all relevant paths live there).
+struct Residual {
+  // node -> (neighbor -> residual capacity); includes reverse arcs.
+  std::unordered_map<PeerId, std::unordered_map<PeerId, double>> cap;
+
+  void add_edge(PeerId u, PeerId v, double c) {
+    cap[u][v] += c;
+    cap[v];  // ensure node exists
+    if (!cap[v].contains(u)) cap[v][u] = 0.0;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Closed forms for the hop bounds that admit them. With paths of ≤ 2 edges
+/// every admissible path (j→i, j→k→i) is edge-disjoint from the others, so
+/// the max flow is simply cap(j→i) + Σ_k min(cap(j→k), cap(k→i)). These
+/// bounds cover the deployed BarterCast configuration and dominate the
+/// experience-function hot path (CEV sampling queries all ordered pairs).
+double short_path_flow(const SubjectiveGraph& graph, PeerId source,
+                       PeerId sink, int max_path_edges) {
+  double flow = graph.edge_mb(source, sink);
+  if (max_path_edges >= 2) {
+    for (const auto& [mid, cap_out] : graph.out_edges(source)) {
+      if (mid == sink || mid == source) continue;
+      const double cap_in = graph.edge_mb(mid, sink);
+      if (cap_in > 0) flow += std::min(cap_out, cap_in);
+    }
+  }
+  return flow;
+}
+
+}  // namespace
+
+double max_flow(const SubjectiveGraph& graph, PeerId source, PeerId sink,
+                int max_path_edges) {
+  if (source == sink || max_path_edges <= 0) return 0.0;
+  if (max_path_edges <= 2) {
+    return short_path_flow(graph, source, sink, max_path_edges);
+  }
+
+  // Collect forward edges among nodes reachable from the source within the
+  // hop bound (BFS expansion), discarding anything that cannot lie on a
+  // short source→sink path.
+  Residual res;
+  std::unordered_map<PeerId, int> depth;
+  depth[source] = 0;
+  std::queue<PeerId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const PeerId u = frontier.front();
+    frontier.pop();
+    const int du = depth[u];
+    if (du >= max_path_edges) continue;
+    for (const auto& [v, mb] : graph.out_edges(u)) {
+      res.add_edge(u, v, mb);
+      if (!depth.contains(v)) {
+        depth[v] = du + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  if (!res.cap.contains(sink)) return 0.0;
+
+  double total_flow = 0.0;
+  for (;;) {
+    // BFS for the shortest augmenting path, depth-capped.
+    std::unordered_map<PeerId, PeerId> parent;
+    std::unordered_map<PeerId, int> dist;
+    std::queue<PeerId> q;
+    q.push(source);
+    dist[source] = 0;
+    bool found = false;
+    while (!q.empty() && !found) {
+      const PeerId u = q.front();
+      q.pop();
+      if (dist[u] >= max_path_edges) continue;
+      for (const auto& [v, c] : res.cap[u]) {
+        if (c <= 1e-12 || dist.contains(v)) continue;
+        dist[v] = dist[u] + 1;
+        parent[v] = u;
+        if (v == sink) {
+          found = true;
+          break;
+        }
+        q.push(v);
+      }
+    }
+    if (!found) break;
+
+    // Bottleneck along the path.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (PeerId v = sink; v != source; v = parent[v]) {
+      bottleneck = std::min(bottleneck, res.cap[parent[v]][v]);
+    }
+    // Augment.
+    for (PeerId v = sink; v != source; v = parent[v]) {
+      const PeerId u = parent[v];
+      res.cap[u][v] -= bottleneck;
+      res.cap[v][u] += bottleneck;
+    }
+    total_flow += bottleneck;
+  }
+  return total_flow;
+}
+
+}  // namespace tribvote::bartercast

@@ -1,0 +1,34 @@
+// Hop-bounded max-flow over a subjective transfer graph.
+//
+// BarterCast derives the contribution f_{j→i} as the maximum flow from j to
+// i using only short paths (the deployed protocol bounds paths to two edges:
+// the direct edge plus one intermediary). Bounding path length is what makes
+// the metric collusion-resistant: however large the fake edges a colluding
+// clique reports among itself, flow into `i` is throttled by the genuine
+// capacity of edges adjacent to `i`'s neighborhood.
+//
+// Implementation: Edmonds–Karp where the BFS is depth-capped at
+// `max_path_edges`. For the BarterCast default (2 edges) this is exact —
+// augmenting paths of length 1 and 2 in the residual graph never need
+// reverse edges, so the result equals the true short-path max-flow
+// cap(j→i) + Σ_k min(cap(j→k), cap(k→i)).
+#pragma once
+
+#include <cstdint>
+
+#include "bartercast/subjective_graph.hpp"
+#include "util/ids.hpp"
+
+namespace tribvote::bartercast {
+
+/// BarterCast's deployed path bound.
+inline constexpr int kDefaultMaxPathEdges = 2;
+
+/// Max flow (megabytes) from `source` to `sink` in `graph` using augmenting
+/// paths of at most `max_path_edges` edges. Returns 0 when source == sink or
+/// either endpoint is unknown.
+[[nodiscard]] double max_flow(const SubjectiveGraph& graph, PeerId source,
+                              PeerId sink,
+                              int max_path_edges = kDefaultMaxPathEdges);
+
+}  // namespace tribvote::bartercast

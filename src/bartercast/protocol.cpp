@@ -1,0 +1,57 @@
+#include "bartercast/protocol.hpp"
+
+#include <algorithm>
+
+namespace tribvote::bartercast {
+
+std::vector<BarterRecord> BarterAgent::outgoing_records(
+    const bt::TransferLedger& ledger, Time now) const {
+  if (ledger.version(self_) == reported_version_) return report_cache_;
+  reported_version_ = ledger.version(self_);
+  std::vector<bt::TransferRecord> direct = ledger.direct_view(self_);
+  // Largest transfers first — they carry the most flow information.
+  std::sort(direct.begin(), direct.end(),
+            [](const bt::TransferRecord& a, const bt::TransferRecord& b) {
+              if (a.mb != b.mb) return a.mb > b.mb;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  if (direct.size() > config_.max_records_per_message) {
+    direct.resize(config_.max_records_per_message);
+  }
+  report_cache_.clear();
+  report_cache_.reserve(direct.size());
+  for (const auto& r : direct) {
+    report_cache_.push_back(BarterRecord{r.from, r.to, r.mb, now});
+  }
+  return report_cache_;
+}
+
+void BarterAgent::sync_direct(const bt::TransferLedger& ledger, Time now) {
+  if (ledger.version(self_) == synced_version_) return;
+  synced_version_ = ledger.version(self_);
+  for (const auto& r : ledger.direct_view(self_)) {
+    graph_.update_direct(r.from, r.to, r.mb, now);
+  }
+}
+
+void BarterAgent::receive(PeerId sender,
+                          const std::vector<BarterRecord>& records) {
+  for (const auto& r : records) {
+    // A peer may only report transfers it participated in; anything else
+    // would not verify against its signature and is discarded.
+    if (r.from != sender && r.to != sender) continue;
+    // Claims about transfers involving *this* node are ignored: the node
+    // has authoritative local knowledge of its own transfers (its direct
+    // edges), so a fabricated "I uploaded X MB to you" carries no weight.
+    if (r.from == self_ || r.to == self_) continue;
+    graph_.merge_gossip(r);
+  }
+}
+
+double BarterAgent::contribution_of(PeerId j) const {
+  if (j == self_) return 0.0;
+  return max_flow(graph_, j, self_, config_.max_path_edges);
+}
+
+}  // namespace tribvote::bartercast

@@ -1,0 +1,81 @@
+// BarterCast gossip agent (Meulpolder et al., deployed in Tribler).
+//
+// Each node (a) records its own BitTorrent transfer statistics, (b) on every
+// PSS encounter exchanges its *own direct* records — never relayed hearsay —
+// with the counterpart, and (c) folds received records into its subjective
+// graph. The contribution f_{j→i} that the experience function consumes is
+// the hop-bounded max-flow from j to i in i's subjective graph.
+//
+// Honest agents report truthfully from the shared TransferLedger's
+// per-peer direct view; the attack module subclasses the reporting hook to
+// model front-peer collusion (fabricated records).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bartercast/maxflow.hpp"
+#include "bartercast/subjective_graph.hpp"
+#include "bt/transfer_ledger.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::bartercast {
+
+struct BarterConfig {
+  /// Max records per gossip message (deployed BarterCast sends its top
+  /// entries by volume).
+  std::size_t max_records_per_message = 25;
+  /// Path bound for the max-flow contribution.
+  int max_path_edges = kDefaultMaxPathEdges;
+};
+
+class BarterAgent {
+ public:
+  BarterAgent(PeerId self, BarterConfig config)
+      : self_(self), config_(config) {}
+  virtual ~BarterAgent() = default;
+
+  /// The records this node sends on an encounter: its own direct transfers,
+  /// largest volumes first, truncated to the message cap. Virtual so attack
+  /// models can fabricate claims.
+  [[nodiscard]] virtual std::vector<BarterRecord> outgoing_records(
+      const bt::TransferLedger& ledger, Time now) const;
+
+  /// Refresh the agent's own direct edges from its local statistics.
+  /// Cheap no-op when the ledger reports no change since the last sync.
+  void sync_direct(const bt::TransferLedger& ledger, Time now);
+
+  /// Merge a counterpart's gossip message. Records not adjacent to the
+  /// claimed sender are dropped (a node may only report about transfers it
+  /// took part in — enforceable because messages are signed).
+  void receive(PeerId sender, const std::vector<BarterRecord>& records);
+
+  /// Contribution f_{j→self}: hop-bounded max-flow from j to self.
+  [[nodiscard]] double contribution_of(PeerId j) const;
+
+  /// Naive alternative metric (Σ claimed upload of j) for the ablation.
+  [[nodiscard]] double naive_contribution_of(PeerId j) const {
+    return graph_.claimed_upload_mb(j);
+  }
+
+  [[nodiscard]] const SubjectiveGraph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] PeerId self() const noexcept { return self_; }
+
+ protected:
+  PeerId self_;
+  BarterConfig config_;
+  SubjectiveGraph graph_;
+
+ private:
+  // Ledger-version caches: sync/report work is skipped while the agent's
+  // direct view is unchanged (the common case between transfers).
+  static constexpr std::uint64_t kNeverSynced = ~std::uint64_t{0};
+  std::uint64_t synced_version_ = kNeverSynced;
+  mutable std::uint64_t reported_version_ = kNeverSynced;
+  mutable std::vector<BarterRecord> report_cache_;
+};
+
+}  // namespace tribvote::bartercast

@@ -1,0 +1,84 @@
+#include "bartercast/subjective_graph.hpp"
+
+#include <cassert>
+
+namespace tribvote::bartercast {
+
+void SubjectiveGraph::put(PeerId from, PeerId to, const EdgeInfo& info) {
+  const auto [it, inserted] = out_[from].insert_or_assign(to, info);
+  in_[to].insert_or_assign(from, info);
+  if (inserted) ++n_edges_;
+}
+
+void SubjectiveGraph::update_direct(PeerId from, PeerId to, double mb,
+                                    Time now) {
+  assert(from != to);
+  assert(mb >= 0);
+  auto& row = out_[from];
+  const auto it = row.find(to);
+  if (it != row.end() && it->second.direct && it->second.mb == mb) {
+    return;  // unchanged — skip the mirrored write entirely
+  }
+  put(from, to, EdgeInfo{mb, now, true});
+}
+
+void SubjectiveGraph::merge_gossip(const BarterRecord& record) {
+  if (record.from == record.to || record.mb < 0) return;  // malformed
+  const auto row = out_.find(record.from);
+  if (row != out_.end()) {
+    const auto it = row->second.find(record.to);
+    if (it != row->second.end()) {
+      if (it->second.direct) return;  // own observation is authoritative
+      if (it->second.reported_at >= record.reported_at) return;  // stale
+      if (it->second.mb == record.mb) {
+        // Same value, fresher report: refresh the timestamp in place (the
+        // mirrored in_ copy's timestamp is never read).
+        it->second.reported_at = record.reported_at;
+        return;
+      }
+    }
+  }
+  put(record.from, record.to,
+      EdgeInfo{record.mb, record.reported_at, false});
+}
+
+double SubjectiveGraph::edge_mb(PeerId from, PeerId to) const {
+  const auto row = out_.find(from);
+  if (row == out_.end()) return 0.0;
+  const auto it = row->second.find(to);
+  return it == row->second.end() ? 0.0 : it->second.mb;
+}
+
+std::vector<std::pair<PeerId, double>> SubjectiveGraph::out_edges(
+    PeerId from) const {
+  std::vector<std::pair<PeerId, double>> edges;
+  const auto row = out_.find(from);
+  if (row == out_.end()) return edges;
+  edges.reserve(row->second.size());
+  for (const auto& [to, info] : row->second) {
+    if (info.mb > 0) edges.emplace_back(to, info.mb);
+  }
+  return edges;
+}
+
+std::vector<std::pair<PeerId, double>> SubjectiveGraph::in_edges(
+    PeerId to) const {
+  std::vector<std::pair<PeerId, double>> edges;
+  const auto row = in_.find(to);
+  if (row == in_.end()) return edges;
+  edges.reserve(row->second.size());
+  for (const auto& [from, info] : row->second) {
+    if (info.mb > 0) edges.emplace_back(from, info.mb);
+  }
+  return edges;
+}
+
+double SubjectiveGraph::claimed_upload_mb(PeerId peer) const {
+  double total = 0;
+  const auto row = out_.find(peer);
+  if (row == out_.end()) return 0.0;
+  for (const auto& [to, info] : row->second) total += info.mb;
+  return total;
+}
+
+}  // namespace tribvote::bartercast

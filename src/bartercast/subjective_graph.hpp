@@ -1,0 +1,75 @@
+// A node's subjective view of who uploaded how much to whom.
+//
+// Built from (a) the node's own direct transfer observations, which are
+// authoritative and can never be overwritten by gossip, and (b) records
+// received through BarterCast gossip, where the freshest report per directed
+// pair wins. Edge weights are megabytes uploaded; the experience function
+// computes hop-bounded max-flow over this graph (maxflow.hpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::bartercast {
+
+/// One gossiped claim: "`from` uploaded `mb` megabytes to `to`",
+/// as reported at `reported_at`.
+struct BarterRecord {
+  PeerId from = kInvalidPeer;
+  PeerId to = kInvalidPeer;
+  double mb = 0;
+  Time reported_at = 0;
+};
+
+class SubjectiveGraph {
+ public:
+  /// Record a direct observation by the owning node. Direct edges are
+  /// pinned: later gossip about the same pair is ignored.
+  void update_direct(PeerId from, PeerId to, double mb, Time now);
+
+  /// Merge one gossiped record; freshest report per pair wins, and never
+  /// overrides a direct observation.
+  void merge_gossip(const BarterRecord& record);
+
+  /// Megabytes on the directed edge from → to (0 when absent).
+  [[nodiscard]] double edge_mb(PeerId from, PeerId to) const;
+
+  /// Successors of `from` with positive weight.
+  [[nodiscard]] std::vector<std::pair<PeerId, double>> out_edges(
+      PeerId from) const;
+
+  /// Predecessors of `to` with positive weight.
+  [[nodiscard]] std::vector<std::pair<PeerId, double>> in_edges(
+      PeerId to) const;
+
+  /// Sum of all outgoing edge weights of `peer` — the *naive* contribution
+  /// metric (total claimed upload). Deliberately exposed so the
+  /// fake-experience ablation can contrast it against max-flow.
+  [[nodiscard]] double claimed_upload_mb(PeerId peer) const;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return n_edges_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return out_.size();
+  }
+
+ private:
+  struct EdgeInfo {
+    double mb = 0;
+    Time reported_at = 0;
+    bool direct = false;
+  };
+
+  // out_[a][b] mirrors in_[b][a]; both kept for fast max-flow neighborhood
+  // expansion in either direction.
+  std::unordered_map<PeerId, std::unordered_map<PeerId, EdgeInfo>> out_;
+  std::unordered_map<PeerId, std::unordered_map<PeerId, EdgeInfo>> in_;
+  std::size_t n_edges_ = 0;
+
+  void put(PeerId from, PeerId to, const EdgeInfo& info);
+};
+
+}  // namespace tribvote::bartercast

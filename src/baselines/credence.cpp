@@ -1,0 +1,66 @@
+#include "baselines/credence.hpp"
+
+#include <cmath>
+
+namespace tribvote::baselines {
+
+void CredencePeer::cast(ObjectId object, Opinion opinion) {
+  if (opinion == Opinion::kNone) return;
+  own_[object] = opinion;
+}
+
+void CredencePeer::observe(
+    PeerId other, const std::vector<std::pair<ObjectId, Opinion>>& votes) {
+  if (other == self_) return;
+  auto& history = gathered_[other];
+  for (const auto& [object, opinion] : votes) {
+    if (opinion != Opinion::kNone) history[object] = opinion;
+  }
+}
+
+std::optional<double> CredencePeer::correlation_with(PeerId other) const {
+  const auto it = gathered_.find(other);
+  if (it == gathered_.end()) return std::nullopt;
+  std::size_t overlap = 0;
+  double agreement = 0;
+  for (const auto& [object, their_vote] : it->second) {
+    const auto mine = own_.find(object);
+    if (mine == own_.end()) continue;
+    ++overlap;
+    agreement +=
+        mine->second == their_vote ? 1.0 : -1.0;  // simple +-1 matching
+  }
+  if (overlap < config_.min_overlap) return std::nullopt;
+  return agreement / static_cast<double>(overlap);
+}
+
+std::optional<double> CredencePeer::estimate(ObjectId object) const {
+  double weighted = 0;
+  double total_weight = 0;
+  for (const auto& [peer, history] : gathered_) {
+    const auto vote = history.find(object);
+    if (vote == history.end()) continue;
+    const auto theta = correlation_with(peer);
+    if (!theta || std::abs(*theta) < config_.min_correlation) continue;
+    weighted += *theta * opinion_value(vote->second);
+    total_weight += std::abs(*theta);
+  }
+  // Own first-hand vote always counts.
+  const auto mine = own_.find(object);
+  if (mine != own_.end()) {
+    weighted += opinion_value(mine->second);
+    total_weight += 1.0;
+  }
+  if (total_weight == 0) return std::nullopt;
+  return weighted / total_weight;
+}
+
+bool CredencePeer::isolated() const {
+  for (const auto& [peer, history] : gathered_) {
+    const auto theta = correlation_with(peer);
+    if (theta && std::abs(*theta) >= config_.min_correlation) return false;
+  }
+  return true;
+}
+
+}  // namespace tribvote::baselines

@@ -1,0 +1,86 @@
+// Baseline: gossip-based (epidemic) aggregation of votes — the design the
+// paper *rejected* for the BallotBox (§II, §V-A):
+//
+//   "Faster and more accurate epidemic-style aggregation protocols have
+//    been proposed but they are highly vulnerable to lying behaviour [8]."
+//
+// This implements push-sum averaging (Kempe et al.; the protocol family of
+// Jelasity, Montresor & Babaoglu [8]): every node holds a (sum, weight)
+// pair per aggregate; on contact it sends half of both to the partner and
+// keeps half; sum/weight converges exponentially fast to the population
+// average at every node.
+//
+// The attack surface the paper cites: a node's influence is NOT bounded by
+// one vote. A liar can report an arbitrarily inflated share (or
+// re-inject mass every round), dragging everyone's estimate — whereas in
+// the BallotBox a malicious voter contributes at most one vote per
+// moderator, and only if it passes the experience function. The
+// abl_aggregation bench quantifies this.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/ids.hpp"
+
+namespace tribvote::baselines {
+
+/// One node's push-sum state for a single aggregate (e.g. the average vote
+/// on one moderator).
+class PushSumNode {
+ public:
+  /// `own_value` is the node's contribution to the average (vote value).
+  explicit PushSumNode(double own_value) : sum_(own_value), weight_(1.0) {}
+  virtual ~PushSumNode() = default;
+
+  /// A (sum, weight) share as transmitted between nodes.
+  struct Share {
+    double sum = 0;
+    double weight = 0;
+  };
+
+  /// Emit the share sent to a contacted partner. Honest behaviour: halve
+  /// the local state and send the other half. Virtual: liars override.
+  [[nodiscard]] virtual Share emit() {
+    sum_ /= 2;
+    weight_ /= 2;
+    return Share{sum_, weight_};
+  }
+
+  /// Merge a received share.
+  void absorb(const Share& share) {
+    sum_ += share.sum;
+    weight_ += share.weight;
+  }
+
+  /// Current estimate of the population average.
+  [[nodiscard]] double estimate() const {
+    return weight_ > 0 ? sum_ / weight_ : 0.0;
+  }
+
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+
+ protected:
+  double sum_;
+  double weight_;
+};
+
+/// A lying aggregator: emits a fabricated share pushing `target_value`
+/// without diluting its own state — it re-injects mass every exchange,
+/// which honest push-sum cannot detect (shares carry no provenance).
+class LyingPushSumNode final : public PushSumNode {
+ public:
+  LyingPushSumNode(double own_value, double target_value, double mass)
+      : PushSumNode(own_value), target_(target_value), mass_(mass) {}
+
+  [[nodiscard]] Share emit() override {
+    // Fabricate: mass_ weight of pure target value, conjured from nothing.
+    return Share{target_ * mass_, mass_};
+  }
+
+ private:
+  double target_;
+  double mass_;
+};
+
+}  // namespace tribvote::baselines

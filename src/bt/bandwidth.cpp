@@ -1,0 +1,37 @@
+#include "bt/bandwidth.hpp"
+
+namespace tribvote::bt {
+
+BandwidthAllocator::BandwidthAllocator(std::vector<double> up_kbps,
+                                       std::vector<double> down_kbps)
+    : up_kbps_(std::move(up_kbps)),
+      down_kbps_(std::move(down_kbps)),
+      active_(up_kbps_.size(), 0) {
+  assert(up_kbps_.size() == down_kbps_.size());
+}
+
+void BandwidthAllocator::register_active(PeerId peer) {
+  assert(peer < active_.size());
+  ++active_[peer];
+}
+
+void BandwidthAllocator::unregister_active(PeerId peer) {
+  assert(peer < active_.size());
+  assert(active_[peer] > 0);
+  --active_[peer];
+}
+
+double BandwidthAllocator::upload_share_bytes(PeerId peer, double dt) const {
+  assert(peer < active_.size());
+  if (active_[peer] == 0) return 0.0;
+  return up_kbps_[peer] * 1024.0 * dt / active_[peer];
+}
+
+double BandwidthAllocator::download_share_bytes(PeerId peer,
+                                                double dt) const {
+  assert(peer < active_.size());
+  if (active_[peer] == 0) return 0.0;
+  return down_kbps_[peer] * 1024.0 * dt / active_[peer];
+}
+
+}  // namespace tribvote::bt

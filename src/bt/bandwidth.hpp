@@ -1,0 +1,43 @@
+// Per-peer bandwidth sharing across swarms.
+//
+// A peer active in several swarms divides its physical upload and download
+// capacity equally among them, the way a real client's rate limiter spreads
+// a global cap over torrents. Swarms register activity and query their
+// share at the start of each transfer round.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace tribvote::bt {
+
+class BandwidthAllocator {
+ public:
+  /// `up_kbps` / `down_kbps` are per-peer physical capacities in KB/s.
+  BandwidthAllocator(std::vector<double> up_kbps,
+                     std::vector<double> down_kbps);
+
+  /// A peer became active / inactive in one more swarm.
+  void register_active(PeerId peer);
+  void unregister_active(PeerId peer);
+
+  /// Upload budget in *bytes* for one swarm's round of `dt` seconds.
+  [[nodiscard]] double upload_share_bytes(PeerId peer, double dt) const;
+  /// Download budget in bytes for one swarm's round of `dt` seconds.
+  [[nodiscard]] double download_share_bytes(PeerId peer, double dt) const;
+
+  [[nodiscard]] std::uint32_t active_swarms(PeerId peer) const {
+    assert(peer < active_.size());
+    return active_[peer];
+  }
+
+ private:
+  std::vector<double> up_kbps_;
+  std::vector<double> down_kbps_;
+  std::vector<std::uint32_t> active_;
+};
+
+}  // namespace tribvote::bt

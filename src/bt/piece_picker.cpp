@@ -1,0 +1,71 @@
+#include "bt/piece_picker.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace tribvote::bt {
+
+PiecePicker::PiecePicker(std::size_t n_pieces) : avail_(n_pieces, 0) {}
+
+void PiecePicker::add_have(std::size_t piece) {
+  assert(piece < avail_.size());
+  ++avail_[piece];
+}
+
+void PiecePicker::remove_have(std::size_t piece) {
+  assert(piece < avail_.size());
+  assert(avail_[piece] > 0);
+  --avail_[piece];
+}
+
+void PiecePicker::add_bitfield(const Bitfield& bf) {
+  assert(bf.size() == avail_.size());
+  for (std::size_t i = 0; i < bf.size(); ++i) {
+    if (bf.test(i)) ++avail_[i];
+  }
+}
+
+void PiecePicker::remove_bitfield(const Bitfield& bf) {
+  assert(bf.size() == avail_.size());
+  for (std::size_t i = 0; i < bf.size(); ++i) {
+    if (bf.test(i)) {
+      assert(avail_[i] > 0);
+      --avail_[i];
+    }
+  }
+}
+
+std::uint32_t PiecePicker::availability(std::size_t piece) const {
+  assert(piece < avail_.size());
+  return avail_[piece];
+}
+
+std::size_t PiecePicker::pick(const Bitfield& uploader_has,
+                              const Bitfield& downloader_has,
+                              const std::vector<bool>& in_flight,
+                              util::Rng& rng) const {
+  assert(uploader_has.size() == avail_.size());
+  assert(downloader_has.size() == avail_.size());
+  assert(in_flight.size() == avail_.size());
+  // Single pass with reservoir-style random tie-breaking among the current
+  // minimum-availability candidates.
+  std::uint32_t best_avail = std::numeric_limits<std::uint32_t>::max();
+  std::size_t best = kNoPiece;
+  std::uint64_t ties = 0;
+  for (std::size_t p = 0; p < avail_.size(); ++p) {
+    if (!uploader_has.test(p) || downloader_has.test(p) || in_flight[p]) {
+      continue;
+    }
+    if (avail_[p] < best_avail) {
+      best_avail = avail_[p];
+      best = p;
+      ties = 1;
+    } else if (avail_[p] == best_avail) {
+      ++ties;
+      if (rng.next_below(ties) == 0) best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace tribvote::bt

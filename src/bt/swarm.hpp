@@ -1,0 +1,117 @@
+// Piece-level swarm engine.
+//
+// Simulates one BitTorrent swarm at the granularity the paper describes:
+// "every action that a BitTorrent client would need to take, down to the
+// exchange of file chunks, peer choking and piece selection". The engine
+// advances in unchoke rounds (default 10 s, the real protocol's rechoke
+// period): each round every active member runs its choker over the peers
+// interested in its pieces, divides its upload budget across the unchoked
+// set, and byte progress accumulates into rarest-first-selected pieces.
+//
+// Churn: members deactivate (session end, state kept) and reactivate;
+// free-riders leave permanently on completion. Firewalled peers can only
+// exchange data when at least one endpoint is connectable.
+//
+// Every transferred byte lands in the shared TransferLedger — the sole
+// signal BarterCast (and hence the experience function) consumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bt/bandwidth.hpp"
+#include "bt/bitfield.hpp"
+#include "bt/choker.hpp"
+#include "bt/piece_picker.hpp"
+#include "bt/transfer_ledger.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace tribvote::bt {
+
+/// Default rechoke period (seconds), per the BitTorrent spec.
+inline constexpr double kUnchokeRoundSeconds = 10.0;
+
+class Swarm {
+ public:
+  /// `peers` must outlive the swarm (owned by the scenario runner).
+  Swarm(const trace::SwarmSpec& spec,
+        std::span<const trace::PeerProfile> peers, TransferLedger& ledger,
+        BandwidthAllocator& bandwidth, util::Rng rng);
+
+  Swarm(const Swarm&) = delete;
+  Swarm& operator=(const Swarm&) = delete;
+
+  /// Fired when a member completes its download (before any free-rider
+  /// departure logic the caller applies).
+  std::function<void(PeerId peer)> on_complete;
+
+  /// A peer joins for the first time. `as_seed` marks the initial seeder.
+  /// The member starts active.
+  void add_member(PeerId peer, bool as_seed);
+
+  /// Session ended: the member goes offline but keeps its pieces.
+  void deactivate(PeerId peer);
+
+  /// Session resumed for an existing member.
+  void reactivate(PeerId peer);
+
+  /// Permanent departure (free-rider after completion, or user abandon).
+  void leave(PeerId peer);
+
+  /// One unchoke + transfer round covering `dt` seconds.
+  void tick(double dt);
+
+  [[nodiscard]] bool is_member(PeerId peer) const;
+  [[nodiscard]] bool is_active(PeerId peer) const;
+  [[nodiscard]] bool has_completed(PeerId peer) const;
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return active_count_;
+  }
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return members_.size();
+  }
+  /// Download progress in [0, 1].
+  [[nodiscard]] double progress(PeerId peer) const;
+  [[nodiscard]] const trace::SwarmSpec& spec() const noexcept { return spec_; }
+
+ private:
+  struct Link {
+    std::size_t piece = kNoPiece;
+    double bytes = 0;
+  };
+
+  struct Member {
+    Bitfield have;
+    bool active = false;
+    bool completed = false;
+    std::vector<bool> in_flight;               // by piece index
+    std::unordered_map<PeerId, Link> links;     // uploader -> progress
+    std::unordered_map<PeerId, double> rx_window;  // recent bytes from peer
+    std::unordered_map<PeerId, double> tx_window;  // recent bytes to peer
+    Choker choker;
+  };
+
+  [[nodiscard]] bool link_allowed(PeerId a, PeerId b) const;
+  void drop_links_to(PeerId uploader);
+  void clear_own_links(Member& m);
+  void complete_piece(PeerId peer, Member& m, std::size_t piece);
+
+  trace::SwarmSpec spec_;
+  std::span<const trace::PeerProfile> peers_;
+  TransferLedger* ledger_;
+  BandwidthAllocator* bandwidth_;
+  util::Rng rng_;
+  double piece_bytes_;
+  std::size_t n_pieces_;
+  PiecePicker picker_;
+  // std::map for deterministic iteration order (PeerId ascending).
+  std::map<PeerId, Member> members_;
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace tribvote::bt

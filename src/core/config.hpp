@@ -1,0 +1,70 @@
+// Scenario configuration: every knob a simulation run exposes, with
+// defaults matching the paper's parameter choices (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "bartercast/experience.hpp"
+#include "bartercast/protocol.hpp"
+#include "moderation/moderationcast.hpp"
+#include "pss/newscast.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+#include "vote/agent.hpp"
+
+namespace tribvote::core {
+
+/// How often each protocol loop fires.
+struct ProtocolPeriods {
+  Duration bt_round = 10;              ///< BitTorrent rechoke round (spec)
+  Duration vote_exchange = 60;         ///< BallotBox/VoxPopuli Δ
+  Duration moderation_exchange = 60;   ///< ModerationCast Δ
+  Duration barter_exchange = 120;      ///< BarterCast encounters
+  Duration newscast_gossip = 60;       ///< PSS view exchange (if Newscast)
+  Duration adaptive_update = 600;      ///< adaptive-threshold re-evaluation
+};
+
+enum class PssKind : std::uint8_t {
+  kOracle,    ///< uniform random over the online set (paper's assumption)
+  kNewscast,  ///< gossip view-exchange PSS
+};
+
+/// Flash-crowd attack (Fig. 8). `crowd_size` colluder identities appear at
+/// `start`, stay online, promote the spam moderator M0 (the first colluder
+/// id) and answer every VoxPopuli request with a fabricated list.
+struct AttackConfig {
+  std::size_t crowd_size = 0;  ///< 0 = no attack
+  Time start = 0;
+  /// Fraction of time each colluder identity is online after `start`.
+  /// 1.0 = always on; the Fig. 8 reproduction uses trace-like churn (0.5)
+  /// so the crowd/core ratio matches the paper's online dynamics.
+  double duty = 0.5;
+  /// Mean colluder session length when duty < 1.
+  Duration session_mean = kHour;
+  /// Honest moderator the crowd demotes with negative votes
+  /// (kInvalidModerator = none).
+  ModeratorId victim = kInvalidModerator;
+  /// Colluders also run the front-peer BarterCast attack, claiming
+  /// `fake_mb` transfers inside the clique.
+  bool fake_experience = false;
+  double fake_mb = 1000.0;
+};
+
+struct ScenarioConfig {
+  vote::VoteConfig vote;                    // B_min=5, B_max=100, V_max=10, K=3
+  moderation::ModerationCastConfig moderation;
+  bartercast::BarterConfig barter;
+
+  /// Fixed experience threshold T in MB (paper: 5 MB via Fig. 5).
+  double experience_threshold_mb = 5.0;
+  /// Use the §VII adaptive threshold instead of the fixed T.
+  bool adaptive_threshold = false;
+  bartercast::AdaptiveThresholdParams adaptive;
+
+  ProtocolPeriods periods;
+  PssKind pss = PssKind::kOracle;
+  pss::NewscastConfig newscast;
+  AttackConfig attack;
+};
+
+}  // namespace tribvote::core

@@ -1,0 +1,29 @@
+#include "core/experiment.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace tribvote::core {
+
+std::vector<ReplicaResult> run_replicas(
+    const std::vector<trace::Trace>& traces, const ReplicaFn& fn,
+    std::size_t threads) {
+  std::vector<ReplicaResult> results(traces.size());
+  util::ThreadPool pool(threads);
+  pool.parallel_for(traces.size(), [&](std::size_t i) {
+    results[i] = fn(traces[i], i);
+  });
+  return results;
+}
+
+metrics::AggregateSeries aggregate_named(
+    const std::vector<ReplicaResult>& results, const std::string& name) {
+  std::vector<metrics::TimeSeries> series;
+  series.reserve(results.size());
+  for (const auto& r : results) {
+    const auto it = r.series.find(name);
+    if (it != r.series.end()) series.push_back(it->second);
+  }
+  return metrics::aggregate(series);
+}
+
+}  // namespace tribvote::core

@@ -1,0 +1,42 @@
+// Replica orchestration: run one scenario over many traces in parallel and
+// aggregate the sampled series — the machinery behind every "average of 10
+// trace runs" curve in the paper.
+//
+// Each replica builds its own ScenarioRunner from (trace, config, derived
+// seed) on a pool thread; replicas share nothing mutable, so results are
+// bit-identical regardless of thread count.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/timeseries.hpp"
+#include "trace/trace.hpp"
+
+namespace tribvote::core {
+
+/// Named time series produced by one replica.
+struct ReplicaResult {
+  std::map<std::string, metrics::TimeSeries> series;
+};
+
+/// Body of one replica: given a trace and the replica index, run a
+/// simulation and return its sampled series. Must be thread-safe w.r.t.
+/// other replicas (i.e. touch no shared mutable state).
+using ReplicaFn =
+    std::function<ReplicaResult(const trace::Trace&, std::size_t index)>;
+
+/// Run `fn` once per trace, in parallel (threads = 0 → hardware
+/// concurrency). Results are returned in trace order.
+[[nodiscard]] std::vector<ReplicaResult> run_replicas(
+    const std::vector<trace::Trace>& traces, const ReplicaFn& fn,
+    std::size_t threads = 0);
+
+/// Pull one named series out of every replica (replicas missing the name
+/// are skipped) and aggregate into mean ± stderr.
+[[nodiscard]] metrics::AggregateSeries aggregate_named(
+    const std::vector<ReplicaResult>& results, const std::string& name);
+
+}  // namespace tribvote::core

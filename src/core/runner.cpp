@@ -1,0 +1,402 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "moderation/moderation.hpp"
+
+namespace tribvote::core {
+
+namespace {
+/// Colluder identities are cheap cloud VMs: connectable, decent downlink,
+/// negligible uplink (they contribute nothing).
+constexpr double kColluderUploadKbps = 1.0;
+constexpr double kColluderDownloadKbps = 1024.0;
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
+                               std::uint64_t seed)
+    : trace_(std::move(trace)),
+      config_(config),
+      rng_(seed),
+      ledger_(trace_.peers.size() + config.attack.crowd_size),
+      online_(trace_.peers.size() + config.attack.crowd_size),
+      scripted_votes_(trace_.peers.size() + config.attack.crowd_size) {
+  build_population(seed);
+}
+
+void ScenarioRunner::build_population(std::uint64_t seed) {
+  const std::size_t n_trace = trace_.peers.size();
+  const std::size_t n_total = n_trace + config_.attack.crowd_size;
+
+  // Physical capacities for the bandwidth allocator.
+  std::vector<double> up(n_total, kColluderUploadKbps);
+  std::vector<double> down(n_total, kColluderDownloadKbps);
+  for (const auto& p : trace_.peers) {
+    up[p.id] = p.upload_kbps;
+    down[p.id] = p.download_kbps;
+  }
+  bandwidth_ = std::make_unique<bt::BandwidthAllocator>(std::move(up),
+                                                        std::move(down));
+
+  // Colluder ids and plan.
+  for (std::size_t c = 0; c < config_.attack.crowd_size; ++c) {
+    colluders_.push_back(static_cast<PeerId>(n_trace + c));
+  }
+  attack::ColluderPlan plan;
+  if (!colluders_.empty()) {
+    plan.spam_moderator = colluders_.front();
+    plan.victim_moderator = config_.attack.victim;
+    if (config_.attack.victim != kInvalidModerator) {
+      plan.decoys.push_back(config_.attack.victim);
+    }
+  }
+
+  util::Rng node_rng = rng_.derive(0x6e6f6465);  // "node"
+  nodes_.reserve(n_total);
+  for (PeerId id = 0; id < n_total; ++id) {
+    const NodeRole role =
+        id < n_trace ? NodeRole::kHonest : NodeRole::kColluder;
+    nodes_.push_back(std::make_unique<Node>(id, role, config_,
+                                            node_rng.derive(id), plan,
+                                            colluders_));
+    // Wire scripted vote-on-receipt behaviour for every node up front; the
+    // scripts themselves are registered later via script_vote_on_receipt.
+    Node* node = nodes_.back().get();
+    node->mod().on_new_moderation =
+        [this, node](const moderation::Moderation& m) {
+          auto& script = scripted_votes_[node->id()];
+          const auto it = script.find(m.moderator);
+          if (it == script.end()) return;
+          node->user_vote(m.moderator, it->second, sim_.now());
+          script.erase(it);
+        };
+  }
+
+  // PSS.
+  oracle_pss_ =
+      std::make_unique<pss::OraclePss>(online_, rng_.derive(0x707373));
+  if (config_.pss == PssKind::kNewscast) {
+    newscast_pss_ = std::make_unique<pss::NewscastPss>(
+        n_total, online_, config_.newscast, rng_.derive(0x6e657773));
+  }
+  (void)seed;
+}
+
+PeerId ScenarioRunner::sample_peer(PeerId self) {
+  if (newscast_pss_) return newscast_pss_->sample(self);
+  return oracle_pss_->sample(self);
+}
+
+// ---- scripting --------------------------------------------------------------
+
+void ScenarioRunner::publish_moderation(PeerId moderator, Time at,
+                                        std::string description) {
+  pending_moderations_.push_back(
+      PendingModeration{moderator, at, std::move(description)});
+}
+
+void ScenarioRunner::script_vote_on_receipt(PeerId voter,
+                                            ModeratorId moderator,
+                                            Opinion opinion) {
+  assert(voter < scripted_votes_.size());
+  scripted_votes_[voter][moderator] = opinion;
+}
+
+void ScenarioRunner::cast_vote_now(PeerId voter, ModeratorId moderator,
+                                   Opinion opinion) {
+  nodes_.at(voter)->user_vote(moderator, opinion, sim_.now());
+  // A vote consumes any matching script entry.
+  scripted_votes_[voter].erase(moderator);
+}
+
+void ScenarioRunner::preseed_transfer(PeerId from, PeerId to, double mb) {
+  ledger_.add_transfer(from, to, mb * 1024.0 * 1024.0);
+}
+
+void ScenarioRunner::preload_ballot(PeerId owner, PeerId voter,
+                                    ModeratorId moderator, Opinion opinion) {
+  nodes_.at(owner)->vote().preload_sample(
+      voter, {vote::VoteEntry{moderator, opinion, sim_.now()}}, sim_.now());
+}
+
+void ScenarioRunner::sample_every(Duration period,
+                                  std::function<void(Time)> fn) {
+  assert(period > 0);
+  samplers_.push_back(Sampler{period, std::move(fn)});
+}
+
+// ---- trace + protocol scheduling ---------------------------------------------
+
+void ScenarioRunner::schedule_everything() {
+  assert(!scheduled_);
+  scheduled_ = true;
+
+  // Trace events.
+  for (const auto& session : trace_.sessions) {
+    sim_.schedule_at(session.start,
+                     [this, p = session.peer] { peer_online(p); });
+    sim_.schedule_at(session.end,
+                     [this, p = session.peer] { peer_offline(p); });
+  }
+  for (const auto& spec : trace_.swarms) {
+    sim_.schedule_at(spec.created, [this, spec] { swarm_created(spec); });
+  }
+  for (const auto& join : trace_.joins) {
+    sim_.schedule_at(join.at, [this, join] { swarm_join(join); });
+  }
+
+  // Scripted moderation publishing.
+  for (const auto& pm : pending_moderations_) {
+    sim_.schedule_at(pm.at, [this, pm] {
+      Node& moderator = *nodes_.at(pm.moderator);
+      util::Rng ih = rng_.derive(0x696e666f ^ pm.moderator);
+      moderator.mod().publish(ih(), pm.description, sim_.now());
+    });
+  }
+  pending_moderations_.clear();
+
+  // Protocol loops. Phases are staggered so loops do not all fire on the
+  // same tick.
+  auto add_loop = [this](Duration period, Duration phase,
+                         std::function<void()> fn) {
+    loops_.push_back(
+        std::make_unique<sim::PeriodicTask>(sim_, period, std::move(fn)));
+    loops_.back()->start(phase);
+  };
+  const auto& pp = config_.periods;
+  add_loop(pp.bt_round, pp.bt_round, [this] { bt_round(); });
+  add_loop(pp.vote_exchange, pp.vote_exchange, [this] { vote_round(); });
+  add_loop(pp.moderation_exchange, pp.moderation_exchange / 2 + 1,
+           [this] { moderation_round(); });
+  add_loop(pp.barter_exchange, pp.barter_exchange / 3 + 1,
+           [this] { barter_round(); });
+  if (newscast_pss_) {
+    add_loop(pp.newscast_gossip, 1,
+             [this] { newscast_pss_->gossip_round(sim_.now()); });
+  }
+  if (config_.adaptive_threshold) {
+    add_loop(pp.adaptive_update, pp.adaptive_update, [this] {
+      for (const auto& node : nodes_) node->update_adaptive_threshold();
+    });
+  }
+
+  // Attack injection.
+  if (!colluders_.empty()) {
+    sim_.schedule_at(config_.attack.start, [this] { launch_attack(); });
+  }
+
+  // Metric samplers: fire at t = 0, period, 2·period, ...
+  for (auto& sampler : samplers_) {
+    auto fire = std::make_shared<std::function<void(Time)>>();
+    const Duration period = sampler.period;
+    auto fn = sampler.fn;
+    *fire = [this, fire, period, fn](Time t) {
+      fn(t);
+      sim_.schedule_at(t + period, [fire, t, period] { (*fire)(t + period); });
+    };
+    sim_.schedule_at(0, [fire] { (*fire)(0); });
+  }
+}
+
+void ScenarioRunner::run_until(Time t) {
+  if (!scheduled_) schedule_everything();
+  sim_.run_until(t);
+}
+
+bool ScenarioRunner::has_arrived(PeerId id, Time t) const {
+  if (id < trace_.peers.size()) return trace_.peers[id].arrival <= t;
+  return !colluders_.empty() && config_.attack.start <= t;
+}
+
+std::vector<const bartercast::BarterAgent*> ScenarioRunner::barter_agents()
+    const {
+  std::vector<const bartercast::BarterAgent*> agents;
+  agents.reserve(nodes_.size());
+  for (const auto& node : nodes_) agents.push_back(&node->barter());
+  return agents;
+}
+
+// ---- event handlers -----------------------------------------------------------
+
+void ScenarioRunner::peer_online(PeerId id) {
+  if (online_.is_online(id)) return;
+  online_.set_online(id, true);
+  if (newscast_pss_) newscast_pss_->on_peer_online(id, sim_.now());
+  for (auto& [sid, swarm] : swarms_) {
+    if (swarm->is_member(id) && !swarm->is_active(id)) {
+      swarm->reactivate(id);
+    }
+  }
+}
+
+void ScenarioRunner::peer_offline(PeerId id) {
+  if (!online_.is_online(id)) return;
+  online_.set_online(id, false);
+  if (newscast_pss_) newscast_pss_->on_peer_offline(id);
+  for (auto& [sid, swarm] : swarms_) {
+    if (swarm->is_active(id)) swarm->deactivate(id);
+  }
+}
+
+void ScenarioRunner::swarm_created(const trace::SwarmSpec& spec) {
+  auto swarm = std::make_unique<bt::Swarm>(
+      spec, std::span<const trace::PeerProfile>(trace_.peers), ledger_,
+      *bandwidth_, rng_.derive(0x7377 ^ spec.id));
+  swarm->on_complete = [this, sid = spec.id](PeerId peer) {
+    ++stats_.downloads_completed;
+    if (trace_.peers[peer].behavior == trace::Behavior::kFreeRider) {
+      // Free-riders leave the swarm the moment their download finishes.
+      // Deferred: we are inside Swarm::tick.
+      sim_.schedule_in(0, [this, sid, peer] { swarms_.at(sid)->leave(peer); });
+    }
+  };
+  swarm->add_member(spec.initial_seeder, /*as_seed=*/true);
+  if (!online_.is_online(spec.initial_seeder)) {
+    swarm->deactivate(spec.initial_seeder);
+  }
+  swarms_.emplace(spec.id, std::move(swarm));
+}
+
+void ScenarioRunner::swarm_join(const trace::SwarmJoin& join) {
+  if (!online_.is_online(join.peer)) return;  // session ended prematurely
+  const auto it = swarms_.find(join.swarm);
+  if (it == swarms_.end()) return;  // swarm not created yet (defensive)
+  if (it->second->is_member(join.peer)) return;
+  it->second->add_member(join.peer, /*as_seed=*/false);
+}
+
+// ---- protocol rounds ------------------------------------------------------------
+
+void ScenarioRunner::bt_round() {
+  const double dt = static_cast<double>(config_.periods.bt_round);
+  for (auto& [sid, swarm] : swarms_) swarm->tick(dt);
+}
+
+void ScenarioRunner::vote_round() {
+  // Every online node initiates one BallotBox (+ conditional VoxPopuli)
+  // exchange with a PSS-sampled peer (Fig. 3 active thread). Iteration
+  // order is shuffled each round for fairness.
+  std::vector<PeerId> order = online_.online_ids();
+  std::sort(order.begin(), order.end());
+  rng_.shuffle(order);
+  const Time now = sim_.now();
+  for (const PeerId i : order) {
+    if (!online_.is_online(i)) continue;
+    const PeerId j = sample_peer(i);
+    if (j == kInvalidPeer) continue;
+    Node& ni = *nodes_.at(i);
+    Node& nj = *nodes_.at(j);
+
+    // BallotBox leg, instrumented (vote_exchange() is the uninstrumented
+    // library entry point; the runner inlines it to keep counters).
+    vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
+    vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+    const bool accepted_ij = nj.vote().receive_votes(from_i, now);
+    const bool accepted_ji = ni.vote().receive_votes(from_j, now);
+    stats_.votes_accepted +=
+        static_cast<std::uint64_t>(accepted_ij) +
+        static_cast<std::uint64_t>(accepted_ji);
+    if (!accepted_ij && !from_i.votes.empty()) {
+      ++stats_.votes_rejected_inexperienced;
+    }
+    if (!accepted_ji && !from_j.votes.empty()) {
+      ++stats_.votes_rejected_inexperienced;
+    }
+
+    // VoxPopuli leg.
+    if (ni.vote().bootstrapping()) {
+      vote::RankedList topk = nj.vote().answer_topk();
+      if (topk.empty()) {
+        ++stats_.vp_requests_null;
+      } else {
+        ++stats_.vp_requests_answered;
+        ni.vote().receive_topk(std::move(topk));
+      }
+    }
+    ++stats_.vote_exchanges;
+  }
+}
+
+void ScenarioRunner::moderation_round() {
+  std::vector<PeerId> order = online_.online_ids();
+  std::sort(order.begin(), order.end());
+  rng_.shuffle(order);
+  const Time now = sim_.now();
+  for (const PeerId i : order) {
+    if (!online_.is_online(i)) continue;
+    const PeerId j = sample_peer(i);
+    if (j == kInvalidPeer) continue;
+    moderation::exchange(nodes_.at(i)->mod(), nodes_.at(j)->mod(), now);
+    ++stats_.moderation_exchanges;
+  }
+}
+
+void ScenarioRunner::barter_round() {
+  std::vector<PeerId> order = online_.online_ids();
+  std::sort(order.begin(), order.end());
+  rng_.shuffle(order);
+  const Time now = sim_.now();
+  for (const PeerId i : order) {
+    if (!online_.is_online(i)) continue;
+    const PeerId j = sample_peer(i);
+    if (j == kInvalidPeer) continue;
+    bartercast::BarterAgent& bi = nodes_.at(i)->barter();
+    bartercast::BarterAgent& bj = nodes_.at(j)->barter();
+    bi.sync_direct(ledger_, now);
+    bj.sync_direct(ledger_, now);
+    bj.receive(i, bi.outgoing_records(ledger_, now));
+    bi.receive(j, bj.outgoing_records(ledger_, now));
+    ++stats_.barter_exchanges;
+  }
+}
+
+void ScenarioRunner::launch_attack() {
+  for (const PeerId c : colluders_) {
+    // Start each identity at its churn equilibrium: online with
+    // probability `duty` (a churning crowd does not materialize all at
+    // once any more than the honest population does).
+    const bool start_online =
+        config_.attack.duty >= 1.0 || rng_.next_bool(config_.attack.duty);
+    if (start_online) {
+      online_.set_online(c, true);
+      if (newscast_pss_) newscast_pss_->on_peer_online(c, sim_.now());
+    }
+    if (config_.attack.duty < 1.0) {
+      schedule_colluder_churn(c, start_online);
+    }
+  }
+  // The spam moderator publishes its spam moderation; every colluder
+  // "approves" it so their local_dbs forward the metadata.
+  const ModeratorId m0 = spam_moderator();
+  Node& spammer = *nodes_.at(m0);
+  util::Rng ih = rng_.derive(0x7370616d);
+  spammer.mod().publish(ih(), "FREE MOVIE (spam)", sim_.now());
+  for (const PeerId c : colluders_) {
+    nodes_.at(c)->user_vote(m0, Opinion::kPositive, sim_.now());
+  }
+}
+
+void ScenarioRunner::schedule_colluder_churn(PeerId colluder,
+                                             bool currently_online) {
+  // Alternating on/off renewal process with the configured duty cycle,
+  // mirroring the churn the trace imposes on honest identities.
+  const double duty = std::clamp(config_.attack.duty, 0.01, 0.99);
+  const auto mean_on = static_cast<double>(config_.attack.session_mean);
+  const double mean_off = mean_on * (1.0 - duty) / duty;
+  const double mean = currently_online ? mean_on : mean_off;
+  const auto delay = std::max<Duration>(
+      kMinute, static_cast<Duration>(rng_.next_exponential(mean)));
+  sim_.schedule_in(delay, [this, colluder, currently_online] {
+    if (currently_online) {
+      online_.set_online(colluder, false);
+      if (newscast_pss_) newscast_pss_->on_peer_offline(colluder);
+    } else {
+      online_.set_online(colluder, true);
+      if (newscast_pss_) newscast_pss_->on_peer_online(colluder, sim_.now());
+    }
+    schedule_colluder_churn(colluder, !currently_online);
+  });
+}
+
+}  // namespace tribvote::core

@@ -1,0 +1,191 @@
+// ScenarioRunner: replays one trace through the full protocol stack.
+//
+// Owns the discrete-event simulator, the population (trace peers plus any
+// attack crowd), the BitTorrent swarms, the PSS and every per-node protocol
+// agent, and drives:
+//
+//   * trace events — session starts/ends, swarm creation, swarm joins;
+//   * protocol loops — BT unchoke rounds, BallotBox/VoxPopuli exchanges,
+//     ModerationCast exchanges, BarterCast exchanges, PSS gossip;
+//   * attack injection — colluder arrival at the configured time;
+//   * scenario scripting — moderation publishing, vote-on-receipt
+//     behaviours, pre-converged-core setup;
+//   * metric sampling on a fixed grid.
+//
+// One runner per replica; runners share nothing, so replicas parallelize
+// freely (core/experiment.hpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bt/bandwidth.hpp"
+#include "bt/swarm.hpp"
+#include "bt/transfer_ledger.hpp"
+#include "core/config.hpp"
+#include "core/node.hpp"
+#include "pss/newscast.hpp"
+#include "pss/online_directory.hpp"
+#include "pss/oracle.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace tribvote::core {
+
+/// Counters accumulated over a run (sanity checks and perf accounting).
+struct RunStats {
+  std::uint64_t downloads_completed = 0;
+  std::uint64_t vote_exchanges = 0;
+  std::uint64_t moderation_exchanges = 0;
+  std::uint64_t barter_exchanges = 0;
+  std::uint64_t votes_accepted = 0;
+  std::uint64_t votes_rejected_inexperienced = 0;
+  std::uint64_t vp_requests_answered = 0;
+  std::uint64_t vp_requests_null = 0;
+};
+
+class ScenarioRunner {
+ public:
+  /// `trace` is copied; `config` is copied. `seed` drives every stochastic
+  /// choice (per-node streams are derived), so (trace, config, seed) fully
+  /// determines the run.
+  ScenarioRunner(trace::Trace trace, ScenarioConfig config,
+                 std::uint64_t seed);
+
+  // ---- population layout ---------------------------------------------------
+
+  /// Trace peers occupy ids [0, trace_peer_count()); colluders, if any,
+  /// occupy [trace_peer_count(), population_size()).
+  [[nodiscard]] std::size_t trace_peer_count() const noexcept {
+    return trace_.peers.size();
+  }
+  [[nodiscard]] std::size_t population_size() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const std::vector<PeerId>& colluders() const noexcept {
+    return colluders_;
+  }
+  /// The spam moderator M0 (first colluder); kInvalidModerator without an
+  /// attack.
+  [[nodiscard]] ModeratorId spam_moderator() const noexcept {
+    return colluders_.empty() ? kInvalidModerator : colluders_.front();
+  }
+
+  [[nodiscard]] Node& node(PeerId id) { return *nodes_.at(id); }
+  [[nodiscard]] const Node& node(PeerId id) const { return *nodes_.at(id); }
+
+  // ---- scenario scripting (call before run_until) --------------------------
+
+  /// Schedule `moderator` to publish a signed moderation at time `at`
+  /// (skipped silently if it never happens to be possible — publishing
+  /// requires nothing but the key, so it always happens).
+  void publish_moderation(PeerId moderator, Time at, std::string description);
+
+  /// When `voter` first receives any moderation authored by `moderator`,
+  /// it casts `opinion` on the moderator (the Fig. 6 voting behaviour:
+  /// "voting nodes do not vote until they receive the appropriate
+  /// moderations").
+  void script_vote_on_receipt(PeerId voter, ModeratorId moderator,
+                              Opinion opinion);
+
+  /// Immediate vote at setup time (t = 0), e.g. a pre-converged core.
+  void cast_vote_now(PeerId voter, ModeratorId moderator, Opinion opinion);
+
+  /// Pre-seed pairwise transfer history into the global ledger (experienced
+  /// core bootstrap). Takes effect on the next BarterCast sync.
+  void preseed_transfer(PeerId from, PeerId to, double mb);
+
+  /// Pre-load `owner`'s ballot box with a vote from `voter`.
+  void preload_ballot(PeerId owner, PeerId voter, ModeratorId moderator,
+                      Opinion opinion);
+
+  /// Register a sampling callback fired every `period` seconds starting at
+  /// t = 0 (before any event at t = 0 fires, the baseline sample).
+  void sample_every(Duration period, std::function<void(Time)> fn);
+
+  // ---- execution ------------------------------------------------------------
+
+  /// Advance simulated time. May be called repeatedly with increasing t.
+  /// The first call lazily schedules all trace events and protocol loops.
+  void run_until(Time t);
+
+  [[nodiscard]] Time now() const noexcept { return sim_.now(); }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  // ---- queries for metrics --------------------------------------------------
+
+  [[nodiscard]] bool is_online(PeerId id) const {
+    return online_.is_online(id);
+  }
+  [[nodiscard]] std::size_t online_count() const noexcept {
+    return online_.online_count();
+  }
+  /// Has this identity appeared yet (trace arrival / attack start)?
+  [[nodiscard]] bool has_arrived(PeerId id, Time t) const;
+  [[nodiscard]] const bt::TransferLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  /// Node id's current moderator ranking (ballot box or VoxPopuli merge).
+  [[nodiscard]] vote::RankedList ranking_of(PeerId id) const {
+    return nodes_.at(id)->vote().current_ranking();
+  }
+  /// Pointers to every node's BarterCast agent, indexed by PeerId (for the
+  /// CEV metric).
+  [[nodiscard]] std::vector<const bartercast::BarterAgent*> barter_agents()
+      const;
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const trace::Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const ScenarioConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void build_population(std::uint64_t seed);
+  void schedule_everything();
+  void peer_online(PeerId id);
+  void peer_offline(PeerId id);
+  void swarm_created(const trace::SwarmSpec& spec);
+  void swarm_join(const trace::SwarmJoin& join);
+  void bt_round();
+  void vote_round();
+  void moderation_round();
+  void barter_round();
+  void launch_attack();
+  void schedule_colluder_churn(PeerId colluder, bool currently_online);
+  [[nodiscard]] PeerId sample_peer(PeerId self);
+
+  trace::Trace trace_;
+  ScenarioConfig config_;
+  util::Rng rng_;
+
+  sim::Simulator sim_;
+  bt::TransferLedger ledger_;
+  std::unique_ptr<bt::BandwidthAllocator> bandwidth_;
+  pss::OnlineDirectory online_;
+  std::unique_ptr<pss::OraclePss> oracle_pss_;
+  std::unique_ptr<pss::NewscastPss> newscast_pss_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<PeerId> colluders_;
+  std::map<SwarmId, std::unique_ptr<bt::Swarm>> swarms_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> loops_;
+  // Scripted votes: voter -> (moderator -> opinion), consumed on receipt.
+  std::vector<std::map<ModeratorId, Opinion>> scripted_votes_;
+  struct PendingModeration {
+    PeerId moderator;
+    Time at;
+    std::string description;
+  };
+  std::vector<PendingModeration> pending_moderations_;
+  struct Sampler {
+    Duration period;
+    std::function<void(Time)> fn;
+  };
+  std::vector<Sampler> samplers_;
+  RunStats stats_;
+  bool scheduled_ = false;
+};
+
+}  // namespace tribvote::core

@@ -1,0 +1,54 @@
+#include "crypto/field.hpp"
+
+#include <cassert>
+
+namespace tribvote::crypto {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) noexcept {
+  const auto prod = static_cast<__uint128_t>(a % kPrime) * (b % kPrime);
+  // Mersenne reduction: x mod (2^61 - 1) = (x >> 61) + (x & (2^61 - 1)),
+  // applied twice to cover the carry.
+  auto lo = static_cast<std::uint64_t>(prod & kPrime);
+  auto hi = static_cast<std::uint64_t>(prod >> 61);
+  std::uint64_t r = lo + hi;
+  r = (r & kPrime) + (r >> 61);
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+std::uint64_t add_mod(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t r = (a % kPrime) + (b % kPrime);
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b) noexcept {
+  a %= kPrime;
+  b %= kPrime;
+  return a >= b ? a - b : a + kPrime - b;
+}
+
+std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e) noexcept {
+  std::uint64_t base = a % kPrime;
+  std::uint64_t result = 1;
+  while (e > 0) {
+    if (e & 1) result = mul_mod(result, base);
+    base = mul_mod(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t inv_mod(std::uint64_t a) noexcept {
+  assert(a % kPrime != 0);
+  return pow_mod(a, kPrime - 2);
+}
+
+std::uint64_t mul_mod_any(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t m) noexcept {
+  assert(m > 0);
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a % m) * (b % m)) % m);
+}
+
+}  // namespace tribvote::crypto

@@ -1,0 +1,49 @@
+#include "crypto/schnorr.hpp"
+
+#include "util/hash.hpp"
+
+namespace tribvote::crypto {
+
+namespace {
+
+/// Fiat–Shamir challenge: hash of (commitment r, public key, message),
+/// reduced into the exponent ring mod q = p - 1.
+[[nodiscard]] std::uint64_t challenge(std::uint64_t r, std::uint64_t y,
+                                      std::uint64_t message) noexcept {
+  const std::uint64_t h = util::digest_fields({r, y, message});
+  // Keep the challenge nonzero so s carries information about x.
+  const std::uint64_t e = h % kGroupOrder;
+  return e == 0 ? 1 : e;
+}
+
+}  // namespace
+
+KeyPair generate_keypair(util::Rng& rng) noexcept {
+  // x in [1, q-1]
+  const std::uint64_t x = 1 + rng.next_below(kGroupOrder - 1);
+  return KeyPair{PublicKey{pow_mod(kGenerator, x)}, SecretKey{x}};
+}
+
+Signature sign(const KeyPair& keys, std::uint64_t message_digest,
+               util::Rng& rng) noexcept {
+  const std::uint64_t k = 1 + rng.next_below(kGroupOrder - 1);
+  const std::uint64_t r = pow_mod(kGenerator, k);
+  const std::uint64_t e = challenge(r, keys.pub.y, message_digest);
+  // s = k - x*e (mod q)
+  const std::uint64_t xe = mul_mod_any(keys.sec.x, e, kGroupOrder);
+  const std::uint64_t s = (k + kGroupOrder - xe % kGroupOrder) % kGroupOrder;
+  return Signature{e, s};
+}
+
+bool verify(const PublicKey& pub, std::uint64_t message_digest,
+            const Signature& sig) noexcept {
+  if (pub.y == 0 || pub.y >= kPrime) return false;
+  if (sig.e == 0 || sig.e >= kGroupOrder) return false;
+  if (sig.s >= kGroupOrder) return false;
+  // r' = g^s * y^e; valid iff H(r', y, m) == e.
+  const std::uint64_t r =
+      mul_mod(pow_mod(kGenerator, sig.s), pow_mod(pub.y, sig.e));
+  return challenge(r, pub.y, message_digest) == sig.e;
+}
+
+}  // namespace tribvote::crypto

@@ -1,0 +1,238 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace tribvote::dht {
+
+Key key_of_peer(PeerId peer) noexcept {
+  return util::mix64(0x9e3779b97f4a7c15ULL ^ peer);
+}
+
+bool in_interval(Key x, Key from, Key to) noexcept {
+  // Half-open clockwise (from, to]; degenerate from == to covers the whole
+  // ring (a single-node ring is responsible for everything).
+  if (from == to) return true;
+  if (from < to) return x > from && x <= to;
+  return x > from || x <= to;  // interval wraps zero
+}
+
+ChordRing::ChordRing(std::size_t n_peers, ChordConfig config, util::Rng rng)
+    : config_(config), rng_(rng), peer_keys_(n_peers), nodes_(n_peers) {
+  for (PeerId p = 0; p < n_peers; ++p) {
+    peer_keys_[p] = key_of_peer(p);
+    nodes_[p].fingers.assign(64, kInvalidPeer);
+  }
+}
+
+PeerId ChordRing::responsible_for(Key key) const {
+  if (ring_.empty()) return kInvalidPeer;
+  const auto it = ring_.lower_bound(key);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+PeerId ChordRing::successor_of(PeerId peer) const {
+  const auto& succ = nodes_[peer].successors;
+  for (const PeerId s : succ) {
+    if (online_.contains(s)) return s;
+  }
+  return kInvalidPeer;
+}
+
+void ChordRing::bootstrap_node(PeerId peer) {
+  // A joining node learns its place from the (ground-truth) ring via a
+  // bootstrap lookup — O(log n) messages in a real deployment.
+  NodeState& state = nodes_[peer];
+  state.successors.clear();
+  state.fingers.assign(64, kInvalidPeer);
+  state.next_finger = 0;
+  messages_ += 1 + static_cast<std::uint64_t>(
+                       std::bit_width(std::max<std::size_t>(1, ring_.size())));
+  auto it = ring_.upper_bound(peer_keys_[peer]);
+  for (std::size_t i = 0; i < config_.successor_list && !ring_.empty();
+       ++i) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (it->second == peer) break;  // wrapped all the way around
+    state.successors.push_back(it->second);
+    ++it;
+  }
+}
+
+void ChordRing::join(PeerId peer) {
+  assert(peer < nodes_.size());
+  if (online_.contains(peer)) return;
+  bootstrap_node(peer);
+  online_.insert(peer);
+  ring_.emplace(peer_keys_[peer], peer);
+  // Keys this node is now responsible for migrate to it on neighbouring
+  // nodes' next stabilization (handled by replicate_held), not instantly —
+  // churn windows are exactly where DHTs lose data.
+}
+
+void ChordRing::leave(PeerId peer) {
+  if (!online_.contains(peer)) return;
+  online_.erase(peer);
+  ring_.erase(peer_keys_[peer]);
+  // Ungraceful: held keys vanish with the node; its replicas survive on
+  // whichever successors got them.
+  nodes_[peer].held.clear();
+}
+
+void ChordRing::fix_successors(PeerId peer) {
+  NodeState& state = nodes_[peer];
+  // Probe the successor list; drop dead entries (each probe = 1 message).
+  std::vector<PeerId> alive;
+  for (const PeerId s : state.successors) {
+    ++messages_;
+    if (online_.contains(s)) alive.push_back(s);
+  }
+  // Refill from the first live successor's view (ground truth stand-in for
+  // the successor-list copy a real node requests — 1 message).
+  ++messages_;
+  auto it = ring_.upper_bound(peer_keys_[peer]);
+  alive.clear();
+  for (std::size_t i = 0; i < config_.successor_list; ++i) {
+    if (ring_.empty()) break;
+    if (it == ring_.end()) it = ring_.begin();
+    if (it->second == peer) break;
+    alive.push_back(it->second);
+    ++it;
+  }
+  state.successors = std::move(alive);
+}
+
+void ChordRing::replicate_held(PeerId peer) {
+  NodeState& state = nodes_[peer];
+  if (state.held.empty()) return;
+  // The replica set of a key is its owner plus the owner's (replication-1)
+  // immediate online successors. Push the key to set members that lack it;
+  // drop it if this node is no longer in the set (responsibility moved).
+  std::vector<Key> to_drop;
+  for (const Key key : state.held) {
+    const PeerId owner = responsible_for(key);
+    if (owner == kInvalidPeer) continue;
+    std::vector<PeerId> replica_set{owner};
+    auto it = ring_.upper_bound(peer_keys_[owner]);
+    while (replica_set.size() < config_.replication && !ring_.empty()) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (it->second == owner) break;  // wrapped: ring smaller than r
+      replica_set.push_back(it->second);
+      ++it;
+    }
+    bool member = false;
+    for (const PeerId r : replica_set) {
+      if (r == peer) {
+        member = true;
+        continue;
+      }
+      if (nodes_[r].held.insert(key).second) ++messages_;
+    }
+    if (!member) to_drop.push_back(key);
+  }
+  for (const Key key : to_drop) state.held.erase(key);
+}
+
+void ChordRing::stabilize_round() {
+  // Deterministic order over online nodes.
+  std::vector<PeerId> order(online_.begin(), online_.end());
+  std::sort(order.begin(), order.end());
+  for (const PeerId peer : order) {
+    NodeState& state = nodes_[peer];
+    fix_successors(peer);
+    // Refresh a few finger entries per round (classic round-robin).
+    for (int f = 0; f < config_.fingers_per_round; ++f) {
+      const int idx = state.next_finger;
+      state.next_finger = (state.next_finger + 7) % 64;  // stride the table
+      const Key target =
+          peer_keys_[peer] + (Key{1} << idx);  // wraps mod 2^64
+      state.fingers[static_cast<std::size_t>(idx)] = responsible_for(target);
+      ++messages_;  // the find_successor for the finger
+    }
+    replicate_held(peer);
+  }
+}
+
+PeerId ChordRing::closest_preceding(const NodeState& state, PeerId self,
+                                    Key key) const {
+  // Scan fingers from the top: the farthest node strictly between self and
+  // key (classic Chord routing). Falls back to the successor list.
+  for (int i = 63; i >= 0; --i) {
+    const PeerId f = state.fingers[static_cast<std::size_t>(i)];
+    if (f == kInvalidPeer || f == self) continue;
+    if (in_interval(peer_keys_[f], peer_keys_[self], key) &&
+        peer_keys_[f] != key) {
+      return f;
+    }
+  }
+  for (const PeerId s : state.successors) {
+    if (s != self && in_interval(peer_keys_[s], peer_keys_[self], key)) {
+      return s;
+    }
+  }
+  return state.successors.empty() ? kInvalidPeer : state.successors.front();
+}
+
+LookupResult ChordRing::lookup(PeerId origin, Key key) {
+  LookupResult result;
+  if (!online_.contains(origin)) return result;
+  PeerId current = origin;
+  for (std::size_t hop = 0; hop < config_.max_hops; ++hop) {
+    if (nodes_[current].held.contains(key)) {
+      result.success = true;
+      result.holder = current;
+      result.hops = hop;
+      messages_ += hop;
+      return result;
+    }
+    const NodeState& state = nodes_[current];
+    PeerId next = closest_preceding(state, current, key);
+    // Dead or useless next hop: try live successors before giving up —
+    // each failed dial costs a message.
+    if (next == kInvalidPeer || !online_.contains(next) || next == current) {
+      ++messages_;
+      next = kInvalidPeer;
+      for (const PeerId s : state.successors) {
+        if (online_.contains(s) && s != current) {
+          next = s;
+          break;
+        }
+      }
+      if (next == kInvalidPeer) break;  // routing dead end
+    }
+    current = next;
+  }
+  result.hops = config_.max_hops;
+  messages_ += result.hops;
+  return result;
+}
+
+bool ChordRing::store(PeerId origin, Key key) {
+  if (!online_.contains(origin)) return false;
+  const PeerId owner = responsible_for(key);
+  if (owner == kInvalidPeer) return false;
+  // Route to the owner (costs a lookup-like walk), then place replicas.
+  messages_ += static_cast<std::uint64_t>(
+      std::bit_width(std::max<std::size_t>(1, ring_.size())));
+  nodes_[owner].held.insert(key);
+  std::size_t replicas = 1;
+  for (const PeerId s : nodes_[owner].successors) {
+    if (replicas >= config_.replication) break;
+    if (!online_.contains(s)) continue;
+    nodes_[s].held.insert(key);
+    ++messages_;
+    ++replicas;
+  }
+  return true;
+}
+
+bool ChordRing::key_alive(Key key) const {
+  for (const PeerId p : online_) {
+    if (nodes_[p].held.contains(key)) return true;
+  }
+  return false;
+}
+
+}  // namespace tribvote::dht

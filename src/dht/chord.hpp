@@ -1,0 +1,125 @@
+// Baseline: Chord-style DHT storage for metadata — the design the paper
+// rejected for ModerationCast (§II):
+//
+//   "We could have stored metadata in a Distributed Hash Table but these
+//    require explicit leave and join operations which are costly in
+//    systems with high churn [14]. Additionally, search performance is
+//    considerably enhanced if metadata is stored locally because it is
+//    not necessary to perform multi-hop look-ups."
+//
+// This implements the relevant mechanics of Chord (Stoica et al. [14]):
+// a 64-bit identifier ring, per-node successor lists and finger tables
+// maintained by periodic stabilization, greedy closest-preceding-finger
+// routing, and a key/value layer with successor-list replication. Nodes
+// route using their own — possibly stale — tables, so churn manifests as
+// maintenance message cost, routing failures, and data loss when all
+// replicas of a key leave between stabilizations. The abl_dht_vs_gossip
+// bench replays the paper's traces through this ring and through
+// ModerationCast and compares the two quantitatively.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace tribvote::dht {
+
+/// Position on the identifier ring.
+using Key = std::uint64_t;
+
+/// A peer's ring identifier (hash of its PeerId — stand-in for hashing its
+/// public key, as deployed DHTs do).
+[[nodiscard]] Key key_of_peer(PeerId peer) noexcept;
+
+/// Is `x` in the half-open clockwise interval (from, to] on the ring?
+[[nodiscard]] bool in_interval(Key x, Key from, Key to) noexcept;
+
+struct ChordConfig {
+  std::size_t successor_list = 4;  ///< r successors kept per node
+  std::size_t replication = 2;     ///< replicas per stored key
+  int fingers_per_round = 4;       ///< finger entries refreshed per round
+  std::size_t max_hops = 64;       ///< routing TTL
+};
+
+/// Result of one routed lookup.
+struct LookupResult {
+  bool success = false;
+  PeerId holder = kInvalidPeer;  ///< node that served the value
+  std::size_t hops = 0;          ///< routing messages spent
+};
+
+class ChordRing {
+ public:
+  ChordRing(std::size_t n_peers, ChordConfig config, util::Rng rng);
+
+  /// Node lifecycle. Join bootstraps routing state from any online node
+  /// (costing messages); leave is ungraceful (crash/churn) — other nodes
+  /// only find out through stabilization.
+  void join(PeerId peer);
+  void leave(PeerId peer);
+  [[nodiscard]] bool is_online(PeerId peer) const {
+    return online_.contains(peer);
+  }
+  [[nodiscard]] std::size_t online_count() const noexcept {
+    return online_.size();
+  }
+
+  /// One stabilization round for every online node: fix successors,
+  /// refresh fingers, re-replicate keys whose responsibility moved.
+  void stabilize_round();
+
+  /// Store a value (we track keys only) starting from `origin`: routes to
+  /// the responsible node, replicates along its successor list.
+  /// Returns false when routing failed.
+  bool store(PeerId origin, Key key);
+
+  /// Route from `origin` toward `key` using the nodes' own (possibly
+  /// stale) tables; succeeds when a live replica holder is reached.
+  [[nodiscard]] LookupResult lookup(PeerId origin, Key key);
+
+  /// Maintenance + routing messages spent so far (join, stabilize,
+  /// replication, lookups all count — the DHT's bandwidth bill).
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+  /// Ground truth: the online node responsible for `key` (its successor
+  /// on the ring); kInvalidPeer when the ring is empty.
+  [[nodiscard]] PeerId responsible_for(Key key) const;
+
+  /// Diagnostics: a node's current successor (kInvalidPeer when isolated).
+  [[nodiscard]] PeerId successor_of(PeerId peer) const;
+  /// Does any live node still hold `key`?
+  [[nodiscard]] bool key_alive(Key key) const;
+
+ private:
+  struct NodeState {
+    std::vector<PeerId> successors;  // nearest first
+    std::vector<PeerId> fingers;     // 64 entries, finger i covers +2^i
+    int next_finger = 0;
+    std::unordered_set<Key> held;    // keys (replicas) stored here
+  };
+
+  void bootstrap_node(PeerId peer);
+  [[nodiscard]] PeerId closest_preceding(const NodeState& state, PeerId self,
+                                         Key key) const;
+  void fix_successors(PeerId peer);
+  void replicate_held(PeerId peer);
+
+  ChordConfig config_;
+  util::Rng rng_;
+  std::vector<Key> peer_keys_;
+  std::vector<NodeState> nodes_;
+  std::unordered_set<PeerId> online_;
+  // Ground-truth ring of online nodes: key -> peer (keys are unique with
+  // overwhelming probability; collisions would be a bug caught in tests).
+  std::map<Key, PeerId> ring_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace tribvote::dht

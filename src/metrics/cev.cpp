@@ -1,0 +1,27 @@
+#include "metrics/cev.hpp"
+
+namespace tribvote::metrics {
+
+double collective_experience_value(
+    std::size_t n, const std::function<bool(PeerId, PeerId)>& experienced) {
+  if (n < 2) return 0.0;
+  std::size_t edges = 0;
+  for (PeerId i = 0; i < n; ++i) {
+    for (PeerId j = 0; j < n; ++j) {
+      if (i != j && experienced(i, j)) ++edges;
+    }
+  }
+  return static_cast<double>(edges) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double collective_experience_value(
+    std::span<const bartercast::BarterAgent* const> agents,
+    double threshold_mb) {
+  return collective_experience_value(
+      agents.size(), [&](PeerId i, PeerId j) {
+        return agents[i]->contribution_of(j) >= threshold_mb;
+      });
+}
+
+}  // namespace tribvote::metrics

@@ -1,0 +1,28 @@
+// Collective Experience Value (paper §VI-A).
+//
+//   CEV = (1/N) Σ_i Σ_{j≠i} e_i(j) / (N-1),   e_i(j) = 1 iff E_i(j)
+//
+// A directed graph density over the experience relation: the fraction of
+// ordered node pairs (i, j) where i considers j experienced. Requires
+// global knowledge (each node's subjective BarterCast graph) — it is an
+// evaluation-only metric, exactly as the paper's footnote 8 notes.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "bartercast/protocol.hpp"
+
+namespace tribvote::metrics {
+
+/// CEV over a population of BarterCast agents with a fixed threshold T (MB).
+/// `agents[i]` is node i's agent; N = agents.size().
+[[nodiscard]] double collective_experience_value(
+    std::span<const bartercast::BarterAgent* const> agents,
+    double threshold_mb);
+
+/// Generalized CEV over an arbitrary experience predicate e(i, j).
+[[nodiscard]] double collective_experience_value(
+    std::size_t n, const std::function<bool(PeerId, PeerId)>& experienced);
+
+}  // namespace tribvote::metrics

@@ -1,0 +1,48 @@
+#include "metrics/ordering.hpp"
+
+#include <algorithm>
+
+namespace tribvote::metrics {
+
+bool ordering_correct(const vote::RankedList& ranking,
+                      std::span<const ModeratorId> expected) {
+  std::size_t next = 0;  // index into `expected` we still need to find
+  for (const ModeratorId m : ranking) {
+    if (next < expected.size() && m == expected[next]) {
+      ++next;
+    } else if (std::find(expected.begin() +
+                             static_cast<std::ptrdiff_t>(next),
+                         expected.end(), m) != expected.end()) {
+      return false;  // a later expected moderator appeared too early
+    }
+  }
+  return next == expected.size();
+}
+
+double correct_ordering_fraction(std::span<const vote::RankedList> rankings,
+                                 std::span<const ModeratorId> expected) {
+  if (rankings.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& r : rankings) {
+    if (ordering_correct(r, expected)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(rankings.size());
+}
+
+bool is_polluted(const vote::RankedList& ranking, ModeratorId spam) {
+  return !ranking.empty() && ranking.front() == spam;
+}
+
+double pollution_fraction(std::span<const vote::RankedList> rankings,
+                          ModeratorId spam) {
+  if (rankings.empty()) return 0.0;
+  std::size_t polluted = 0;
+  for (const auto& r : rankings) {
+    if (is_polluted(r, spam)) ++polluted;
+  }
+  return static_cast<double>(polluted) /
+         static_cast<double>(rankings.size());
+}
+
+}  // namespace tribvote::metrics

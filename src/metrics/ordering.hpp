@@ -1,0 +1,33 @@
+// Ranking-quality metrics: the Fig. 6 correct-ordering fraction and the
+// Fig. 8 pollution fraction.
+#pragma once
+
+#include <span>
+
+#include "util/ids.hpp"
+#include "vote/ranking.hpp"
+
+namespace tribvote::metrics {
+
+/// True when `ranking` contains every moderator of `expected` and they
+/// appear in the same relative order (other moderators may interleave).
+/// An incomplete ranking is "incorrect" — a node that has not yet heard of
+/// a moderator cannot order it.
+[[nodiscard]] bool ordering_correct(const vote::RankedList& ranking,
+                                    std::span<const ModeratorId> expected);
+
+/// Fraction of rankings in `rankings` that order `expected` correctly.
+[[nodiscard]] double correct_ordering_fraction(
+    std::span<const vote::RankedList> rankings,
+    std::span<const ModeratorId> expected);
+
+/// True when the ranking exists and puts `spam` first — a "defeated"
+/// (polluted) node in the Fig. 8 sense.
+[[nodiscard]] bool is_polluted(const vote::RankedList& ranking,
+                               ModeratorId spam);
+
+/// Fraction of rankings whose top entry is `spam`.
+[[nodiscard]] double pollution_fraction(
+    std::span<const vote::RankedList> rankings, ModeratorId spam);
+
+}  // namespace tribvote::metrics

@@ -1,0 +1,36 @@
+#include "metrics/timeseries.hpp"
+
+#include <cassert>
+
+namespace tribvote::metrics {
+
+AggregateSeries aggregate(const std::vector<TimeSeries>& replicas) {
+  AggregateSeries agg;
+  std::size_t longest = 0;
+  const TimeSeries* grid = nullptr;
+  for (const TimeSeries& r : replicas) {
+    if (r.size() >= longest) {
+      longest = r.size();
+      grid = &r;
+    }
+  }
+  if (grid == nullptr || longest == 0) return agg;
+
+  for (std::size_t i = 0; i < longest; ++i) {
+    util::RunningStats stats;
+    for (const TimeSeries& r : replicas) {
+      if (i < r.size()) {
+        assert(r.times[i] == grid->times[i] && "replica grids must align");
+        stats.add(r.values[i]);
+      }
+    }
+    agg.times.push_back(grid->times[i]);
+    agg.mean.push_back(stats.mean());
+    agg.stderr_mean.push_back(stats.stderr_mean());
+    agg.min.push_back(stats.min());
+    agg.max.push_back(stats.max());
+  }
+  return agg;
+}
+
+}  // namespace tribvote::metrics

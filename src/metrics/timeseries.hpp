@@ -1,0 +1,42 @@
+// Time-series collection and cross-replica aggregation for the experiment
+// harness. Every bench samples one or more named series on a fixed period,
+// then aggregates the same series across replicas (traces) into mean ±
+// stderr curves — the "average of 10 trace runs" lines in the paper's plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::metrics {
+
+/// One sampled curve: parallel vectors of times and values.
+struct TimeSeries {
+  std::vector<Time> times;
+  std::vector<double> values;
+
+  void add(Time t, double v) {
+    times.push_back(t);
+    values.push_back(v);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return times.size(); }
+};
+
+/// Aggregate of aligned series: per sample point, mean / stderr / count.
+struct AggregateSeries {
+  std::vector<Time> times;
+  std::vector<double> mean;
+  std::vector<double> stderr_mean;
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+/// Aggregate replicas sampled on identical time grids. All series must have
+/// the same times; shorter series are allowed (e.g. a replica stopped
+/// early) — points aggregate over however many replicas reached them.
+[[nodiscard]] AggregateSeries aggregate(
+    const std::vector<TimeSeries>& replicas);
+
+}  // namespace tribvote::metrics

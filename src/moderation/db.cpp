@@ -1,0 +1,114 @@
+#include "moderation/db.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tribvote::moderation {
+
+ModerationDb::ModerationDb(PeerId owner, DbConfig config,
+                           std::function<Opinion(ModeratorId)> opinion_of)
+    : owner_(owner), config_(config), opinion_of_(std::move(opinion_of)) {
+  assert(config_.capacity > 0);
+  assert(opinion_of_);
+}
+
+ModerationDb::MergeResult ModerationDb::merge(const Moderation& m, Time now) {
+  if (opinion_of_(m.moderator) == Opinion::kNegative) {
+    return MergeResult::kDisapprovedModerator;
+  }
+  const ModerationId id = m.digest();
+  if (items_.contains(id)) return MergeResult::kDuplicate;
+  if (!verify_moderation(m)) return MergeResult::kBadSignature;
+
+  bool evicted = false;
+  if (items_.size() >= config_.capacity) {
+    // Evict the oldest-received item (insertion seq breaks ties).
+    auto victim = items_.end();
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (victim == items_.end() ||
+          it->second.received < victim->second.received ||
+          (it->second.received == victim->second.received &&
+           it->second.seq < victim->second.seq)) {
+        victim = it;
+      }
+    }
+    items_.erase(victim);
+    evicted = true;
+  }
+  items_.emplace(id, Stored{m, now, next_seq_++});
+  return evicted ? MergeResult::kEvictedOthers : MergeResult::kInserted;
+}
+
+bool ModerationDb::eligible_to_forward(const Stored& s) const {
+  // Forward own moderations unconditionally; others only when the local
+  // user explicitly approved the moderator (§IV: nodes only pass on
+  // metadata from moderators they have approved).
+  return s.item.moderator == owner_ ||
+         opinion_of_(s.item.moderator) == Opinion::kPositive;
+}
+
+std::vector<Moderation> ModerationDb::extract(std::size_t max_items,
+                                              util::Rng& rng) const {
+  std::vector<const Stored*> eligible;
+  eligible.reserve(items_.size());
+  for (const auto& [id, stored] : items_) {
+    if (eligible_to_forward(stored)) eligible.push_back(&stored);
+  }
+  std::vector<Moderation> result;
+  if (eligible.empty() || max_items == 0) return result;
+
+  // Recency + random policy: newest half by receive time, the rest drawn
+  // uniformly from the remainder.
+  std::sort(eligible.begin(), eligible.end(),
+            [](const Stored* a, const Stored* b) {
+              if (a->received != b->received) return a->received > b->received;
+              return a->seq > b->seq;
+            });
+  const std::size_t take = std::min(max_items, eligible.size());
+  const std::size_t recent = (take + 1) / 2;
+  result.reserve(take);
+  for (std::size_t i = 0; i < recent; ++i) {
+    result.push_back(eligible[i]->item);
+  }
+  const std::size_t rest_count = eligible.size() - recent;
+  const std::size_t random_take = take - recent;
+  if (random_take > 0 && rest_count > 0) {
+    const auto picks =
+        rng.sample_indices(rest_count, std::min(random_take, rest_count));
+    for (std::size_t p : picks) {
+      result.push_back(eligible[recent + p]->item);
+    }
+  }
+  return result;
+}
+
+void ModerationDb::purge_moderator(ModeratorId moderator) {
+  std::erase_if(items_, [moderator](const auto& kv) {
+    return kv.second.item.moderator == moderator;
+  });
+}
+
+bool ModerationDb::contains(ModerationId id) const {
+  return items_.contains(id);
+}
+
+std::size_t ModerationDb::count_from(ModeratorId moderator) const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [moderator](const auto& kv) {
+        return kv.second.item.moderator == moderator;
+      }));
+}
+
+std::vector<ModeratorId> ModerationDb::known_moderators() const {
+  std::vector<ModeratorId> mods;
+  for (const auto& [id, stored] : items_) {
+    if (std::find(mods.begin(), mods.end(), stored.item.moderator) ==
+        mods.end()) {
+      mods.push_back(stored.item.moderator);
+    }
+  }
+  std::sort(mods.begin(), mods.end());
+  return mods;
+}
+
+}  // namespace tribvote::moderation

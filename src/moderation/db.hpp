@@ -1,0 +1,80 @@
+// local_db: each peer's persistent store of received moderations (Fig. 1).
+//
+// Merge() verifies signatures, deduplicates, enforces a capacity bound with
+// oldest-first eviction, and honours the local user's disapprovals (a
+// disapproved moderator's items are purged and refused — §IV). Extract()
+// returns the moderation list sent to a gossip counterpart, selected by the
+// paper's recency + random policy and restricted to moderators the local
+// user approves of (plus the node's own moderations).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "moderation/moderation.hpp"
+#include "util/opinion.hpp"
+#include "util/rng.hpp"
+
+namespace tribvote::moderation {
+
+struct DbConfig {
+  std::size_t capacity = 10000;  ///< total stored moderations
+};
+
+class ModerationDb {
+ public:
+  /// `opinion_of` reports the local user's current opinion of a moderator;
+  /// consulted on merge (refuse disapproved) and extract (forward approved
+  /// and own only). Must outlive the db.
+  ModerationDb(PeerId owner, DbConfig config,
+               std::function<Opinion(ModeratorId)> opinion_of);
+
+  /// Result of offering one moderation to the db.
+  enum class MergeResult {
+    kInserted,
+    kDuplicate,
+    kBadSignature,
+    kDisapprovedModerator,
+    kEvictedOthers,  ///< inserted, but capacity forced an eviction
+  };
+
+  /// Offer one received moderation. `now` is the receive time (drives
+  /// recency-based extraction and eviction order).
+  MergeResult merge(const Moderation& m, Time now);
+
+  /// The paper's Extract(): up to `max_items` moderations the local node is
+  /// willing to forward — half most recently received, half uniform random
+  /// from the remaining eligible items.
+  [[nodiscard]] std::vector<Moderation> extract(std::size_t max_items,
+                                                util::Rng& rng) const;
+
+  /// Purge everything from a moderator (called when the user disapproves).
+  void purge_moderator(ModeratorId moderator);
+
+  [[nodiscard]] bool contains(ModerationId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  /// Number of stored moderations authored by `moderator`.
+  [[nodiscard]] std::size_t count_from(ModeratorId moderator) const;
+  /// All distinct moderators with at least one stored item.
+  [[nodiscard]] std::vector<ModeratorId> known_moderators() const;
+
+ private:
+  struct Stored {
+    Moderation item;
+    Time received = 0;
+    std::uint64_t seq = 0;  ///< insertion order tie-break
+  };
+
+  [[nodiscard]] bool eligible_to_forward(const Stored& s) const;
+
+  PeerId owner_;
+  DbConfig config_;
+  std::function<Opinion(ModeratorId)> opinion_of_;
+  std::unordered_map<ModerationId, Stored> items_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tribvote::moderation

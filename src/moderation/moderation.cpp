@@ -1,0 +1,22 @@
+#include "moderation/moderation.hpp"
+
+namespace tribvote::moderation {
+
+Moderation make_moderation(ModeratorId moderator, const crypto::KeyPair& keys,
+                           std::uint64_t infohash, std::string description,
+                           Time now, util::Rng& rng) {
+  Moderation m;
+  m.moderator = moderator;
+  m.moderator_key = keys.pub;
+  m.infohash = infohash;
+  m.description = std::move(description);
+  m.created = now;
+  m.signature = crypto::sign(keys, m.digest(), rng);
+  return m;
+}
+
+bool verify_moderation(const Moderation& m) {
+  return crypto::verify(m.moderator_key, m.digest(), m.signature);
+}
+
+}  // namespace tribvote::moderation

@@ -1,0 +1,47 @@
+// Moderations: signed metadata items bound to the moderator that created
+// them (paper §IV). A moderation describes one torrent (infohash) with
+// human-readable metadata; the signature prevents alteration or forgery in
+// transit — nodes drop anything that fails verification against the claimed
+// moderator's public key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/schnorr.hpp"
+#include "util/hash.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::moderation {
+
+/// Unique id of a moderation (digest of its immutable fields).
+using ModerationId = std::uint64_t;
+
+struct Moderation {
+  ModeratorId moderator = kInvalidModerator;
+  crypto::PublicKey moderator_key;  ///< key the signature verifies against
+  std::uint64_t infohash = 0;       ///< torrent this metadata describes
+  std::string description;          ///< title / text / thumbnail URL etc.
+  Time created = 0;
+  crypto::Signature signature;
+
+  /// Digest over every immutable field; doubles as the moderation id.
+  [[nodiscard]] ModerationId digest() const {
+    return util::digest_fields({moderator, moderator_key.y, infohash,
+                                util::fnv1a64(description),
+                                static_cast<std::uint64_t>(created)});
+  }
+};
+
+/// Create and sign a moderation with the moderator's key pair.
+[[nodiscard]] Moderation make_moderation(ModeratorId moderator,
+                                         const crypto::KeyPair& keys,
+                                         std::uint64_t infohash,
+                                         std::string description, Time now,
+                                         util::Rng& rng);
+
+/// Verify a moderation's signature against its embedded public key.
+[[nodiscard]] bool verify_moderation(const Moderation& m);
+
+}  // namespace tribvote::moderation

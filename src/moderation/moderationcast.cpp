@@ -1,0 +1,58 @@
+#include "moderation/moderationcast.hpp"
+
+#include <cassert>
+
+namespace tribvote::moderation {
+
+ModerationCastAgent::ModerationCastAgent(
+    PeerId self, const crypto::KeyPair& keys, ModerationCastConfig config,
+    std::function<Opinion(ModeratorId)> opinion_of, util::Rng rng)
+    : self_(self),
+      keys_(&keys),
+      config_(config),
+      db_(self, config.db, std::move(opinion_of)),
+      rng_(rng) {}
+
+const Moderation& ModerationCastAgent::publish(std::uint64_t infohash,
+                                               std::string description,
+                                               Time now) {
+  own_.push_back(make_moderation(self_, *keys_, infohash,
+                                 std::move(description), now, rng_));
+  const auto result = db_.merge(own_.back(), now);
+  assert(result != ModerationDb::MergeResult::kBadSignature);
+  (void)result;
+  return own_.back();
+}
+
+std::vector<Moderation> ModerationCastAgent::outgoing() {
+  return db_.extract(config_.max_items_per_message, rng_);
+}
+
+void ModerationCastAgent::receive(const std::vector<Moderation>& items,
+                                  Time now) {
+  for (const Moderation& m : items) {
+    const auto result = db_.merge(m, now);
+    if ((result == ModerationDb::MergeResult::kInserted ||
+         result == ModerationDb::MergeResult::kEvictedOthers) &&
+        on_new_moderation) {
+      on_new_moderation(m);
+    }
+  }
+}
+
+void ModerationCastAgent::handle_disapproval(ModeratorId moderator) {
+  db_.purge_moderator(moderator);
+}
+
+void exchange(ModerationCastAgent& initiator, ModerationCastAgent& responder,
+              Time now) {
+  // Push/pull: both sides extract before merging so the exchange is
+  // symmetric within this encounter (matches Fig. 1's message order, where
+  // ml_j is extracted before merging ml_i).
+  std::vector<Moderation> from_initiator = initiator.outgoing();
+  std::vector<Moderation> from_responder = responder.outgoing();
+  responder.receive(from_initiator, now);
+  initiator.receive(from_responder, now);
+}
+
+}  // namespace tribvote::moderation

@@ -1,0 +1,68 @@
+// ModerationCast: push/pull gossip dissemination of moderations (Fig. 1).
+//
+// On each active-thread tick a node pairs with a PSS-sampled peer and both
+// sides exchange Extract()ed moderation lists and Merge() them into their
+// local_db. Spreading is approval-gated: a node forwards only moderations
+// of moderators its user approved (plus its own), so well-approved
+// moderators spread fast while unapproved ones spread only by direct
+// contact — the paper's core dissemination asymmetry.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "moderation/db.hpp"
+#include "util/rng.hpp"
+
+namespace tribvote::moderation {
+
+struct ModerationCastConfig {
+  std::size_t max_items_per_message = 25;
+  DbConfig db;
+};
+
+class ModerationCastAgent {
+ public:
+  /// `keys` must outlive the agent (owned by the node).
+  ModerationCastAgent(PeerId self, const crypto::KeyPair& keys,
+                      ModerationCastConfig config,
+                      std::function<Opinion(ModeratorId)> opinion_of,
+                      util::Rng rng);
+
+  /// Fired for every moderation newly inserted into the local_db — the UI /
+  /// voting behaviours react to this (e.g. a scripted voter votes when the
+  /// target moderator's metadata first arrives).
+  std::function<void(const Moderation&)> on_new_moderation;
+
+  /// Author, sign and store a new moderation (the node acts as moderator).
+  const Moderation& publish(std::uint64_t infohash, std::string description,
+                            Time now);
+
+  /// Build the moderation list for an outgoing push/pull message.
+  [[nodiscard]] std::vector<Moderation> outgoing();
+
+  /// Merge a received moderation list; fires on_new_moderation per insert.
+  void receive(const std::vector<Moderation>& items, Time now);
+
+  /// The user disapproved a moderator: purge and block its items (§IV).
+  void handle_disapproval(ModeratorId moderator);
+
+  [[nodiscard]] ModerationDb& db() noexcept { return db_; }
+  [[nodiscard]] const ModerationDb& db() const noexcept { return db_; }
+  [[nodiscard]] PeerId self() const noexcept { return self_; }
+
+ private:
+  PeerId self_;
+  const crypto::KeyPair* keys_;
+  ModerationCastConfig config_;
+  ModerationDb db_;
+  util::Rng rng_;
+  std::vector<Moderation> own_;  ///< stable storage for publish() returns
+};
+
+/// One full push/pull exchange between two online agents (both directions),
+/// as performed by the active/passive thread pair in Fig. 1.
+void exchange(ModerationCastAgent& initiator, ModerationCastAgent& responder,
+              Time now);
+
+}  // namespace tribvote::moderation

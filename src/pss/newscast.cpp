@@ -1,0 +1,126 @@
+#include "pss/newscast.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tribvote::pss {
+
+NewscastPss::NewscastPss(std::size_t n_peers,
+                         const OnlineDirectory& directory,
+                         NewscastConfig config, util::Rng rng)
+    : directory_(&directory), config_(config), rng_(rng), views_(n_peers) {
+  assert(config_.view_size > 0);
+}
+
+void NewscastPss::insert_entry(std::vector<Entry>& view, Entry entry) const {
+  // One entry per peer, freshest heartbeat wins.
+  const auto it = std::find_if(
+      view.begin(), view.end(),
+      [&entry](const Entry& e) { return e.peer == entry.peer; });
+  if (it != view.end()) {
+    it->heartbeat = std::max(it->heartbeat, entry.heartbeat);
+    return;
+  }
+  view.push_back(entry);
+}
+
+void NewscastPss::bootstrap(PeerId peer, Time now) {
+  for (std::size_t i = 0; i < config_.bootstrap_entries; ++i) {
+    const PeerId pick = directory_->sample_online(peer, rng_);
+    if (pick == kInvalidPeer) break;
+    insert_entry(views_[peer], Entry{pick, now});
+  }
+}
+
+void NewscastPss::on_peer_online(PeerId peer, Time now) {
+  assert(peer < views_.size());
+  // Drop entries that expired while we were away, then (re)bootstrap if the
+  // view is empty — a returning client re-contacts the tracker.
+  auto& view = views_[peer];
+  std::erase_if(view, [&](const Entry& e) {
+    return now - e.heartbeat > config_.entry_ttl;
+  });
+  if (view.empty()) bootstrap(peer, now);
+}
+
+void NewscastPss::on_peer_offline(PeerId peer) {
+  assert(peer < views_.size());
+  // Views persist across sessions (local database), nothing to do; the TTL
+  // check on return prunes stale state.
+  (void)peer;
+}
+
+void NewscastPss::merge_views(PeerId a, PeerId b, Time now) {
+  std::vector<Entry> merged;
+  merged.reserve(views_[a].size() + views_[b].size() + 2);
+  for (const Entry& e : views_[a]) insert_entry(merged, e);
+  for (const Entry& e : views_[b]) insert_entry(merged, e);
+  insert_entry(merged, Entry{a, now});
+  insert_entry(merged, Entry{b, now});
+  // Drop expired and self-entries, keep the freshest view_size.
+  std::erase_if(merged, [&](const Entry& e) {
+    return now - e.heartbeat > config_.entry_ttl;
+  });
+  std::sort(merged.begin(), merged.end(),
+            [](const Entry& x, const Entry& y) {
+              if (x.heartbeat != y.heartbeat) return x.heartbeat > y.heartbeat;
+              return x.peer < y.peer;
+            });
+  auto assign_view = [&](PeerId owner) {
+    std::vector<Entry> view;
+    view.reserve(config_.view_size);
+    for (const Entry& e : merged) {
+      if (e.peer == owner) continue;
+      view.push_back(e);
+      if (view.size() >= config_.view_size) break;
+    }
+    views_[owner] = std::move(view);
+  };
+  assign_view(a);
+  assign_view(b);
+}
+
+void NewscastPss::gossip_round(Time now) {
+  // Snapshot the online set; iteration order randomized for fairness.
+  std::vector<PeerId> online = directory_->online_ids();
+  std::sort(online.begin(), online.end());
+  rng_.shuffle(online);
+  for (PeerId node : online) {
+    auto& view = views_[node];
+    if (view.empty()) {
+      bootstrap(node, now);
+      if (view.empty()) continue;
+    }
+    // Dial a random view entry; skip if it is offline (failed connection).
+    const Entry target = view[rng_.next_below(view.size())];
+    if (!directory_->is_online(target.peer)) {
+      // Dead entry: age it out by removal so the view self-heals.
+      std::erase_if(view, [&](const Entry& e) { return e.peer == target.peer; });
+      continue;
+    }
+    merge_views(node, target.peer, now);
+  }
+}
+
+PeerId NewscastPss::sample(PeerId self) {
+  assert(self < views_.size());
+  auto& view = views_[self];
+  // Try a few random entries; drop dead ones as we go (failed dials).
+  for (int attempt = 0; attempt < 4 && !view.empty(); ++attempt) {
+    const std::size_t idx = rng_.next_below(view.size());
+    const PeerId peer = view[idx].peer;
+    if (peer != self && directory_->is_online(peer)) return peer;
+    view.erase(view.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return kInvalidPeer;
+}
+
+std::vector<PeerId> NewscastPss::view_of(PeerId peer) const {
+  assert(peer < views_.size());
+  std::vector<PeerId> ids;
+  ids.reserve(views_[peer].size());
+  for (const Entry& e : views_[peer]) ids.push_back(e.peer);
+  return ids;
+}
+
+}  // namespace tribvote::pss

@@ -1,0 +1,72 @@
+// Newscast-style gossip peer sampling (Jelasity et al.), the family
+// Tribler's deployed BuddyCast belongs to.
+//
+// Each node keeps a fixed-size view of (peer, heartbeat) entries. On every
+// gossip tick an online node contacts a random live view entry and both
+// sides merge (their view ∪ peer's view ∪ fresh self-entries), keeping the
+// `view_size` freshest entries per unique peer. sample() draws a random
+// *currently online* view entry — a failed dial to an offline entry is
+// retried against another entry, as a real client would.
+//
+// Compared with the oracle PSS this introduces the realistic artifacts the
+// abl_pss_comparison bench quantifies: bounded views, stale entries under
+// churn, and bootstrap bias toward long-lived peers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/online_directory.hpp"
+#include "pss/peer_sampler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::pss {
+
+struct NewscastConfig {
+  std::size_t view_size = 20;
+  /// Entries older than this are considered dead and dropped on merge.
+  Duration entry_ttl = 30 * kMinute;
+  /// Fresh entries injected from the bootstrap service when a node comes
+  /// online with an empty/stale view (models the tracker contact a real
+  /// client performs once at startup).
+  std::size_t bootstrap_entries = 5;
+};
+
+class NewscastPss final : public PeerSampler {
+ public:
+  /// `directory` must outlive the PSS and is updated by the runner.
+  NewscastPss(std::size_t n_peers, const OnlineDirectory& directory,
+              NewscastConfig config, util::Rng rng);
+
+  /// Node lifecycle hooks (called by the runner on session start/end).
+  void on_peer_online(PeerId peer, Time now);
+  void on_peer_offline(PeerId peer);
+
+  /// One gossip round for all online nodes at time `now` (runner calls this
+  /// on a fixed period, e.g. every 60 s).
+  void gossip_round(Time now);
+
+  /// Random live view entry of `self`; falls back across stale entries.
+  [[nodiscard]] PeerId sample(PeerId self) override;
+
+  /// Current view of a node (peer ids), for tests and diagnostics.
+  [[nodiscard]] std::vector<PeerId> view_of(PeerId peer) const;
+
+ private:
+  struct Entry {
+    PeerId peer = kInvalidPeer;
+    Time heartbeat = 0;
+  };
+
+  void merge_views(PeerId a, PeerId b, Time now);
+  void insert_entry(std::vector<Entry>& view, Entry entry) const;
+  void bootstrap(PeerId peer, Time now);
+
+  const OnlineDirectory* directory_;
+  NewscastConfig config_;
+  util::Rng rng_;
+  std::vector<std::vector<Entry>> views_;
+};
+
+}  // namespace tribvote::pss

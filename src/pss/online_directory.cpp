@@ -1,0 +1,46 @@
+#include "pss/online_directory.hpp"
+
+#include <cassert>
+
+namespace tribvote::pss {
+
+OnlineDirectory::OnlineDirectory(std::size_t n_peers)
+    : position_(n_peers, kNotOnline) {}
+
+void OnlineDirectory::set_online(PeerId peer, bool online) {
+  assert(peer < position_.size());
+  const bool currently = position_[peer] != kNotOnline;
+  if (online == currently) return;
+  if (online) {
+    position_[peer] = online_ids_.size();
+    online_ids_.push_back(peer);
+  } else {
+    // Swap-remove: move the last id into this slot.
+    const std::size_t pos = position_[peer];
+    const PeerId last = online_ids_.back();
+    online_ids_[pos] = last;
+    position_[last] = pos;
+    online_ids_.pop_back();
+    position_[peer] = kNotOnline;
+  }
+}
+
+bool OnlineDirectory::is_online(PeerId peer) const {
+  assert(peer < position_.size());
+  return position_[peer] != kNotOnline;
+}
+
+PeerId OnlineDirectory::sample_online(PeerId self, util::Rng& rng) const {
+  const std::size_t n = online_ids_.size();
+  if (n == 0) return kInvalidPeer;
+  const bool self_online = self < position_.size() && is_online(self);
+  if (self_online && n == 1) return kInvalidPeer;
+  for (;;) {
+    const PeerId pick = online_ids_[rng.next_below(n)];
+    if (pick != self) return pick;
+    // Self was drawn; with n >= 2 the loop terminates quickly (expected
+    // < 2 iterations).
+  }
+}
+
+}  // namespace tribvote::pss

@@ -1,0 +1,45 @@
+// Online-membership registry.
+//
+// The scenario runner flips peers online/offline as trace sessions start
+// and end; the PSS implementations (and the attack models) consult this
+// directory. It supports O(1) set/clear and O(1) uniform sampling via a
+// dense id array with swap-removal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace tribvote::pss {
+
+class OnlineDirectory {
+ public:
+  explicit OnlineDirectory(std::size_t n_peers);
+
+  void set_online(PeerId peer, bool online);
+  [[nodiscard]] bool is_online(PeerId peer) const;
+
+  [[nodiscard]] std::size_t online_count() const noexcept {
+    return online_ids_.size();
+  }
+  [[nodiscard]] std::size_t peer_count() const noexcept {
+    return position_.size();
+  }
+
+  /// Uniform random online peer != self; kInvalidPeer if none exists.
+  [[nodiscard]] PeerId sample_online(PeerId self, util::Rng& rng) const;
+
+  /// Snapshot of the online set (unordered).
+  [[nodiscard]] const std::vector<PeerId>& online_ids() const noexcept {
+    return online_ids_;
+  }
+
+ private:
+  static constexpr std::size_t kNotOnline = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> position_;  // peer -> index in online_ids_
+  std::vector<PeerId> online_ids_;
+};
+
+}  // namespace tribvote::pss

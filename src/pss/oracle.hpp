@@ -1,0 +1,26 @@
+// Oracle PSS: exact uniform sampling over the online population — the
+// paper's modelling assumption for the PSS (§III).
+#pragma once
+
+#include "pss/online_directory.hpp"
+#include "pss/peer_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace tribvote::pss {
+
+class OraclePss final : public PeerSampler {
+ public:
+  /// `directory` must outlive the sampler.
+  OraclePss(const OnlineDirectory& directory, util::Rng rng)
+      : directory_(&directory), rng_(rng) {}
+
+  [[nodiscard]] PeerId sample(PeerId self) override {
+    return directory_->sample_online(self, rng_);
+  }
+
+ private:
+  const OnlineDirectory* directory_;
+  util::Rng rng_;
+};
+
+}  // namespace tribvote::pss

@@ -1,0 +1,30 @@
+// Peer sampling service (PSS) interface.
+//
+// Every protocol in the paper (ModerationCast, BallotBox, VoxPopuli,
+// BarterCast gossip) discovers counterparts exclusively through a PSS that
+// "periodically returns a random peer from the entire population of online
+// peers" (§III). Two implementations are provided:
+//
+//   * OraclePss    — exact uniform sampling over the online set; matches the
+//                    paper's modelling assumption and is used by the main
+//                    experiments.
+//   * NewscastPss  — a gossip view-exchange PSS in the style of Newscast /
+//                    BuddyCast (Tribler's deployed PSS); used by the
+//                    abl_pss_comparison bench to show the results hold under
+//                    a real decentralized PSS.
+#pragma once
+
+#include "util/ids.hpp"
+
+namespace tribvote::pss {
+
+class PeerSampler {
+ public:
+  virtual ~PeerSampler() = default;
+
+  /// Return a random *online* peer other than `self`, or kInvalidPeer when
+  /// no such peer is known/available.
+  [[nodiscard]] virtual PeerId sample(PeerId self) = 0;
+};
+
+}  // namespace tribvote::pss

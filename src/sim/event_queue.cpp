@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tribvote::sim {
+
+EventHandle EventQueue::schedule(Time at, Callback cb) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{at, next_seq_++, alive, std::move(cb)});
+  return EventHandle{std::move(alive)};
+}
+
+void EventQueue::purge() const {
+  while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+}
+
+bool EventQueue::empty() const noexcept {
+  purge();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  purge();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  purge();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is about to be popped, so the
+  // move is safe — no other reference to it can exist.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  std::pair<Time, Callback> result{top.at, std::move(top.cb)};
+  heap_.pop();
+  return result;
+}
+
+}  // namespace tribvote::sim

@@ -1,0 +1,83 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary heap keyed on (time, sequence) gives deterministic FIFO ordering
+// among simultaneous events — essential for reproducible runs. Cancellation
+// is lazy: cancelled events stay in the heap, marked dead, and are skipped
+// on pop (O(1) cancel, no heap surgery).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace tribvote::sim {
+
+/// Handle to a scheduled event; lets the owner cancel it before it fires.
+/// Copyable; all copies refer to the same pending event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent; safe on a
+  /// default-constructed handle.
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True while the event is still pending (scheduled and not cancelled).
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of timed callbacks with stable ordering and lazy cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`. Times may equal the current time;
+  /// ordering among equal times is insertion order.
+  EventHandle schedule(Time at, Callback cb);
+
+  /// True when no live events remain (dead events are purged as seen).
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Remove and return the earliest live callback plus its time.
+  /// Precondition: !empty().
+  std::pair<Time, Callback> pop();
+
+  /// Number of events in the heap, including not-yet-purged dead ones.
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::shared_ptr<bool> alive;
+    Callback cb;
+    // Min-heap via std::priority_queue (max-heap) with reversed comparison.
+    [[nodiscard]] bool operator<(const Entry& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  /// Drop dead entries from the top of the heap.
+  void purge() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tribvote::sim

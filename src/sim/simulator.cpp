@@ -1,0 +1,24 @@
+#include "sim/simulator.hpp"
+
+namespace tribvote::sim {
+
+void Simulator::run_until(Time until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [at, cb] = queue_.pop();
+    now_ = at;
+    ++executed_;
+    cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [at, cb] = queue_.pop();
+  now_ = at;
+  ++executed_;
+  cb();
+  return true;
+}
+
+}  // namespace tribvote::sim

@@ -1,0 +1,103 @@
+// Single-threaded deterministic discrete-event simulator.
+//
+// All protocol logic in this repository executes inside simulator callbacks;
+// the kernel owns the clock and the pending-event set. One Simulator per
+// replica; replicas run concurrently on separate threads with no shared
+// mutable state.
+#pragma once
+
+#include <cassert>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::sim {
+
+class Simulator {
+ public:
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(Duration delay, EventQueue::Callback cb) {
+    assert(delay >= 0);
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` at absolute time `at` (at >= now()).
+  EventHandle schedule_at(Time at, EventQueue::Callback cb) {
+    assert(at >= now_);
+    return queue_.schedule(at, std::move(cb));
+  }
+
+  /// Run events until the queue is empty or the clock would pass `until`.
+  /// Events scheduled exactly at `until` are executed. After returning, the
+  /// clock reads `until` (or the last event time if the queue drained and was
+  /// already past `until`).
+  void run_until(Time until);
+
+  /// Run a single event if one is pending. Returns false when the queue is
+  /// empty.
+  bool step();
+
+  /// Number of callbacks executed so far (for perf accounting in benches).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// Pending events (including lazily-cancelled ones awaiting purge).
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// Self-rescheduling periodic task. Fires `fn` every `period` seconds,
+/// starting `phase` seconds after `start()`. `stop()` cancels cleanly.
+/// Non-copyable; typically owned by the protocol object it drives.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, Duration period, std::function<void()> fn)
+      : sim_(&sim), period_(period), fn_(std::move(fn)) {
+    assert(period > 0);
+  }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask() { stop(); }
+
+  /// Begin firing; first execution after `phase` seconds (default: one full
+  /// period). Restarting an already-running task reschedules it.
+  void start(Duration phase = -1) {
+    stop();
+    running_ = true;
+    arm(phase >= 0 ? phase : period_);
+  }
+
+  void stop() noexcept {
+    running_ = false;
+    handle_.cancel();
+  }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void arm(Duration delay) {
+    handle_ = sim_->schedule_in(delay, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm(period_);  // fn_ may have called stop()
+    });
+  }
+
+  Simulator* sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace tribvote::sim

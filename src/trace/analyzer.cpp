@@ -1,0 +1,84 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace tribvote::trace {
+
+TraceStats analyze(const Trace& trace) {
+  TraceStats st;
+  st.n_peers = trace.peers.size();
+  st.n_swarms = trace.swarms.size();
+  st.n_sessions = trace.sessions.size();
+  st.n_joins = trace.joins.size();
+  st.n_events = trace.event_count();
+  if (trace.peers.empty()) return st;
+
+  std::size_t free_riders = 0, connectable = 0;
+  for (const auto& peer : trace.peers) {
+    if (peer.behavior == Behavior::kFreeRider) ++free_riders;
+    if (peer.connectable) ++connectable;
+  }
+  st.free_rider_fraction =
+      static_cast<double>(free_riders) / static_cast<double>(st.n_peers);
+  st.connectable_fraction =
+      static_cast<double>(connectable) / static_cast<double>(st.n_peers);
+
+  double total_online_seconds = 0;
+  std::vector<double> per_peer_online(st.n_peers, 0.0);
+  for (const auto& session : trace.sessions) {
+    const auto len = static_cast<double>(session.end - session.start);
+    total_online_seconds += len;
+    per_peer_online[session.peer] += len;
+  }
+  const auto horizon = static_cast<double>(trace.duration);
+  st.avg_online_fraction =
+      total_online_seconds / (horizon * static_cast<double>(st.n_peers));
+  st.mean_session_hours =
+      st.n_sessions == 0
+          ? 0.0
+          : total_online_seconds /
+                (3600.0 * static_cast<double>(st.n_sessions));
+  st.mean_sessions_per_peer =
+      static_cast<double>(st.n_sessions) / static_cast<double>(st.n_peers);
+  st.mean_joins_per_peer =
+      static_cast<double>(st.n_joins) / static_cast<double>(st.n_peers);
+
+  std::size_t rare = 0;
+  for (double online : per_peer_online) {
+    if (online < 0.05 * horizon) ++rare;
+  }
+  st.rare_peer_fraction =
+      static_cast<double>(rare) / static_cast<double>(st.n_peers);
+  return st;
+}
+
+std::vector<PeerId> earliest_arrivals(const Trace& trace, std::size_t n) {
+  // First session start per peer (peers without sessions sort last).
+  std::vector<Time> first_session(trace.peers.size(),
+                                  trace.duration + 1);
+  for (const auto& s : trace.sessions) {
+    first_session[s.peer] = std::min(first_session[s.peer], s.start);
+  }
+  std::vector<PeerId> ids(trace.peers.size());
+  for (PeerId p = 0; p < trace.peers.size(); ++p) ids[p] = p;
+  std::sort(ids.begin(), ids.end(), [&](PeerId a, PeerId b) {
+    if (trace.peers[a].arrival != trace.peers[b].arrival) {
+      return trace.peers[a].arrival < trace.peers[b].arrival;
+    }
+    if (first_session[a] != first_session[b]) {
+      return first_session[a] < first_session[b];
+    }
+    return a < b;
+  });
+  ids.resize(std::min(n, ids.size()));
+  return ids;
+}
+
+std::size_t online_count(const Trace& trace, Time t) {
+  return static_cast<std::size_t>(std::count_if(
+      trace.sessions.begin(), trace.sessions.end(),
+      [t](const Session& s) { return s.start <= t && t < s.end; }));
+}
+
+}  // namespace tribvote::trace

@@ -1,0 +1,43 @@
+// Trace statistics — used to validate that synthetic traces match the
+// aggregate characteristics the paper reports for the filelist.org dataset,
+// and by the trace_explorer example to inspect any trace.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/trace.hpp"
+
+namespace tribvote::trace {
+
+struct TraceStats {
+  std::size_t n_peers = 0;
+  std::size_t n_swarms = 0;
+  std::size_t n_sessions = 0;
+  std::size_t n_joins = 0;
+  std::size_t n_events = 0;  ///< 2·sessions + joins
+
+  double avg_online_fraction = 0;   ///< time-averaged |online| / |peers|
+  double free_rider_fraction = 0;
+  double connectable_fraction = 0;
+  double mean_session_hours = 0;
+  double mean_sessions_per_peer = 0;
+  double mean_joins_per_peer = 0;
+  /// Fraction of peers whose total online time is below 5 % of the trace
+  /// (the "rarely present" peers that never enter the experienced core).
+  double rare_peer_fraction = 0;
+};
+
+/// Compute aggregate statistics over a trace.
+[[nodiscard]] TraceStats analyze(const Trace& trace);
+
+/// Number of peers online at time `t` (sessions are half-open [start, end)).
+[[nodiscard]] std::size_t online_count(const Trace& trace, Time t);
+
+/// The first `n` peers to enter the system, by arrival time (ties broken by
+/// first session start, then id). The paper designates the first three
+/// arrivals as moderators M1–M3 (§VI-B) and the earliest cohort as the
+/// experienced core (§VI-C).
+[[nodiscard]] std::vector<PeerId> earliest_arrivals(const Trace& trace,
+                                                    std::size_t n);
+
+}  // namespace tribvote::trace

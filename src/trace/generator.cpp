@@ -1,0 +1,178 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tribvote::trace {
+
+namespace {
+
+/// Altruist upload capacity draw, clamped to [16 KB/s, 2 MB/s].
+[[nodiscard]] double rng_clamped_upload(util::Rng& rng,
+                                        const GeneratorParams& p) {
+  return std::clamp(rng.next_lognormal(p.upload_mu, p.upload_sigma), 16.0,
+                    2048.0);
+}
+
+/// Draw a session length, clamped to a sane range (2 min .. 24 h).
+[[nodiscard]] Duration draw_session(util::Rng& rng,
+                                    const GeneratorParams& p) {
+  const double s = rng.next_lognormal(p.session_mu, p.session_sigma);
+  return std::clamp<Duration>(static_cast<Duration>(s), 2 * kMinute, kDay);
+}
+
+}  // namespace
+
+Trace generate_trace(const GeneratorParams& p, std::uint64_t seed) {
+  assert(p.n_peers > 0 && p.n_swarms > 0 && p.duration > 0);
+  util::Rng root(seed);
+  util::Rng peer_rng = root.derive(1);
+  util::Rng swarm_rng = root.derive(2);
+  util::Rng session_rng = root.derive(3);
+  util::Rng join_rng = root.derive(4);
+
+  Trace tr;
+  tr.duration = p.duration;
+  tr.seed = seed;
+
+  // ---- peers -------------------------------------------------------------
+  tr.peers.reserve(p.n_peers);
+  std::vector<double> duty(p.n_peers);
+  for (PeerId id = 0; id < p.n_peers; ++id) {
+    PeerProfile peer;
+    peer.id = id;
+    peer.connectable = peer_rng.next_bool(p.connectable_fraction);
+    peer.behavior = peer_rng.next_bool(p.free_rider_fraction)
+                        ? Behavior::kFreeRider
+                        : Behavior::kAltruist;
+    const double up = peer.behavior == Behavior::kFreeRider
+                          ? p.free_rider_upload_kbps
+                          : rng_clamped_upload(peer_rng, p);
+    peer.upload_kbps = up;
+    peer.download_kbps =
+        std::max(up, p.download_multiplier *
+                         peer_rng.next_lognormal(p.upload_mu, p.upload_sigma));
+    peer.arrival = peer_rng.next_bool(p.founder_fraction)
+                       ? Time{0}
+                       : static_cast<Time>(peer_rng.next_double() *
+                                           p.arrival_window *
+                                           static_cast<double>(p.duration));
+    duty[id] = peer_rng.next_bool(p.rare_fraction)
+                   ? p.rare_duty
+                   : peer_rng.next_double(p.duty_lo, p.duty_hi);
+    tr.peers.push_back(peer);
+  }
+
+  // ---- swarms ------------------------------------------------------------
+  // Initial seeders must exist from swarm creation: pick high-duty,
+  // connectable, altruist founders.
+  std::vector<PeerId> seeder_pool;
+  for (const auto& peer : tr.peers) {
+    if (peer.arrival == 0 && peer.connectable &&
+        peer.behavior == Behavior::kAltruist && duty[peer.id] > 0.5) {
+      seeder_pool.push_back(peer.id);
+    }
+  }
+  if (seeder_pool.empty()) {
+    // Degenerate parameterization; fall back to any founder.
+    for (const auto& peer : tr.peers) {
+      if (peer.arrival == 0) seeder_pool.push_back(peer.id);
+    }
+    if (seeder_pool.empty()) seeder_pool.push_back(0);
+  }
+
+  tr.swarms.reserve(p.n_swarms);
+  for (SwarmId sid = 0; sid < p.n_swarms; ++sid) {
+    SwarmSpec spec;
+    spec.id = sid;
+    spec.size_mb = swarm_rng.next_int(p.size_lo_mb, p.size_hi_mb);
+    spec.piece_kb = p.piece_kb;
+    spec.created = static_cast<Time>(swarm_rng.next_double() *
+                                     p.swarm_creation_window *
+                                     static_cast<double>(p.duration));
+    spec.initial_seeder =
+        seeder_pool[swarm_rng.next_below(seeder_pool.size())];
+    tr.swarms.push_back(spec);
+  }
+
+  // ---- sessions: alternating on/off renewal process per peer -------------
+  for (const auto& peer : tr.peers) {
+    const double d = std::clamp(duty[peer.id], 0.01, 0.99);
+    Time t = peer.arrival;
+    // Random initial phase: start offline with probability (1 - duty).
+    if (session_rng.next_bool(1.0 - d)) {
+      const Duration first_session = draw_session(session_rng, p);
+      const double off_mean =
+          static_cast<double>(first_session) * (1.0 - d) / d;
+      t += static_cast<Duration>(
+          session_rng.next_exponential(std::max(60.0, off_mean)));
+    }
+    while (t < p.duration) {
+      const Duration on = draw_session(session_rng, p);
+      const Time end = std::min<Time>(t + on, p.duration);
+      if (end > t) tr.sessions.push_back(Session{peer.id, t, end});
+      // Offline gap calibrated so long-run online fraction equals the duty.
+      const double off_mean = static_cast<double>(on) * (1.0 - d) / d;
+      const auto off = static_cast<Duration>(
+          session_rng.next_exponential(std::max(60.0, off_mean)));
+      t = end + std::max<Duration>(off, kMinute);
+    }
+  }
+  std::sort(tr.sessions.begin(), tr.sessions.end(),
+            [](const Session& a, const Session& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.peer < b.peer;
+            });
+
+  // ---- swarm joins: Poisson over each session ----------------------------
+  const double join_rate = p.joins_per_online_day / static_cast<double>(kDay);
+  std::vector<std::vector<bool>> joined(
+      p.n_peers, std::vector<bool>(p.n_swarms, false));
+  for (const auto& session : tr.sessions) {
+    Time t = session.start;
+    for (;;) {
+      t += static_cast<Duration>(
+          join_rng.next_exponential(1.0 / join_rate));
+      if (t >= session.end) break;
+      // Candidate swarms: already created, not yet joined by this peer,
+      // and not the one it seeds.
+      std::vector<SwarmId> candidates;
+      for (const auto& spec : tr.swarms) {
+        if (spec.created <= t && !joined[session.peer][spec.id] &&
+            spec.initial_seeder != session.peer) {
+          candidates.push_back(spec.id);
+        }
+      }
+      if (candidates.empty()) continue;
+      const SwarmId pick = candidates[join_rng.next_below(candidates.size())];
+      joined[session.peer][pick] = true;
+      tr.joins.push_back(SwarmJoin{session.peer, pick, t});
+    }
+  }
+  std::sort(tr.joins.begin(), tr.joins.end(),
+            [](const SwarmJoin& a, const SwarmJoin& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.peer < b.peer;
+            });
+
+  return tr;
+}
+
+std::vector<Trace> generate_dataset(const GeneratorParams& params,
+                                    std::uint64_t base_seed,
+                                    std::size_t count) {
+  std::vector<Trace> traces;
+  traces.reserve(count);
+  util::Rng root(base_seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Derive well-separated per-trace seeds from the base seed.
+    util::Rng child = root.derive(0x7261636573ULL + i);
+    traces.push_back(generate_trace(params, child()));
+  }
+  return traces;
+}
+
+}  // namespace tribvote::trace

@@ -1,0 +1,81 @@
+// Synthetic trace generator calibrated to the filelist.org statistics the
+// paper reports (DESIGN.md §2 documents the substitution):
+//
+//   * 100 unique peers over 7 days, ≈23,000 tracker events per trace
+//   * ≈50 % of the population online at any time (high churn)
+//   * ≈25 % of peers are free-riders that upload little
+//   * per-swarm file sizes, firewalled vs connectable peers
+//
+// Each peer is an alternating on/off renewal process with a per-peer duty
+// cycle; a minority of peers are "rarely present" (very low duty), matching
+// the paper's observation that some nodes never enter the experienced core.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace tribvote::trace {
+
+/// Knobs for the generator. Defaults reproduce the paper's trace statistics;
+/// tests assert the calibration (see tests/trace_generator_test.cpp).
+struct GeneratorParams {
+  std::uint32_t n_peers = 100;
+  std::uint32_t n_swarms = 12;
+  Duration duration = 7 * kDay;
+
+  /// Fraction of identities present from t=0 ("founders"); the rest arrive
+  /// uniformly over the first `arrival_window` of the trace.
+  double founder_fraction = 0.6;
+  double arrival_window = 0.25;  ///< fraction of duration
+
+  /// Connectability: fraction of peers not behind a firewall.
+  double connectable_fraction = 0.6;
+
+  /// Fraction of peers that free-ride (leave right after completing).
+  double free_rider_fraction = 0.25;
+
+  /// Fraction of peers that are rarely present (duty cycle ≈ rare_duty).
+  double rare_fraction = 0.10;
+  double rare_duty = 0.05;
+
+  /// Duty-cycle range for normal peers: uniform in [duty_lo, duty_hi]
+  /// (mean ≈ 0.55 so that, combined with the rare peers, the average online
+  /// fraction lands at ≈0.5, as in the traces).
+  double duty_lo = 0.25;
+  double duty_hi = 0.85;
+
+  /// Session-length distribution (lognormal, seconds).
+  double session_mu = 7.5;     ///< exp(7.5) ≈ 1800 s ≈ 30 min median
+  double session_sigma = 0.9;
+
+  /// Mean number of swarm joins per peer per online day.
+  double joins_per_online_day = 6.0;
+
+  /// Swarm file sizes: uniform in [size_lo_mb, size_hi_mb].
+  std::int64_t size_lo_mb = 100;
+  std::int64_t size_hi_mb = 700;
+  std::int64_t piece_kb = 1024;
+
+  /// Swarm creation times spread uniformly over this fraction of the trace.
+  double swarm_creation_window = 0.02;
+
+  /// Upload capacity (KB/s): lognormal around ~96 KB/s for altruists;
+  /// free-riders get `free_rider_upload_kbps`.
+  double upload_mu = 4.56;   ///< exp(4.56) ≈ 96 KB/s median
+  double upload_sigma = 0.6;
+  double free_rider_upload_kbps = 4.0;
+  double download_multiplier = 8.0;  ///< download = multiplier × upload draw
+};
+
+/// Generate one trace. Deterministic in (params, seed).
+[[nodiscard]] Trace generate_trace(const GeneratorParams& params,
+                                   std::uint64_t seed);
+
+/// Generate the standard experiment dataset: `count` independent traces with
+/// seeds derived from `base_seed` (paper: 10 traces).
+[[nodiscard]] std::vector<Trace> generate_dataset(
+    const GeneratorParams& params, std::uint64_t base_seed,
+    std::size_t count = 10);
+
+}  // namespace tribvote::trace

@@ -1,0 +1,143 @@
+#include "trace/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace tribvote::trace {
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << "# tribvote trace v1\n";
+  out << "trace " << trace.duration << ' ' << trace.seed << '\n';
+  for (const auto& peer : trace.peers) {
+    out << "peer " << peer.id << ' ' << (peer.connectable ? 1 : 0) << ' '
+        << (peer.behavior == Behavior::kFreeRider ? 'F' : 'A') << ' '
+        << peer.upload_kbps << ' ' << peer.download_kbps << ' '
+        << peer.arrival << '\n';
+  }
+  for (const auto& swarm : trace.swarms) {
+    out << "swarm " << swarm.id << ' ' << swarm.size_mb << ' '
+        << swarm.piece_kb << ' ' << swarm.created << ' '
+        << swarm.initial_seeder << '\n';
+  }
+  for (const auto& session : trace.sessions) {
+    out << "session " << session.peer << ' ' << session.start << ' '
+        << session.end << '\n';
+  }
+  for (const auto& join : trace.joins) {
+    out << "join " << join.peer << ' ' << join.swarm << ' ' << join.at
+        << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw TraceFormatError("cannot open for writing: " + path);
+  write_trace(out, trace);
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  std::ostringstream msg;
+  msg << "trace parse error at line " << line_no << ": " << what;
+  throw TraceFormatError(msg.str());
+}
+
+}  // namespace
+
+Trace read_trace(std::istream& in) {
+  Trace tr;
+  bool saw_header = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "trace") {
+      if (!(ls >> tr.duration >> tr.seed) || tr.duration <= 0) {
+        fail(line_no, "bad trace header");
+      }
+      saw_header = true;
+    } else if (kind == "peer") {
+      PeerProfile peer;
+      int connectable = 0;
+      char behavior = 'A';
+      if (!(ls >> peer.id >> connectable >> behavior >> peer.upload_kbps >>
+            peer.download_kbps >> peer.arrival)) {
+        fail(line_no, "bad peer record");
+      }
+      if (behavior != 'A' && behavior != 'F') {
+        fail(line_no, "behavior must be A or F");
+      }
+      peer.connectable = connectable != 0;
+      peer.behavior =
+          behavior == 'F' ? Behavior::kFreeRider : Behavior::kAltruist;
+      tr.peers.push_back(peer);
+    } else if (kind == "swarm") {
+      SwarmSpec spec;
+      if (!(ls >> spec.id >> spec.size_mb >> spec.piece_kb >> spec.created >>
+            spec.initial_seeder) ||
+          spec.size_mb <= 0 || spec.piece_kb <= 0) {
+        fail(line_no, "bad swarm record");
+      }
+      tr.swarms.push_back(spec);
+    } else if (kind == "session") {
+      Session session;
+      if (!(ls >> session.peer >> session.start >> session.end) ||
+          session.start >= session.end) {
+        fail(line_no, "bad session record");
+      }
+      tr.sessions.push_back(session);
+    } else if (kind == "join") {
+      SwarmJoin join;
+      if (!(ls >> join.peer >> join.swarm >> join.at)) {
+        fail(line_no, "bad join record");
+      }
+      tr.joins.push_back(join);
+    } else {
+      fail(line_no, "unknown record kind '" + kind + "'");
+    }
+  }
+  if (!saw_header) fail(line_no, "missing 'trace' header record");
+
+  // Referential integrity.
+  const auto n_peers = static_cast<PeerId>(tr.peers.size());
+  const auto n_swarms = static_cast<SwarmId>(tr.swarms.size());
+  for (const auto& s : tr.sessions) {
+    if (s.peer >= n_peers) fail(0, "session refers to unknown peer");
+  }
+  for (const auto& j : tr.joins) {
+    if (j.peer >= n_peers) fail(0, "join refers to unknown peer");
+    if (j.swarm >= n_swarms) fail(0, "join refers to unknown swarm");
+  }
+  for (const auto& sw : tr.swarms) {
+    if (sw.initial_seeder >= n_peers) {
+      fail(0, "swarm refers to unknown seeder");
+    }
+  }
+
+  std::sort(tr.sessions.begin(), tr.sessions.end(),
+            [](const Session& a, const Session& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.peer < b.peer;
+            });
+  std::sort(tr.joins.begin(), tr.joins.end(),
+            [](const SwarmJoin& a, const SwarmJoin& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.peer < b.peer;
+            });
+  return tr;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceFormatError("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+}  // namespace tribvote::trace

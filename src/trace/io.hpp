@@ -1,0 +1,38 @@
+// Text serialization of traces.
+//
+// Line-oriented, whitespace-separated format so real tracker dumps can be
+// converted into the schema and replayed through the same harness:
+//
+//   # comments and blank lines ignored
+//   trace   <duration_s> <seed>
+//   peer    <id> <connectable 0|1> <behavior A|F> <up_kbps> <down_kbps> <arrival_s>
+//   swarm   <id> <size_mb> <piece_kb> <created_s> <seeder_peer>
+//   session <peer> <start_s> <end_s>
+//   join    <peer> <swarm> <time_s>
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tribvote::trace {
+
+/// Raised by the reader on malformed input; message contains line number.
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialize a trace to a stream / file.
+void write_trace(std::ostream& out, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+
+/// Parse a trace from a stream / file. Validates referential integrity
+/// (sessions/joins refer to declared peers/swarms, start < end) and sorts
+/// sessions and joins by time.
+[[nodiscard]] Trace read_trace(std::istream& in);
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+
+}  // namespace tribvote::trace

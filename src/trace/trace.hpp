@@ -1,0 +1,85 @@
+// Trace schema.
+//
+// The paper drives its simulations from filelist.org tracker traces: per-peer
+// session uptimes/downtimes, connectability, swarm memberships and file
+// sizes over a 7-day window (100 peers, ≈23k events, ≈50 % average online,
+// ≈25 % free-riders). That dataset is not available offline, so this module
+// defines the trace schema those experiments consume plus (in generator.hpp)
+// a synthetic generator calibrated to the published aggregate statistics.
+// Real traces in the same schema load through trace::read_trace (io.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::trace {
+
+/// How a peer behaves once it finishes a download.
+enum class Behavior : std::uint8_t {
+  kAltruist,   ///< keeps seeding until its session ends
+  kFreeRider,  ///< leaves the swarm immediately after completing
+};
+
+/// Static per-peer attributes recorded by the tracker.
+struct PeerProfile {
+  PeerId id = kInvalidPeer;
+  bool connectable = true;  ///< false = behind a NAT/firewall
+  Behavior behavior = Behavior::kAltruist;
+  double upload_kbps = 512.0;     ///< upload capacity (kilobytes/s)
+  double download_kbps = 2048.0;  ///< download capacity (kilobytes/s)
+  Time arrival = 0;               ///< first time this identity appears
+};
+
+/// One contiguous online interval of a peer: [start, end).
+struct Session {
+  PeerId peer = kInvalidPeer;
+  Time start = 0;
+  Time end = 0;
+};
+
+/// One shared file (.torrent) and its bootstrap seeder.
+struct SwarmSpec {
+  SwarmId id = kInvalidSwarm;
+  std::int64_t size_mb = 0;     ///< file size in MB
+  std::int64_t piece_kb = 1024; ///< piece size in KB
+  Time created = 0;
+  PeerId initial_seeder = kInvalidPeer;
+
+  [[nodiscard]] std::int64_t piece_count() const noexcept {
+    const std::int64_t size_kb = size_mb * 1024;
+    return (size_kb + piece_kb - 1) / piece_kb;
+  }
+};
+
+/// A peer deciding to download a swarm's file at a given time.
+struct SwarmJoin {
+  PeerId peer = kInvalidPeer;
+  SwarmId swarm = kInvalidSwarm;
+  Time at = 0;
+};
+
+/// A full 7-day trace: the unit the experiment harness replays.
+struct Trace {
+  Duration duration = 7 * kDay;
+  std::uint64_t seed = 0;  ///< generator seed (0 for imported real traces)
+  std::vector<PeerProfile> peers;
+  std::vector<SwarmSpec> swarms;
+  std::vector<Session> sessions;  ///< sorted by start time
+  std::vector<SwarmJoin> joins;   ///< sorted by time
+
+  [[nodiscard]] std::size_t peer_count() const noexcept {
+    return peers.size();
+  }
+
+  /// Tracker events: a session contributes a start and an end event, a swarm
+  /// join one event. This is the count the paper's "≈23,000 unique events"
+  /// refers to.
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return 2 * sessions.size() + joins.size();
+  }
+};
+
+}  // namespace tribvote::trace

@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace tribvote::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::put_field(std::string_view v) {
+  if (row_started_) out_ << ',';
+  row_started_ = true;
+  const bool needs_quote =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << v;
+    return;
+  }
+  out_ << '"';
+  for (char c : v) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  for (auto f : fields) put_field(f);
+  end_row();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) put_field(f);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  put_field(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  put_field(format_double(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  put_field(buf);
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  std::string s = buf;
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace tribvote::util

@@ -1,0 +1,44 @@
+// Minimal CSV emission for experiment output. Every bench writes both a
+// human-readable table to stdout and a machine-readable CSV next to it.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tribvote::util {
+
+/// Streams rows to a CSV file. Fields containing commas, quotes or newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Check `ok()` before writing.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// Write a header or data row from string fields.
+  void write_row(std::initializer_list<std::string_view> fields);
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Incremental row construction.
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v);
+  CsvWriter& field(long long v);
+  /// Terminate the current row.
+  void end_row();
+
+ private:
+  void put_field(std::string_view v);
+
+  std::ofstream out_;
+  bool row_started_ = false;
+};
+
+/// Format a double with fixed precision (default 6 significant decimals,
+/// trailing zeros trimmed) — keeps CSV diffs stable across platforms.
+[[nodiscard]] std::string format_double(double v, int decimals = 6);
+
+}  // namespace tribvote::util

@@ -1,0 +1,49 @@
+#include "util/hash.hpp"
+
+namespace tribvote::util {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // Boost-style combine with 64-bit golden-ratio constant, then finalize.
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4)));
+}
+
+std::uint64_t digest_fields(
+    std::initializer_list<std::uint64_t> fields) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint64_t f : fields) h = hash_combine(h, f);
+  return h;
+}
+
+}  // namespace tribvote::util

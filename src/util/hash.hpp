@@ -1,0 +1,30 @@
+// Small non-cryptographic hashing utilities used for message digests inside
+// the simulator and for hash-map key mixing. (Cryptographic signing lives in
+// src/crypto; these hashes are only inputs to it or plain identifiers.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace tribvote::util {
+
+/// FNV-1a 64-bit over raw bytes.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+
+/// FNV-1a 64-bit over a string view.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// Strong 64-bit finalizer (MurmurHash3 fmix64). Good avalanche; used to
+/// derive message digests from structured fields.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Order-dependent combination of two 64-bit hashes.
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a,
+                                         std::uint64_t b) noexcept;
+
+/// Convenience: fold a list of 64-bit fields into one digest.
+[[nodiscard]] std::uint64_t digest_fields(
+    std::initializer_list<std::uint64_t> fields) noexcept;
+
+}  // namespace tribvote::util

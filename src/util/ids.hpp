@@ -1,0 +1,24 @@
+// Strongly-typed identifiers shared across subsystems.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tribvote {
+
+/// Index of a peer in the population (dense, assigned at scenario setup).
+using PeerId = std::uint32_t;
+
+/// Index of a swarm (one .torrent) in the scenario.
+using SwarmId = std::uint32_t;
+
+/// Moderators are peers; a ModeratorId is the PeerId of the peer that
+/// creates moderations. Kept as a distinct alias for readability.
+using ModeratorId = std::uint32_t;
+
+inline constexpr PeerId kInvalidPeer = std::numeric_limits<PeerId>::max();
+inline constexpr SwarmId kInvalidSwarm = std::numeric_limits<SwarmId>::max();
+inline constexpr ModeratorId kInvalidModerator =
+    std::numeric_limits<ModeratorId>::max();
+
+}  // namespace tribvote

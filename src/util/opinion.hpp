@@ -1,0 +1,21 @@
+// A user's opinion of a moderator — the atom both ModerationCast (spreading
+// gates on approval) and the vote-sampling layer (votes are opinions bound
+// to moderators) operate on.
+#pragma once
+
+#include <cstdint>
+
+namespace tribvote {
+
+enum class Opinion : std::int8_t {
+  kNegative = -1,  ///< thumbs-down: disapprove (spam)
+  kNone = 0,       ///< no vote cast
+  kPositive = 1,   ///< thumbs-up: approve (quality)
+};
+
+/// Numeric value for vote summation (+1 / 0 / -1).
+[[nodiscard]] constexpr int opinion_value(Opinion o) noexcept {
+  return static_cast<int>(o);
+}
+
+}  // namespace tribvote

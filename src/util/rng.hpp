@@ -1,0 +1,85 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulator draws from an explicitly
+// seeded generator so a run is reproducible bit-for-bit from its seed, and
+// replicas running on different threads never share generator state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tribvote::util {
+
+/// SplitMix64: used for seeding and cheap stateless mixing.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can drive
+/// <random> distributions, but the helpers below avoid distribution
+/// objects for speed and cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~result_type{0};
+  }
+
+  /// Next raw 64-bit draw.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double next_double(double lo, double hi) noexcept;
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool next_bool(double p) noexcept;
+
+  /// Exponential variate with the given mean (> 0).
+  [[nodiscard]] double next_exponential(double mean) noexcept;
+
+  /// Log-normal variate parameterized by the log-space mu/sigma.
+  [[nodiscard]] double next_lognormal(double mu, double sigma) noexcept;
+
+  /// Standard normal variate (Box–Muller, one value per call).
+  [[nodiscard]] double next_normal() noexcept;
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Draw k distinct indices from [0, n) (k <= n), in random order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k) noexcept;
+
+  /// Derive an independent child generator; the child stream is a pure
+  /// function of (parent seed, key), not of how many draws the parent made.
+  [[nodiscard]] Rng derive(std::uint64_t key) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;  // retained for derive()
+};
+
+}  // namespace tribvote::util

@@ -1,0 +1,55 @@
+// Streaming and batch statistics used by the metrics layer and the
+// experiment harness (replica aggregation, confidence intervals, rank
+// correlation between moderator orderings).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tribvote::util {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation between closest ranks) of an
+/// unsorted sample. `q` in [0, 1]. Returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> sample) noexcept;
+
+/// Kendall rank-correlation tau-b between two equally-sized score vectors.
+/// Returns a value in [-1, 1]; 1 means identical ordering. Ties handled per
+/// the tau-b definition. Returns 0 when either vector has no distinct pairs.
+[[nodiscard]] double kendall_tau(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Half-width of a normal-approximation 95% confidence interval for the mean
+/// of `stats` (1.96 * stderr). Returns 0 with fewer than two samples.
+[[nodiscard]] double ci95_halfwidth(const RunningStats& stats) noexcept;
+
+}  // namespace tribvote::util

@@ -1,0 +1,114 @@
+#include "vote/agent.hpp"
+
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace tribvote::vote {
+
+std::uint64_t VoteListMessage::digest() const {
+  std::uint64_t h = util::digest_fields({voter, key.y, votes.size()});
+  for (const VoteEntry& v : votes) {
+    h = util::hash_combine(
+        h, util::digest_fields(
+               {v.moderator,
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(opinion_value(v.opinion))),
+                static_cast<std::uint64_t>(v.cast_at)}));
+  }
+  return h;
+}
+
+VoteAgent::VoteAgent(PeerId self, const crypto::KeyPair& keys,
+                     VoteConfig config, ExperienceCb experienced,
+                     util::Rng rng)
+    : self_(self),
+      keys_(&keys),
+      config_(config),
+      experienced_(std::move(experienced)),
+      rng_(rng),
+      box_(config.b_max),
+      observed_(config.b_max),
+      vox_(config.v_max, config.k) {
+  assert(experienced_);
+  assert(config_.b_min <= config_.b_max);
+}
+
+void VoteAgent::cast_vote(ModeratorId moderator, Opinion opinion, Time now) {
+  votes_.cast(moderator, opinion, now);
+}
+
+VoteListMessage VoteAgent::outgoing_votes(Time now) {
+  VoteListMessage msg;
+  msg.voter = self_;
+  msg.key = keys_->pub;
+  msg.votes = votes_.select_for_message(config_.max_votes_per_message, rng_,
+                                        config_.selection);
+  msg.signature = crypto::sign(*keys_, msg.digest(), rng_);
+  (void)now;
+  return msg;
+}
+
+bool VoteAgent::receive_votes(const VoteListMessage& message, Time now) {
+  if (message.voter == self_) return false;
+  if (!crypto::verify(message.key, message.digest(), message.signature)) {
+    return false;  // forged or corrupted
+  }
+  if (message.votes.empty()) return false;
+  // Every authentic message feeds the observed-dispersion signal, even
+  // when the experience function rejects its votes.
+  observed_.merge(message.voter, message.votes, now);
+  if (!experienced_(message.voter)) return false;  // E_i(j) = false
+  box_.merge(message.voter, message.votes, now);
+  return true;
+}
+
+std::map<ModeratorId, Tally> VoteAgent::augmented_tally() const {
+  std::map<ModeratorId, Tally> tally = box_.tally();
+  if (known_moderators) {
+    for (const ModeratorId m : known_moderators()) {
+      tally.try_emplace(m, Tally{});
+    }
+  }
+  return tally;
+}
+
+RankedList VoteAgent::answer_topk() {
+  if (bootstrapping()) return {};  // "null" — never relay second-hand lists
+  return rank_top_k(augmented_tally(), config_.method, config_.k);
+}
+
+void VoteAgent::receive_topk(RankedList list) {
+  if (list.empty()) return;
+  vox_.add_list(std::move(list));
+}
+
+RankedList VoteAgent::current_ranking() const {
+  if (box_.unique_voters() >= config_.b_min) {
+    return rank(augmented_tally(), config_.method);
+  }
+  return vox_.merged_ranking();
+}
+
+std::optional<ModeratorId> VoteAgent::top_moderator() const {
+  const RankedList ranking = current_ranking();
+  if (ranking.empty()) return std::nullopt;
+  return ranking.front();
+}
+
+void vote_exchange(VoteAgent& initiator, VoteAgent& responder, Time now) {
+  // BallotBox leg (Fig. 3a/3b): mutual vote-list exchange. Messages are
+  // built before any merge so the exchange is order-independent.
+  VoteListMessage from_initiator = initiator.outgoing_votes(now);
+  VoteListMessage from_responder = responder.outgoing_votes(now);
+  responder.receive_votes(from_initiator, now);
+  initiator.receive_votes(from_responder, now);
+
+  // VoxPopuli leg (Fig. 3a/3c): only while the initiator is bootstrapping.
+  if (initiator.bootstrapping()) {
+    RankedList topk = responder.answer_topk();
+    if (!topk.empty()) initiator.receive_topk(std::move(topk));
+  }
+}
+
+}  // namespace tribvote::vote

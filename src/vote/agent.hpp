@@ -1,0 +1,165 @@
+// The per-node vote-sampling agent: Fig. 3's active and passive threads.
+//
+// Composes the local vote list, the local ballot box (with the experience
+// function guarding merges), and the VoxPopuli bootstrap cache. Vote-list
+// messages are signed with the node's identity key — Tribler's PKI makes
+// votes non-spoofable, so a voter can neither be impersonated nor can its
+// message be altered in transit.
+//
+// Methods that attackers subvert (what a node *sends*) are virtual; the
+// attack module derives colluder agents that lie. What a node *accepts* is
+// fixed — honest logic is not overridable by remote peers.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "crypto/schnorr.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "vote/ballot_box.hpp"
+#include "vote/ranking.hpp"
+#include "vote/vote_list.hpp"
+#include "vote/voxpopuli.hpp"
+
+namespace tribvote::vote {
+
+struct VoteConfig {
+  std::size_t b_min = 5;    ///< unique voters needed before box stats used
+  std::size_t b_max = 100;  ///< ballot box capacity
+  std::size_t v_max = 10;   ///< VoxPopuli cache size
+  std::size_t k = 3;        ///< top-K list length
+  std::size_t max_votes_per_message = 50;
+  SelectionPolicy selection = SelectionPolicy::kRecencyRandom;
+  RankMethod method = RankMethod::kSum;
+};
+
+/// A signed vote-list message (the BallotBox exchange payload).
+struct VoteListMessage {
+  PeerId voter = kInvalidPeer;
+  crypto::PublicKey key;
+  std::vector<VoteEntry> votes;
+  crypto::Signature signature;
+
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+class VoteAgent {
+ public:
+  /// `experienced(j)` is the node's experience function E_self(j).
+  /// `keys` must outlive the agent.
+  using ExperienceCb = std::function<bool(PeerId)>;
+
+  VoteAgent(PeerId self, const crypto::KeyPair& keys, VoteConfig config,
+            ExperienceCb experienced, util::Rng rng);
+  virtual ~VoteAgent() = default;
+
+  /// Optional: moderators the node knows about from its local_db. When set,
+  /// rankings include vote-less known moderators at a neutral score — a
+  /// node can order a moderator it has metadata from even if its sample
+  /// holds no votes on it yet.
+  std::function<std::vector<ModeratorId>()> known_moderators;
+
+  // ---- user actions -------------------------------------------------------
+
+  /// The local user approves/disapproves a moderator.
+  void cast_vote(ModeratorId moderator, Opinion opinion, Time now);
+
+  // ---- protocol: BallotBox ------------------------------------------------
+
+  /// Build this node's signed vote-list message (recency + random selection,
+  /// at most max_votes_per_message entries). Virtual: colluders fabricate.
+  [[nodiscard]] virtual VoteListMessage outgoing_votes(Time now);
+
+  /// Handle a counterpart's vote-list message: verify the signature, apply
+  /// the experience function, and merge into the local ballot box.
+  /// Returns true when the votes were accepted.
+  bool receive_votes(const VoteListMessage& message, Time now);
+
+  // ---- protocol: VoxPopuli ------------------------------------------------
+
+  /// True while the node lacks B_min unique voters — the condition under
+  /// which the active thread issues VP requests (Fig. 3a).
+  [[nodiscard]] bool bootstrapping() const {
+    return box_.unique_voters() < config_.b_min;
+  }
+
+  /// Answer a VP request: the top-K from the local ballot box, or an empty
+  /// list ("null") when this node is itself bootstrapping (Fig. 3c — nodes
+  /// never relay second-hand top-K lists). Virtual: colluders always answer,
+  /// with a fabricated list.
+  [[nodiscard]] virtual RankedList answer_topk();
+
+  /// Merge a non-null VP response into the bootstrap cache.
+  void receive_topk(RankedList list);
+
+  /// Re-apply the experience function to the stored sample, dropping votes
+  /// from voters that no longer pass (adaptive-threshold support, §VII).
+  /// Returns the number of votes dropped.
+  std::size_t refilter_ballot() {
+    return box_.purge_voters(experienced_);
+  }
+
+  /// Dispersion of *incoming* votes — measured over every authentic vote
+  /// list received lately, whether or not the experience function accepted
+  /// it. This is the signal §VII reacts to: a node under a vote-promotion
+  /// attack keeps observing conflicting opinions even while rejecting them.
+  [[nodiscard]] double observed_dispersion() const {
+    return observed_.max_dispersion();
+  }
+
+  /// Scenario bootstrap: pre-load the ballot box with a sample obtained
+  /// before the simulated window (e.g. Fig. 8's pre-converged experienced
+  /// core). Bypasses signatures and the experience function by design —
+  /// it models state, not a protocol message.
+  void preload_sample(PeerId voter, const std::vector<VoteEntry>& votes,
+                      Time now) {
+    box_.merge(voter, votes, now);
+  }
+
+  // ---- ranking ------------------------------------------------------------
+
+  /// The node's current best moderator ranking: ballot-box statistics once
+  /// B_min unique voters are sampled, otherwise the merged VoxPopuli cache
+  /// (possibly empty when neither source has data).
+  [[nodiscard]] RankedList current_ranking() const;
+
+  /// Convenience: the node's current #1 moderator, if it has any ranking.
+  [[nodiscard]] std::optional<ModeratorId> top_moderator() const;
+
+  // ---- accessors ------------------------------------------------------------
+
+  [[nodiscard]] PeerId self() const noexcept { return self_; }
+  [[nodiscard]] const VoteConfig& config() const noexcept { return config_; }
+  [[nodiscard]] LocalVoteList& vote_list() noexcept { return votes_; }
+  [[nodiscard]] const LocalVoteList& vote_list() const noexcept {
+    return votes_;
+  }
+  [[nodiscard]] const BallotBox& ballot_box() const noexcept { return box_; }
+  [[nodiscard]] const VoxPopuliCache& vox_cache() const noexcept {
+    return vox_;
+  }
+
+ protected:
+  /// Ballot-box tally augmented with known vote-less moderators at zero.
+  [[nodiscard]] std::map<ModeratorId, Tally> augmented_tally() const;
+
+  PeerId self_;
+  const crypto::KeyPair* keys_;
+  VoteConfig config_;
+  ExperienceCb experienced_;
+  util::Rng rng_;
+  LocalVoteList votes_;
+  BallotBox box_;
+  /// Sliding sample of all authentic incoming votes (accepted or not),
+  /// used only for the adaptive-threshold dispersion signal.
+  BallotBox observed_;
+  VoxPopuliCache vox_;
+};
+
+/// One full active-thread encounter of `initiator` with PSS-sampled
+/// `responder` (Fig. 3): mutual vote-list exchange, then — only if the
+/// initiator is bootstrapping — a VP request/response.
+void vote_exchange(VoteAgent& initiator, VoteAgent& responder, Time now);
+
+}  // namespace tribvote::vote

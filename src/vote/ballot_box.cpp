@@ -1,0 +1,106 @@
+#include "vote/ballot_box.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tribvote::vote {
+
+BallotBox::BallotBox(std::size_t b_max) : b_max_(b_max) {
+  assert(b_max > 0);
+}
+
+void BallotBox::merge(PeerId voter, const std::vector<VoteEntry>& votes,
+                      Time now) {
+  for (const VoteEntry& v : votes) {
+    if (v.opinion == Opinion::kNone) continue;  // malformed
+    const auto key = std::make_pair(voter, v.moderator);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // Same voter, same moderator: refresh opinion and timestamp.
+      it->second.opinion = v.opinion;
+      it->second.received = now;
+      it->second.seq = next_seq_++;
+      continue;
+    }
+    if (entries_.size() >= b_max_) evict_oldest();
+    entries_.emplace(key, Entry{voter, v.moderator, v.opinion, now,
+                                next_seq_++});
+    ++voter_entry_count_[voter];
+  }
+}
+
+void BallotBox::evict_oldest() {
+  assert(!entries_.empty());
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.received < victim->second.received ||
+        (it->second.received == victim->second.received &&
+         it->second.seq < victim->second.seq)) {
+      victim = it;
+    }
+  }
+  const PeerId voter = victim->second.voter;
+  entries_.erase(victim);
+  const auto vc = voter_entry_count_.find(voter);
+  assert(vc != voter_entry_count_.end());
+  if (--vc->second == 0) voter_entry_count_.erase(vc);
+}
+
+std::size_t BallotBox::purge_voters(
+    const std::function<bool(PeerId)>& keep) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (keep(it->second.voter)) {
+      ++it;
+      continue;
+    }
+    const PeerId voter = it->second.voter;
+    it = entries_.erase(it);
+    ++removed;
+    const auto vc = voter_entry_count_.find(voter);
+    assert(vc != voter_entry_count_.end());
+    if (--vc->second == 0) voter_entry_count_.erase(vc);
+  }
+  return removed;
+}
+
+std::map<ModeratorId, Tally> BallotBox::tally() const {
+  std::map<ModeratorId, Tally> result;
+  for (const auto& [key, entry] : entries_) {
+    Tally& t = result[entry.moderator];
+    if (entry.opinion == Opinion::kPositive) {
+      ++t.positive;
+    } else {
+      ++t.negative;
+    }
+  }
+  return result;
+}
+
+double BallotBox::max_dispersion(std::uint32_t min_votes) const {
+  double worst = 0;
+  for (const auto& [moderator, t] : tally()) {
+    if (t.total() < min_votes) continue;
+    const double diff = std::abs(static_cast<double>(t.positive) -
+                                 static_cast<double>(t.negative));
+    worst = std::max(worst, 1.0 - diff / static_cast<double>(t.total()));
+  }
+  return worst;
+}
+
+double BallotBox::dispersion() const {
+  const auto tallies = tally();
+  double sum = 0;
+  std::size_t counted = 0;
+  for (const auto& [moderator, t] : tallies) {
+    if (t.total() < 2) continue;
+    const double diff =
+        std::abs(static_cast<double>(t.positive) -
+                 static_cast<double>(t.negative));
+    sum += 1.0 - diff / static_cast<double>(t.total());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace tribvote::vote

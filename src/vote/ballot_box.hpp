@@ -1,0 +1,89 @@
+// The local ballot box (paper §V-A): each node's private sample of the
+// population's votes, accumulated one PSS encounter at a time.
+//
+// Entries map (voter, moderator) → opinion with the *receive* timestamp.
+// One vote per (voter, moderator) pair — the one-node-one-vote-per-moderator
+// policy; a fresher vote from the same voter replaces the older one. The box
+// holds at most B_max entries; beyond that, new votes replace the oldest.
+// Contents are never forwarded to other peers (precludes vote-relay lies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/opinion.hpp"
+#include "util/time.hpp"
+#include "vote/vote_list.hpp"
+
+namespace tribvote::vote {
+
+/// Per-moderator positive/negative totals over the current sample.
+struct Tally {
+  std::uint32_t positive = 0;
+  std::uint32_t negative = 0;
+  [[nodiscard]] std::uint32_t total() const noexcept {
+    return positive + negative;
+  }
+};
+
+class BallotBox {
+ public:
+  explicit BallotBox(std::size_t b_max);
+
+  /// Merge a voter's vote-list message received at `now`. Caller has
+  /// already applied the experience function; the box itself is
+  /// policy-free storage.
+  void merge(PeerId voter, const std::vector<VoteEntry>& votes, Time now);
+
+  /// Number of distinct voters represented in the box — the quantity the
+  /// B_min bootstrap threshold tests (Fig. 3).
+  [[nodiscard]] std::size_t unique_voters() const noexcept {
+    return voter_entry_count_.size();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return b_max_; }
+
+  /// Aggregate votes per moderator (one vote per voter per moderator).
+  [[nodiscard]] std::map<ModeratorId, Tally> tally() const;
+
+  /// Drop every entry whose voter fails `keep` — used by the adaptive
+  /// threshold (§VII): when a node raises T it re-filters its sample so
+  /// votes absorbed under the old, laxer threshold no longer count.
+  /// Returns the number of entries removed.
+  std::size_t purge_voters(const std::function<bool(PeerId)>& keep);
+
+  /// Dispersion of opinion in [0, 1]: mean over moderators with >= 2 votes
+  /// of 1 - |pos - neg| / (pos + neg). 0 = full consensus.
+  [[nodiscard]] double dispersion() const;
+
+  /// Maximum per-moderator dispersion over moderators with >= `min_votes`
+  /// sampled votes. This is the adaptive-threshold trigger signal (§VII):
+  /// a coordinated vote-promotion attack splits opinion on *some* moderator
+  /// even while others stay unanimous, so the max — unlike the mean — is
+  /// not diluted by uncontested moderators.
+  [[nodiscard]] double max_dispersion(std::uint32_t min_votes = 3) const;
+
+ private:
+  struct Entry {
+    PeerId voter;
+    ModeratorId moderator;
+    Opinion opinion;
+    Time received;
+    std::uint64_t seq;  ///< insertion order, breaks receive-time ties
+  };
+
+  void evict_oldest();
+
+  std::size_t b_max_;
+  std::uint64_t next_seq_ = 0;
+  // Key: (voter, moderator). std::map keeps deterministic iteration.
+  std::map<std::pair<PeerId, ModeratorId>, Entry> entries_;
+  std::unordered_map<PeerId, std::uint32_t> voter_entry_count_;
+};
+
+}  // namespace tribvote::vote

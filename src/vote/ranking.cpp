@@ -1,0 +1,44 @@
+#include "vote/ranking.hpp"
+
+#include <algorithm>
+
+namespace tribvote::vote {
+
+double score(const Tally& tally, RankMethod method) noexcept {
+  switch (method) {
+    case RankMethod::kSum:
+      return static_cast<double>(tally.positive) -
+             static_cast<double>(tally.negative);
+    case RankMethod::kProportional:
+      return (static_cast<double>(tally.positive) + 1.0) /
+             (static_cast<double>(tally.total()) + 2.0);
+  }
+  return 0.0;
+}
+
+RankedList rank(const std::map<ModeratorId, Tally>& tally,
+                RankMethod method) {
+  std::vector<std::pair<ModeratorId, double>> scored;
+  scored.reserve(tally.size());
+  for (const auto& [moderator, t] : tally) {
+    scored.emplace_back(moderator, score(t, method));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  RankedList result;
+  result.reserve(scored.size());
+  for (const auto& [moderator, s] : scored) result.push_back(moderator);
+  return result;
+}
+
+RankedList rank_top_k(const std::map<ModeratorId, Tally>& tally,
+                      RankMethod method, std::size_t k) {
+  RankedList full = rank(tally, method);
+  if (full.size() > k) full.resize(k);
+  return full;
+}
+
+}  // namespace tribvote::vote

@@ -1,0 +1,36 @@
+// Moderator ranking from a vote tally (paper §V-A leaves the method open;
+// we provide the two it suggests: simple summation and a proportional
+// score). A RankedList orders moderators best-first.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "vote/ballot_box.hpp"
+
+namespace tribvote::vote {
+
+/// Moderators ordered best-first.
+using RankedList = std::vector<ModeratorId>;
+
+enum class RankMethod : std::uint8_t {
+  kSum,          ///< score = positives - negatives
+  kProportional, ///< score = (pos + 1) / (pos + neg + 2)  (Laplace-smoothed)
+};
+
+/// Rank all moderators in `tally`. Ties break toward the lower moderator id
+/// (deterministic across platforms).
+[[nodiscard]] RankedList rank(const std::map<ModeratorId, Tally>& tally,
+                              RankMethod method);
+
+/// Rank and truncate to the top-K (for VoxPopuli responses).
+[[nodiscard]] RankedList rank_top_k(const std::map<ModeratorId, Tally>& tally,
+                                    RankMethod method, std::size_t k);
+
+/// Numeric score a method assigns to a tally (exposed for tests and for
+/// the moderator-scoreboard example).
+[[nodiscard]] double score(const Tally& tally, RankMethod method) noexcept;
+
+}  // namespace tribvote::vote

@@ -1,0 +1,65 @@
+#include "vote/vote_list.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tribvote::vote {
+
+void LocalVoteList::cast(ModeratorId moderator, Opinion opinion, Time now) {
+  assert(opinion != Opinion::kNone);
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [moderator](const VoteEntry& e) { return e.moderator == moderator; });
+  if (it != entries_.end()) {
+    it->opinion = opinion;
+    it->cast_at = now;
+    return;
+  }
+  entries_.push_back(VoteEntry{moderator, opinion, now});
+}
+
+Opinion LocalVoteList::opinion_of(ModeratorId moderator) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [moderator](const VoteEntry& e) { return e.moderator == moderator; });
+  return it == entries_.end() ? Opinion::kNone : it->opinion;
+}
+
+std::vector<VoteEntry> LocalVoteList::select_for_message(
+    std::size_t max_votes, util::Rng& rng, SelectionPolicy policy) const {
+  std::vector<VoteEntry> result;
+  if (entries_.empty() || max_votes == 0) return result;
+  if (entries_.size() <= max_votes) return entries_;
+
+  if (policy == SelectionPolicy::kRandomOnly) {
+    result.reserve(max_votes);
+    for (std::size_t p : rng.sample_indices(entries_.size(), max_votes)) {
+      result.push_back(entries_[p]);
+    }
+    return result;
+  }
+
+  std::vector<const VoteEntry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const VoteEntry* a, const VoteEntry* b) {
+              if (a->cast_at != b->cast_at) return a->cast_at > b->cast_at;
+              return a->moderator < b->moderator;
+            });
+  // Recency share: everything for kRecentOnly, the newest half for the
+  // paper's recency + random policy.
+  const std::size_t recent = policy == SelectionPolicy::kRecentOnly
+                                 ? max_votes
+                                 : (max_votes + 1) / 2;
+  result.reserve(max_votes);
+  for (std::size_t i = 0; i < recent; ++i) result.push_back(*sorted[i]);
+  const std::size_t rest = sorted.size() - recent;
+  const std::size_t random_take = std::min(max_votes - recent, rest);
+  for (std::size_t p : rng.sample_indices(rest, random_take)) {
+    result.push_back(*sorted[recent + p]);
+  }
+  return result;
+}
+
+}  // namespace tribvote::vote

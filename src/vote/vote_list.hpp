@@ -1,0 +1,64 @@
+// The local vote list (paper §V-A): the record of the votes the *local
+// user* has cast — at most one vote per moderator, each stamped with the
+// time it was made. It is the "ballot paper" a node communicates to others
+// during BallotBox exchanges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/opinion.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::vote {
+
+/// How votes are chosen for a vote-list message when the ballot paper
+/// exceeds the message cap. The paper combines recency and random
+/// selection (§V-A, validated in [6]); the pure policies exist for the
+/// abl_vote_selection ablation.
+enum class SelectionPolicy : std::uint8_t {
+  kRecencyRandom,  ///< newest half + uniform draw from the rest (paper)
+  kRecentOnly,     ///< newest max_votes only
+  kRandomOnly,     ///< uniform draw over the whole list
+};
+
+/// One cast vote as carried in a vote-list message.
+struct VoteEntry {
+  ModeratorId moderator = kInvalidModerator;
+  Opinion opinion = Opinion::kNone;
+  Time cast_at = 0;
+};
+
+class LocalVoteList {
+ public:
+  /// Cast (or revise) the local user's vote on a moderator. A moderator
+  /// appears at most once; re-casting replaces the previous opinion and
+  /// refreshes the timestamp.
+  void cast(ModeratorId moderator, Opinion opinion, Time now);
+
+  /// The local user's current opinion of a moderator (kNone if never voted).
+  [[nodiscard]] Opinion opinion_of(ModeratorId moderator) const;
+
+  /// Total votes cast (length of the ballot paper).
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Select at most `max_votes` entries for a vote-list message using the
+  /// paper's recency + random policy: the newest half by cast time plus a
+  /// uniform draw from the rest.
+  [[nodiscard]] std::vector<VoteEntry> select_for_message(
+      std::size_t max_votes, util::Rng& rng,
+      SelectionPolicy policy = SelectionPolicy::kRecencyRandom) const;
+
+  /// Full list (for tests and local ranking).
+  [[nodiscard]] const std::vector<VoteEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<VoteEntry> entries_;  // unsorted; one entry per moderator
+};
+
+}  // namespace tribvote::vote

@@ -1,0 +1,51 @@
+#include "vote/voxpopuli.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace tribvote::vote {
+
+VoxPopuliCache::VoxPopuliCache(std::size_t v_max, std::size_t k)
+    : v_max_(v_max), k_(k) {
+  assert(v_max > 0 && k > 0);
+}
+
+void VoxPopuliCache::add_list(RankedList list) {
+  assert(!list.empty());
+  if (list.size() > k_) list.resize(k_);
+  if (lists_.size() >= v_max_) lists_.pop_front();
+  lists_.push_back(std::move(list));
+}
+
+RankedList VoxPopuliCache::merged_ranking() const {
+  if (lists_.empty()) return {};
+  // Average rank per moderator; absent from a list counts as rank K+1.
+  std::map<ModeratorId, double> rank_sum;
+  for (const RankedList& list : lists_) {
+    for (std::size_t pos = 0; pos < list.size(); ++pos) {
+      // Seed with 0; missing-list charges are added in the second pass.
+      rank_sum.try_emplace(list[pos], 0.0);
+    }
+  }
+  for (auto& [moderator, sum] : rank_sum) {
+    for (const RankedList& list : lists_) {
+      const auto it = std::find(list.begin(), list.end(), moderator);
+      sum += it == list.end()
+                 ? static_cast<double>(k_ + 1)
+                 : static_cast<double>(std::distance(list.begin(), it) + 1);
+    }
+  }
+  std::vector<std::pair<ModeratorId, double>> scored(rank_sum.begin(),
+                                                     rank_sum.end());
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;  // lower = better
+    return a.first < b.first;
+  });
+  RankedList merged;
+  merged.reserve(scored.size());
+  for (const auto& [moderator, s] : scored) merged.push_back(moderator);
+  return merged;
+}
+
+}  // namespace tribvote::vote

@@ -1,0 +1,44 @@
+// VoxPopuli bootstrap cache (paper §V-C).
+//
+// While a node's ballot box holds fewer than B_min unique voters it asks
+// PSS-sampled peers for their top-K moderator lists (no experience check —
+// that is the protocol's deliberate speed/safety trade). The node caches the
+// last V_max lists and rank-merges them: each moderator's merged score is
+// its average rank across cached lists, with rank K+1 charged where it does
+// not appear. Lower merged score = better.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "vote/ranking.hpp"
+
+namespace tribvote::vote {
+
+class VoxPopuliCache {
+ public:
+  VoxPopuliCache(std::size_t v_max, std::size_t k);
+
+  /// Store a received top-K list (oldest evicted beyond V_max). Empty lists
+  /// ("null" responses from peers that are themselves bootstrapping) must
+  /// not be passed in — they carry no information.
+  void add_list(RankedList list);
+
+  /// Rank-merge across all cached lists. Empty when no list is cached.
+  [[nodiscard]] RankedList merged_ranking() const;
+
+  [[nodiscard]] std::size_t list_count() const noexcept {
+    return lists_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return lists_.empty(); }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t v_max_;
+  std::size_t k_;
+  std::deque<RankedList> lists_;
+};
+
+}  // namespace tribvote::vote

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "attack/front_peer.hpp"
+#include "bartercast/experience.hpp"
+#include "bartercast/maxflow.hpp"
+#include "bartercast/protocol.hpp"
+#include "bartercast/subjective_graph.hpp"
+#include "bt/transfer_ledger.hpp"
+#include "util/rng.hpp"
+
+namespace tribvote::bartercast {
+namespace {
+
+TEST(SubjectiveGraph, DirectEdgesAreAuthoritative) {
+  SubjectiveGraph g;
+  g.update_direct(1, 2, 10.0, 100);
+  EXPECT_DOUBLE_EQ(g.edge_mb(1, 2), 10.0);
+  // Gossip cannot override a direct observation, however fresh.
+  g.merge_gossip(BarterRecord{1, 2, 999.0, 200});
+  EXPECT_DOUBLE_EQ(g.edge_mb(1, 2), 10.0);
+  // But the owner can refresh its own observation.
+  g.update_direct(1, 2, 15.0, 300);
+  EXPECT_DOUBLE_EQ(g.edge_mb(1, 2), 15.0);
+}
+
+TEST(SubjectiveGraph, FreshestGossipWins) {
+  SubjectiveGraph g;
+  g.merge_gossip(BarterRecord{1, 2, 5.0, 100});
+  g.merge_gossip(BarterRecord{1, 2, 8.0, 200});
+  EXPECT_DOUBLE_EQ(g.edge_mb(1, 2), 8.0);
+  g.merge_gossip(BarterRecord{1, 2, 3.0, 150});  // stale
+  EXPECT_DOUBLE_EQ(g.edge_mb(1, 2), 8.0);
+}
+
+TEST(SubjectiveGraph, RejectsMalformedRecords) {
+  SubjectiveGraph g;
+  g.merge_gossip(BarterRecord{3, 3, 5.0, 1});   // self-loop
+  g.merge_gossip(BarterRecord{1, 2, -4.0, 1});  // negative
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(SubjectiveGraph, EdgeQueries) {
+  SubjectiveGraph g;
+  g.update_direct(1, 2, 10.0, 1);
+  g.update_direct(3, 2, 7.0, 1);
+  g.update_direct(2, 4, 2.0, 1);
+  const auto out = g.out_edges(2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 4u);
+  const auto in = g.in_edges(2);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_mb(9, 9), 0.0);
+  EXPECT_TRUE(g.out_edges(42).empty());
+}
+
+TEST(SubjectiveGraph, ClaimedUploadSums) {
+  SubjectiveGraph g;
+  g.update_direct(1, 2, 10.0, 1);
+  g.update_direct(1, 3, 5.0, 1);
+  EXPECT_DOUBLE_EQ(g.claimed_upload_mb(1), 15.0);
+  EXPECT_DOUBLE_EQ(g.claimed_upload_mb(2), 0.0);
+}
+
+TEST(MaxFlow, DirectEdgeOnly) {
+  SubjectiveGraph g;
+  g.update_direct(1, 2, 12.0, 1);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 2, 1), 12.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 2, 2), 12.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 2, 1, 2), 0.0);  // direction matters
+}
+
+TEST(MaxFlow, TwoHopBottleneck) {
+  SubjectiveGraph g;
+  g.update_direct(1, 2, 10.0, 1);
+  g.update_direct(2, 3, 4.0, 1);
+  // 1 -> 2 -> 3 bottlenecked at 4.
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 3, 2), 4.0);
+  // One hop cannot reach.
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 3, 1), 0.0);
+}
+
+TEST(MaxFlow, ParallelPathsSum) {
+  SubjectiveGraph g;
+  g.update_direct(1, 4, 1.0, 1);  // direct
+  g.update_direct(1, 2, 5.0, 1);
+  g.update_direct(2, 4, 3.0, 1);  // via 2: min(5,3)=3
+  g.update_direct(1, 3, 2.0, 1);
+  g.update_direct(3, 4, 9.0, 1);  // via 3: min(2,9)=2
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 4, 2), 6.0);
+}
+
+TEST(MaxFlow, SelfAndUnknownNodes) {
+  SubjectiveGraph g;
+  g.update_direct(1, 2, 5.0, 1);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 7, 8, 2), 0.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 2, 0), 0.0);
+}
+
+TEST(MaxFlow, LongerBoundUsesDeeperPaths) {
+  SubjectiveGraph g;
+  g.update_direct(1, 2, 5.0, 1);
+  g.update_direct(2, 3, 5.0, 1);
+  g.update_direct(3, 4, 5.0, 1);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 4, 2), 0.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 4, 3), 5.0);
+}
+
+// Property: on random graphs, the generic Edmonds–Karp (bound >= 2 via the
+// EK path) agrees with the closed form used for bound == 2.
+class MaxFlowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowPropertyTest, ClosedFormMatchesEkOnTwoHopSubgraph) {
+  util::Rng rng(GetParam());
+  SubjectiveGraph g;
+  constexpr PeerId kNodes = 8;
+  for (int e = 0; e < 20; ++e) {
+    const auto a = static_cast<PeerId>(rng.next_below(kNodes));
+    const auto b = static_cast<PeerId>(rng.next_below(kNodes));
+    if (a == b) continue;
+    g.update_direct(a, b, rng.next_double(0.5, 20.0), 1);
+  }
+  for (PeerId s = 0; s < kNodes; ++s) {
+    for (PeerId t = 0; t < kNodes; ++t) {
+      if (s == t) continue;
+      // Closed form (bound 2).
+      const double closed = max_flow(g, s, t, 2);
+      // Reference: direct + sum of per-intermediary bottlenecks.
+      double reference = g.edge_mb(s, t);
+      for (PeerId k = 0; k < kNodes; ++k) {
+        if (k == s || k == t) continue;
+        const double a = g.edge_mb(s, k);
+        const double b = g.edge_mb(k, t);
+        if (a > 0 && b > 0) reference += std::min(a, b);
+      }
+      EXPECT_NEAR(closed, reference, 1e-9) << s << "->" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MaxFlowPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+class BarterAgentTest : public ::testing::Test {
+ protected:
+  BarterAgentTest() : ledger_(6) {}
+  bt::TransferLedger ledger_;
+};
+
+TEST_F(BarterAgentTest, OutgoingRecordsAreOwnDirectTransfers) {
+  ledger_.add_transfer(0, 1, 10.0 * 1024 * 1024);
+  ledger_.add_transfer(2, 0, 5.0 * 1024 * 1024);
+  ledger_.add_transfer(2, 3, 99.0 * 1024 * 1024);  // not adjacent to 0
+  BarterAgent agent(0, BarterConfig{});
+  const auto records = agent.outgoing_records(ledger_, 100);
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.from == 0 || r.to == 0);
+    EXPECT_EQ(r.reported_at, 100);
+  }
+}
+
+TEST_F(BarterAgentTest, MessageCapKeepsLargest) {
+  BarterConfig config;
+  config.max_records_per_message = 2;
+  for (PeerId p = 1; p < 6; ++p) {
+    ledger_.add_transfer(0, p, static_cast<double>(p) * 1024 * 1024);
+  }
+  BarterAgent agent(0, config);
+  const auto records = agent.outgoing_records(ledger_, 1);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].mb, 5.0);
+  EXPECT_DOUBLE_EQ(records[1].mb, 4.0);
+}
+
+TEST_F(BarterAgentTest, ReceiveDropsNonAdjacentClaims) {
+  BarterAgent agent(0, BarterConfig{});
+  // Sender 1 claims a transfer between 2 and 3 — hearsay, dropped.
+  agent.receive(1, {BarterRecord{2, 3, 50.0, 1}});
+  EXPECT_DOUBLE_EQ(agent.graph().edge_mb(2, 3), 0.0);
+  // Claims involving the sender are accepted.
+  agent.receive(1, {BarterRecord{1, 4, 50.0, 1}});
+  EXPECT_DOUBLE_EQ(agent.graph().edge_mb(1, 4), 50.0);
+}
+
+TEST_F(BarterAgentTest, ReceiveIgnoresClaimsAboutSelf) {
+  BarterAgent agent(0, BarterConfig{});
+  // Sender 5 claims it uploaded 500 MB to us — we know it didn't (no
+  // direct edge in our ledger), so the claim is discarded and its
+  // contribution stays zero.
+  agent.receive(5, {BarterRecord{5, 0, 500.0, 1}});
+  EXPECT_DOUBLE_EQ(agent.graph().edge_mb(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(agent.contribution_of(5), 0.0);
+}
+
+TEST_F(BarterAgentTest, ContributionUsesIndirectPaths) {
+  BarterAgent agent(0, BarterConfig{});
+  ledger_.add_transfer(2, 0, 8.0 * 1024 * 1024);  // 2 uploaded 8MB to me
+  agent.sync_direct(ledger_, 1);
+  EXPECT_NEAR(agent.contribution_of(2), 8.0, 1e-9);
+  // 3 uploaded to 2 (learned via gossip from 2); flow 3 -> 2 -> 0.
+  agent.receive(2, {BarterRecord{3, 2, 6.0, 2}});
+  EXPECT_NEAR(agent.contribution_of(3), 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(agent.contribution_of(0), 0.0);  // self
+}
+
+TEST_F(BarterAgentTest, SyncIsIncrementalButComplete) {
+  BarterAgent agent(0, BarterConfig{});
+  ledger_.add_transfer(1, 0, 3.0 * 1024 * 1024);
+  agent.sync_direct(ledger_, 1);
+  EXPECT_NEAR(agent.contribution_of(1), 3.0, 1e-9);
+  // More data arrives; version bump forces a refresh.
+  ledger_.add_transfer(1, 0, 4.0 * 1024 * 1024);
+  agent.sync_direct(ledger_, 2);
+  EXPECT_NEAR(agent.contribution_of(1), 7.0, 1e-9);
+}
+
+TEST(ExperienceFunction, ThresholdSemantics) {
+  bt::TransferLedger ledger(3);
+  BarterAgent agent(0, BarterConfig{});
+  ledger.add_transfer(1, 0, 5.0 * 1024 * 1024);
+  agent.sync_direct(ledger, 1);
+  ExperienceFunction exp5(agent, 5.0);
+  ExperienceFunction exp6(agent, 6.0);
+  EXPECT_TRUE(exp5(1));    // exactly at threshold: experienced
+  EXPECT_FALSE(exp6(1));
+  EXPECT_FALSE(exp5(2));   // no contribution at all
+}
+
+TEST(AdaptiveThreshold, RaisesOnDispersionAndDecays) {
+  AdaptiveThresholdParams params;
+  params.t_min = 0.0;
+  params.d_max = 0.4;
+  AdaptiveThreshold at(params);
+  EXPECT_DOUBLE_EQ(at.threshold_mb(), 0.0);
+  // Calm: stays at the floor.
+  at.observe_dispersion(0.1);
+  EXPECT_DOUBLE_EQ(at.threshold_mb(), 0.0);
+  // Attack-like dispersion: threshold climbs.
+  at.observe_dispersion(0.8);
+  const double raised1 = at.threshold_mb();
+  EXPECT_GT(raised1, 0.0);
+  at.observe_dispersion(0.8);
+  EXPECT_GT(at.threshold_mb(), raised1);
+  // Calm again: decays back toward the floor.
+  double prev = at.threshold_mb();
+  for (int i = 0; i < 50; ++i) {
+    at.observe_dispersion(0.0);
+    EXPECT_LE(at.threshold_mb(), prev);
+    prev = at.threshold_mb();
+  }
+  EXPECT_DOUBLE_EQ(at.threshold_mb(), 0.0);
+}
+
+TEST(AdaptiveThreshold, RespectsCap) {
+  AdaptiveThresholdParams params;
+  params.t_max = 10.0;
+  AdaptiveThreshold at(params);
+  for (int i = 0; i < 30; ++i) at.observe_dispersion(1.0);
+  EXPECT_DOUBLE_EQ(at.threshold_mb(), 10.0);
+}
+
+TEST(FrontPeerAttack, MaxFlowResistsWhereNaiveFails) {
+  // Honest node 0; colluders 3,4,5 fabricate huge intra-clique transfers.
+  // Colluder 3 ("the mole") genuinely uploaded only 1 MB to node 0.
+  bt::TransferLedger ledger(6);
+  ledger.add_transfer(3, 0, 1.0 * 1024 * 1024);
+
+  BarterAgent honest(0, BarterConfig{});
+  honest.sync_direct(ledger, 1);
+
+  attack::FrontPeerBarterAgent mole(3, BarterConfig{}, {3, 4, 5},
+                                    /*fake_mb=*/1000.0);
+  honest.receive(3, mole.outgoing_records(ledger, 2));
+  attack::FrontPeerBarterAgent shill(4, BarterConfig{}, {3, 4, 5}, 1000.0);
+  honest.receive(4, shill.outgoing_records(ledger, 3));
+
+  // Naive metric (sum of claimed upload) is wildly inflated...
+  EXPECT_GE(honest.naive_contribution_of(4), 1000.0);
+  // ...but max-flow throttles colluder 4 at the genuine 1 MB edge 3 -> 0.
+  EXPECT_LE(honest.contribution_of(4), 1.0 + 1e-9);
+  // And the mole itself cannot claim more than its genuine contribution
+  // plus flow through its clique, all bottlenecked at real edges into 0.
+  EXPECT_LE(honest.contribution_of(3), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace tribvote::bartercast

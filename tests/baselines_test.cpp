@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "baselines/credence.hpp"
+#include "baselines/pushsum.hpp"
+#include "util/rng.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace tribvote::baselines {
+namespace {
+
+// ---- push-sum aggregation ----------------------------------------------------
+
+TEST(PushSum, SingleNodeEstimatesOwnValue) {
+  PushSumNode node(3.5);
+  EXPECT_DOUBLE_EQ(node.estimate(), 3.5);
+}
+
+TEST(PushSum, PairConvergesToAverage) {
+  PushSumNode a(1.0), b(3.0);
+  for (int round = 0; round < 40; ++round) {
+    b.absorb(a.emit());
+    a.absorb(b.emit());
+  }
+  EXPECT_NEAR(a.estimate(), 2.0, 1e-6);
+  EXPECT_NEAR(b.estimate(), 2.0, 1e-6);
+}
+
+TEST(PushSum, PopulationConvergesToAverage) {
+  util::Rng rng(1);
+  std::vector<PushSumNode> nodes;
+  double truth = 0;
+  constexpr int kN = 30;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_double(-1, 1);
+    truth += v;
+    nodes.emplace_back(v);
+  }
+  truth /= kN;
+  for (int round = 0; round < 3000; ++round) {
+    const auto i = rng.next_below(kN);
+    auto j = rng.next_below(kN);
+    while (j == i) j = rng.next_below(kN);
+    nodes[j].absorb(nodes[i].emit());
+    nodes[i].absorb(nodes[j].emit());
+  }
+  for (const auto& node : nodes) {
+    EXPECT_NEAR(node.estimate(), truth, 0.02);
+  }
+}
+
+TEST(PushSum, MassConservation) {
+  // Total (sum, weight) is invariant under honest exchanges.
+  PushSumNode a(5.0), b(-1.0), c(2.0);
+  auto total_weight = [&] { return a.weight() + b.weight() + c.weight(); };
+  EXPECT_DOUBLE_EQ(total_weight(), 3.0);
+  b.absorb(a.emit());
+  c.absorb(b.emit());
+  a.absorb(c.emit());
+  EXPECT_NEAR(total_weight(), 3.0, 1e-12);
+}
+
+TEST(PushSum, SingleLiarDragsEveryEstimate) {
+  // 29 honest nodes with value 0; one liar pushing +1 with modest mass.
+  util::Rng rng(2);
+  std::vector<std::unique_ptr<PushSumNode>> nodes;
+  constexpr std::size_t kN = 30;
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    nodes.push_back(std::make_unique<PushSumNode>(0.0));
+  }
+  nodes.push_back(
+      std::make_unique<LyingPushSumNode>(0.0, /*target=*/1.0, /*mass=*/1.0));
+  for (int round = 0; round < 600; ++round) {
+    const auto i = rng.next_below(kN);
+    auto j = rng.next_below(kN);
+    while (j == i) j = rng.next_below(kN);
+    nodes[j]->absorb(nodes[i]->emit());
+  }
+  // True average of actual votes is 0, but estimates are dragged toward 1.
+  double worst = 0;
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    worst = std::max(worst, nodes[i]->estimate());
+  }
+  EXPECT_GT(worst, 0.5) << "a single liar should dominate push-sum";
+}
+
+// ---- Credence -----------------------------------------------------------------
+
+TEST(Credence, CorrelationRequiresOverlap) {
+  CredencePeer alice(0, CredenceConfig{});
+  alice.cast(1, Opinion::kPositive);
+  alice.observe(1, {{1, Opinion::kPositive}});
+  // Only one co-voted object < min_overlap (2).
+  EXPECT_FALSE(alice.correlation_with(1).has_value());
+  alice.cast(2, Opinion::kNegative);
+  alice.observe(1, {{2, Opinion::kNegative}});
+  const auto theta = alice.correlation_with(1);
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_DOUBLE_EQ(*theta, 1.0);
+}
+
+TEST(Credence, DisagreementGivesNegativeCorrelation) {
+  CredencePeer alice(0, CredenceConfig{});
+  alice.cast(1, Opinion::kPositive);
+  alice.cast(2, Opinion::kPositive);
+  alice.observe(1, {{1, Opinion::kNegative}, {2, Opinion::kNegative}});
+  const auto theta = alice.correlation_with(1);
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_DOUBLE_EQ(*theta, -1.0);
+}
+
+TEST(Credence, EstimateWeighsCorrelatedPeers) {
+  CredencePeer alice(0, CredenceConfig{});
+  alice.cast(1, Opinion::kPositive);
+  alice.cast(2, Opinion::kPositive);
+  // Peer 1 agrees with alice historically, peer 2 disagrees.
+  alice.observe(1, {{1, Opinion::kPositive},
+                    {2, Opinion::kPositive},
+                    {9, Opinion::kPositive}});
+  alice.observe(2, {{1, Opinion::kNegative},
+                    {2, Opinion::kNegative},
+                    {9, Opinion::kPositive}});
+  // Object 9: correlated peer says +, anti-correlated peer says + (which
+  // counts as evidence of the opposite).
+  const auto estimate = alice.estimate(9);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, 0.0, 1e-12);  // +1·1 and -1·1 cancel
+}
+
+TEST(Credence, OwnVoteAlwaysCounts) {
+  CredencePeer alice(0, CredenceConfig{});
+  alice.cast(5, Opinion::kNegative);
+  const auto estimate = alice.estimate(5);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_DOUBLE_EQ(*estimate, -1.0);
+}
+
+TEST(Credence, NonVoterIsIsolated) {
+  // The paper's §VIII criticism: a peer that never votes has no
+  // correlations, hence no way to evaluate anything.
+  CredencePeer lurker(0, CredenceConfig{});
+  lurker.observe(1, {{1, Opinion::kPositive}, {2, Opinion::kPositive}});
+  lurker.observe(2, {{1, Opinion::kNegative}, {2, Opinion::kNegative}});
+  EXPECT_TRUE(lurker.isolated());
+  EXPECT_FALSE(lurker.estimate(1).has_value());
+}
+
+TEST(Credence, VoterIsNotIsolated) {
+  CredencePeer voter(0, CredenceConfig{});
+  voter.cast(1, Opinion::kPositive);
+  voter.cast(2, Opinion::kPositive);
+  voter.observe(1, {{1, Opinion::kPositive}, {2, Opinion::kPositive}});
+  EXPECT_FALSE(voter.isolated());
+  // And can now evaluate an object it never saw, via peer 1.
+  voter.observe(1, {{7, Opinion::kNegative}});
+  const auto estimate = voter.estimate(7);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_LT(*estimate, 0.0);
+}
+
+TEST(Credence, NoneVotesIgnored) {
+  CredencePeer alice(0, CredenceConfig{});
+  alice.cast(1, Opinion::kNone);
+  EXPECT_EQ(alice.own_vote_count(), 0u);
+  alice.observe(1, {{1, Opinion::kNone}});
+  EXPECT_FALSE(alice.correlation_with(1).has_value());
+}
+
+}  // namespace
+}  // namespace tribvote::baselines

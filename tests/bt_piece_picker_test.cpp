@@ -1,0 +1,153 @@
+#include "bt/piece_picker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tribvote::bt {
+namespace {
+
+class PiecePickerTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{1};
+};
+
+TEST_F(PiecePickerTest, AvailabilityBookkeeping) {
+  PiecePicker picker(4);
+  picker.add_have(0);
+  picker.add_have(0);
+  picker.add_have(2);
+  EXPECT_EQ(picker.availability(0), 2u);
+  EXPECT_EQ(picker.availability(1), 0u);
+  EXPECT_EQ(picker.availability(2), 1u);
+  picker.remove_have(0);
+  EXPECT_EQ(picker.availability(0), 1u);
+}
+
+TEST_F(PiecePickerTest, BitfieldBulkOps) {
+  PiecePicker picker(6);
+  Bitfield bf(6);
+  bf.set(1);
+  bf.set(4);
+  picker.add_bitfield(bf);
+  picker.add_bitfield(bf);
+  EXPECT_EQ(picker.availability(1), 2u);
+  EXPECT_EQ(picker.availability(4), 2u);
+  EXPECT_EQ(picker.availability(0), 0u);
+  picker.remove_bitfield(bf);
+  EXPECT_EQ(picker.availability(1), 1u);
+}
+
+TEST_F(PiecePickerTest, PicksRarestEligible) {
+  PiecePicker picker(3);
+  // Piece 0: avail 3, piece 1: avail 1, piece 2: avail 2.
+  for (int i = 0; i < 3; ++i) picker.add_have(0);
+  picker.add_have(1);
+  picker.add_have(2);
+  picker.add_have(2);
+
+  Bitfield uploader(3);
+  uploader.set_all();
+  Bitfield downloader(3);  // lacks everything
+  std::vector<bool> in_flight(3, false);
+  EXPECT_EQ(picker.pick(uploader, downloader, in_flight, rng_), 1u);
+}
+
+TEST_F(PiecePickerTest, SkipsPiecesDownloaderHas) {
+  PiecePicker picker(2);
+  picker.add_have(0);  // availability: piece0=1, piece1=0
+  Bitfield uploader(2);
+  uploader.set_all();
+  Bitfield downloader(2);
+  downloader.set(1);
+  std::vector<bool> in_flight(2, false);
+  // Piece 1 has availability 0 (rarer) but downloader already has it.
+  EXPECT_EQ(picker.pick(uploader, downloader, in_flight, rng_), 0u);
+}
+
+TEST_F(PiecePickerTest, SkipsInFlightPieces) {
+  PiecePicker picker(2);
+  Bitfield uploader(2);
+  uploader.set_all();
+  Bitfield downloader(2);
+  std::vector<bool> in_flight{true, false};
+  EXPECT_EQ(picker.pick(uploader, downloader, in_flight, rng_), 1u);
+}
+
+TEST_F(PiecePickerTest, SkipsPiecesUploaderLacks) {
+  PiecePicker picker(3);
+  Bitfield uploader(3);
+  uploader.set(2);
+  Bitfield downloader(3);
+  std::vector<bool> in_flight(3, false);
+  EXPECT_EQ(picker.pick(uploader, downloader, in_flight, rng_), 2u);
+}
+
+TEST_F(PiecePickerTest, ReturnsNoPieceWhenNothingEligible) {
+  PiecePicker picker(2);
+  Bitfield uploader(2);
+  Bitfield downloader(2);
+  std::vector<bool> in_flight(2, false);
+  EXPECT_EQ(picker.pick(uploader, downloader, in_flight, rng_), kNoPiece);
+
+  uploader.set(0);
+  downloader.set(0);
+  EXPECT_EQ(picker.pick(uploader, downloader, in_flight, rng_), kNoPiece);
+}
+
+TEST_F(PiecePickerTest, TieBreakIsRoughlyUniform) {
+  PiecePicker picker(4);  // all availability 0: four-way tie
+  Bitfield uploader(4);
+  uploader.set_all();
+  Bitfield downloader(4);
+  std::vector<bool> in_flight(4, false);
+  std::map<std::size_t, int> histogram;
+  for (int i = 0; i < 4000; ++i) {
+    ++histogram[picker.pick(uploader, downloader, in_flight, rng_)];
+  }
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [piece, count] : histogram) {
+    EXPECT_NEAR(count, 1000, 150) << "piece " << piece;
+  }
+}
+
+// Property: the picked piece always satisfies the eligibility invariant and
+// rarest-first optimality, across random configurations.
+class PickerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PickerPropertyTest, PickedPieceIsAlwaysEligibleAndRarest) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 1 + rng.next_below(64);
+  PiecePicker picker(n);
+  Bitfield uploader(n), downloader(n);
+  std::vector<bool> in_flight(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto avail = rng.next_below(5);
+    for (std::uint64_t a = 0; a < avail; ++a) picker.add_have(i);
+    if (rng.next_bool(0.6)) uploader.set(i);
+    if (rng.next_bool(0.3)) downloader.set(i);
+    in_flight[i] = rng.next_bool(0.2);
+  }
+  const std::size_t pick = picker.pick(uploader, downloader, in_flight, rng);
+  if (pick == kNoPiece) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FALSE(uploader.test(i) && !downloader.test(i) && !in_flight[i])
+          << "eligible piece " << i << " was not picked";
+    }
+  } else {
+    EXPECT_TRUE(uploader.test(pick));
+    EXPECT_FALSE(downloader.test(pick));
+    EXPECT_FALSE(in_flight[pick]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (uploader.test(i) && !downloader.test(i) && !in_flight[i]) {
+        EXPECT_LE(picker.availability(pick), picker.availability(i));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, PickerPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace tribvote::bt

@@ -1,0 +1,248 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/generator.hpp"
+
+namespace tribvote::core {
+namespace {
+
+/// Small, fast trace for runner tests: 20 peers, 1 day, 3 swarms.
+trace::Trace small_trace(std::uint64_t seed = 5) {
+  trace::GeneratorParams params;
+  params.n_peers = 20;
+  params.n_swarms = 3;
+  params.duration = kDay;
+  params.founder_fraction = 0.7;
+  params.arrival_window = 0.3;
+  return trace::generate_trace(params, seed);
+}
+
+TEST(Node, RolesAndWiring) {
+  ScenarioConfig config;
+  Node honest(0, NodeRole::kHonest, config, util::Rng(1));
+  EXPECT_EQ(honest.role(), NodeRole::kHonest);
+  EXPECT_DOUBLE_EQ(honest.threshold_mb(), config.experience_threshold_mb);
+  // Nobody has contributed: nobody is experienced.
+  EXPECT_FALSE(honest.experienced(1));
+}
+
+TEST(Node, UserVoteGatesModeration) {
+  ScenarioConfig config;
+  Node alice(0, NodeRole::kHonest, config, util::Rng(1));
+  Node mallory(5, NodeRole::kHonest, config, util::Rng(2));
+  mallory.mod().publish(0xbad, "spam", 1);
+  moderation::exchange(mallory.mod(), alice.mod(), 2);
+  ASSERT_EQ(alice.mod().db().count_from(5), 1u);
+  // Alice disapproves: items purged and blocked.
+  alice.user_vote(5, Opinion::kNegative, 3);
+  EXPECT_EQ(alice.mod().db().count_from(5), 0u);
+  moderation::exchange(mallory.mod(), alice.mod(), 4);
+  EXPECT_EQ(alice.mod().db().count_from(5), 0u);
+  // And her vote list records the disapproval.
+  EXPECT_EQ(alice.vote().vote_list().opinion_of(5), Opinion::kNegative);
+}
+
+TEST(Node, AdaptiveThresholdReactsToDispersion) {
+  ScenarioConfig config;
+  config.adaptive_threshold = true;
+  config.adaptive.t_min = 0.0;
+  Node alice(0, NodeRole::kHonest, config, util::Rng(1));
+  EXPECT_DOUBLE_EQ(alice.threshold_mb(), 0.0);
+  // Calm input: threshold stays at the floor.
+  alice.update_adaptive_threshold();
+  EXPECT_DOUBLE_EQ(alice.threshold_mb(), 0.0);
+  // Conflicting *incoming* votes on one moderator (2 vs 1) raise it —
+  // the signal is observed dispersion, counted even for rejected votes.
+  Node bob(1, NodeRole::kHonest, config, util::Rng(2));
+  Node carol(2, NodeRole::kHonest, config, util::Rng(3));
+  Node dave(3, NodeRole::kHonest, config, util::Rng(4));
+  bob.vote().cast_vote(7, Opinion::kPositive, 1);
+  carol.vote().cast_vote(7, Opinion::kPositive, 1);
+  dave.vote().cast_vote(7, Opinion::kNegative, 1);
+  for (Node* peer : {&bob, &carol, &dave}) {
+    (void)alice.vote().receive_votes(peer->vote().outgoing_votes(2), 2);
+  }
+  alice.update_adaptive_threshold();
+  EXPECT_GT(alice.threshold_mb(), 0.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner r1(tr, config, 42);
+  ScenarioRunner r2(tr, config, 42);
+  r1.run_until(tr.duration);
+  r2.run_until(tr.duration);
+  EXPECT_EQ(r1.stats().downloads_completed, r2.stats().downloads_completed);
+  EXPECT_EQ(r1.stats().vote_exchanges, r2.stats().vote_exchanges);
+  EXPECT_EQ(r1.stats().votes_accepted, r2.stats().votes_accepted);
+  EXPECT_EQ(r1.ledger().total_uploaded_mb(0),
+            r2.ledger().total_uploaded_mb(0));
+}
+
+TEST(Runner, DifferentSeedsDiverge) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner r1(tr, config, 1);
+  ScenarioRunner r2(tr, config, 2);
+  r1.run_until(tr.duration);
+  r2.run_until(tr.duration);
+  double up1 = 0, up2 = 0;
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    up1 += r1.ledger().total_uploaded_mb(p);
+    up2 += r2.ledger().total_uploaded_mb(p);
+  }
+  EXPECT_NE(up1, up2);
+}
+
+TEST(Runner, SessionsDriveOnlineState) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 7);
+  runner.run_until(12 * kHour);
+  std::size_t online_per_runner = 0, online_per_trace = 0;
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (runner.is_online(p)) ++online_per_runner;
+  }
+  for (const auto& s : tr.sessions) {
+    if (s.start <= 12 * kHour && 12 * kHour < s.end) ++online_per_trace;
+  }
+  EXPECT_EQ(online_per_runner, online_per_trace);
+}
+
+TEST(Runner, DownloadsActuallyComplete) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 7);
+  runner.run_until(tr.duration);
+  EXPECT_GT(runner.stats().downloads_completed, 0u);
+  // Transfers landed in the ledger.
+  double total = 0;
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    total += runner.ledger().total_uploaded_mb(p);
+  }
+  EXPECT_GT(total, 100.0);
+}
+
+TEST(Runner, ScriptedModerationAndVotes) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 7);
+  const auto firsts = trace::earliest_arrivals(tr, 1);
+  const ModeratorId m1 = firsts[0];
+  runner.publish_moderation(m1, kMinute, "metadata");
+  // Every other founder votes positive on receipt.
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p != m1) runner.script_vote_on_receipt(p, m1, Opinion::kPositive);
+  }
+  runner.run_until(tr.duration);
+  std::size_t voted = 0;
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p != m1 &&
+        runner.node(p).vote().vote_list().opinion_of(m1) ==
+            Opinion::kPositive) {
+      ++voted;
+    }
+  }
+  EXPECT_GT(voted, tr.peers.size() / 2);
+}
+
+TEST(Runner, AttackInjectsColluders) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  config.attack.crowd_size = 5;
+  config.attack.start = kHour;
+  config.attack.duty = 1.0;  // keep colluders online for the assertions
+  ScenarioRunner runner(tr, config, 7);
+  EXPECT_EQ(runner.population_size(), tr.peers.size() + 5);
+  EXPECT_EQ(runner.colluders().size(), 5u);
+  EXPECT_EQ(runner.spam_moderator(), tr.peers.size());
+  runner.run_until(30 * kMinute);
+  EXPECT_FALSE(runner.is_online(runner.spam_moderator()));
+  runner.run_until(2 * kHour);
+  for (const PeerId c : runner.colluders()) {
+    EXPECT_TRUE(runner.is_online(c));
+    EXPECT_EQ(runner.node(c).role(), NodeRole::kColluder);
+  }
+  EXPECT_TRUE(runner.has_arrived(runner.spam_moderator(), 2 * kHour));
+  EXPECT_FALSE(runner.has_arrived(runner.spam_moderator(), kMinute));
+}
+
+TEST(Runner, PreseedTransferCreatesExperience) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 7);
+  runner.preseed_transfer(3, 4, 50.0);
+  // Once node 4 syncs its direct statistics (normally on its next barter
+  // round), it considers 3 experienced.
+  runner.node(4).barter().sync_direct(runner.ledger(), 0);
+  EXPECT_GE(runner.node(4).barter().contribution_of(3), 50.0 - 1e-6);
+  EXPECT_TRUE(runner.node(4).experienced(3));
+}
+
+TEST(Runner, PreloadBallotSkipsBootstrap) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 7);
+  for (PeerId voter = 1; voter <= config.vote.b_min; ++voter) {
+    runner.preload_ballot(0, voter, /*moderator=*/9, Opinion::kPositive);
+  }
+  EXPECT_FALSE(runner.node(0).vote().bootstrapping());
+  EXPECT_EQ(runner.ranking_of(0).front(), 9u);
+}
+
+TEST(Runner, SamplerFiresOnGrid) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 7);
+  std::vector<Time> fired;
+  runner.sample_every(6 * kHour, [&](Time t) { fired.push_back(t); });
+  runner.run_until(tr.duration);
+  ASSERT_GE(fired.size(), 4u);
+  EXPECT_EQ(fired[0], 0);
+  EXPECT_EQ(fired[1], 6 * kHour);
+  EXPECT_EQ(fired[2], 12 * kHour);
+}
+
+TEST(Runner, NewscastPssVariantRuns) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  config.pss = PssKind::kNewscast;
+  ScenarioRunner runner(tr, config, 7);
+  runner.run_until(6 * kHour);
+  EXPECT_GT(runner.stats().vote_exchanges, 0u);
+}
+
+TEST(Experiment, RunReplicasAggregates) {
+  trace::GeneratorParams params;
+  params.n_peers = 10;
+  params.n_swarms = 1;
+  params.duration = kHour * 6;
+  const auto traces = trace::generate_dataset(params, 3, 3);
+  const auto results = run_replicas(
+      traces,
+      [](const trace::Trace& tr, std::size_t index) {
+        ScenarioConfig config;
+        ScenarioRunner runner(tr, config, 100 + index);
+        ReplicaResult result;
+        metrics::TimeSeries series;
+        runner.sample_every(kHour, [&](Time t) {
+          series.add(t, static_cast<double>(runner.online_count()));
+        });
+        runner.run_until(tr.duration);
+        result.series["online"] = series;
+        return result;
+      },
+      /*threads=*/2);
+  ASSERT_EQ(results.size(), 3u);
+  const auto agg = aggregate_named(results, "online");
+  EXPECT_EQ(agg.times.size(), 7u);  // t = 0..6h inclusive
+  const auto missing = aggregate_named(results, "nope");
+  EXPECT_TRUE(missing.times.empty());
+}
+
+}  // namespace
+}  // namespace tribvote::core

@@ -1,0 +1,166 @@
+#include "dht/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tribvote::dht {
+namespace {
+
+TEST(ChordInterval, BasicAndWrapping) {
+  EXPECT_TRUE(in_interval(5, 1, 10));
+  EXPECT_TRUE(in_interval(10, 1, 10));   // half-open: to included
+  EXPECT_FALSE(in_interval(1, 1, 10));   // from excluded
+  EXPECT_FALSE(in_interval(11, 1, 10));
+  // Wrapping interval (from > to).
+  EXPECT_TRUE(in_interval(0, ~0ULL - 5, 10));
+  EXPECT_TRUE(in_interval(~0ULL, ~0ULL - 5, 10));
+  EXPECT_FALSE(in_interval(100, ~0ULL - 5, 10));
+  // Degenerate covers everything.
+  EXPECT_TRUE(in_interval(42, 7, 7));
+}
+
+TEST(ChordKey, DistinctPerPeer) {
+  std::set<Key> keys;
+  for (PeerId p = 0; p < 1000; ++p) keys.insert(key_of_peer(p));
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+class ChordTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 50;
+  ChordTest() : ring_(kN, ChordConfig{}, util::Rng(1)) {}
+
+  void join_all() {
+    for (PeerId p = 0; p < kN; ++p) ring_.join(p);
+    for (int r = 0; r < 5; ++r) ring_.stabilize_round();
+  }
+
+  ChordRing ring_;
+};
+
+TEST_F(ChordTest, JoinLeaveTracksOnlineSet) {
+  EXPECT_EQ(ring_.online_count(), 0u);
+  ring_.join(3);
+  ring_.join(7);
+  EXPECT_TRUE(ring_.is_online(3));
+  EXPECT_EQ(ring_.online_count(), 2u);
+  ring_.leave(3);
+  EXPECT_FALSE(ring_.is_online(3));
+  ring_.leave(3);  // idempotent
+  EXPECT_EQ(ring_.online_count(), 1u);
+}
+
+TEST_F(ChordTest, ResponsibilityIsRingSuccessor) {
+  join_all();
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Key key = rng();
+    const PeerId owner = ring_.responsible_for(key);
+    ASSERT_NE(owner, kInvalidPeer);
+    // No other online node lies strictly between key and owner clockwise.
+    for (PeerId p = 0; p < kN; ++p) {
+      if (p == owner) continue;
+      EXPECT_FALSE(in_interval(key_of_peer(p), key - 1, key_of_peer(owner)) &&
+                   key_of_peer(p) != key_of_peer(owner))
+          << "node " << p << " should own key before " << owner;
+    }
+  }
+}
+
+TEST_F(ChordTest, StableRingLookupsSucceedWithLogHops) {
+  join_all();
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Key key = rng();
+    const auto origin = static_cast<PeerId>(rng.next_below(kN));
+    ASSERT_TRUE(ring_.store(origin, key));
+    const LookupResult result =
+        ring_.lookup(static_cast<PeerId>(rng.next_below(kN)), key);
+    EXPECT_TRUE(result.success) << "lookup " << i;
+    EXPECT_LE(result.hops, 16u);  // ~2·log2(50) with slack
+  }
+}
+
+TEST_F(ChordTest, SuccessorsRecoverAfterChurn) {
+  join_all();
+  // Kill a third of the ring ungracefully.
+  for (PeerId p = 0; p < kN; p += 3) ring_.leave(p);
+  for (int r = 0; r < 5; ++r) ring_.stabilize_round();
+  for (PeerId p = 0; p < kN; ++p) {
+    if (!ring_.is_online(p)) continue;
+    const PeerId succ = ring_.successor_of(p);
+    ASSERT_NE(succ, kInvalidPeer);
+    EXPECT_TRUE(ring_.is_online(succ));
+  }
+}
+
+TEST_F(ChordTest, ReplicationSurvivesSingleFailure) {
+  join_all();
+  const Key key = 0xfeedbeef;
+  ASSERT_TRUE(ring_.store(0, key));
+  const PeerId owner = ring_.responsible_for(key);
+  ring_.leave(owner);
+  // A replica on the owner's successor keeps the key alive.
+  EXPECT_TRUE(ring_.key_alive(key));
+  for (int r = 0; r < 3; ++r) ring_.stabilize_round();
+  const LookupResult result = ring_.lookup(ring_.responsible_for(1), key);
+  EXPECT_TRUE(result.success);
+}
+
+TEST_F(ChordTest, MassFailureLosesKeys) {
+  join_all();
+  util::Rng rng(4);
+  std::vector<Key> keys;
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back(rng());
+    ASSERT_TRUE(ring_.store(0, keys.back()));
+  }
+  // 80% of the ring vanishes between stabilizations: with replication=2
+  // some keys must lose both replicas — the churn cost the paper cites.
+  for (PeerId p = 0; p < kN; ++p) {
+    if (p % 5 != 0) ring_.leave(p);
+  }
+  std::size_t lost = 0;
+  for (const Key key : keys) {
+    if (!ring_.key_alive(key)) ++lost;
+  }
+  EXPECT_GT(lost, 10u);
+}
+
+TEST_F(ChordTest, MaintenanceCostsMessages) {
+  join_all();
+  const std::uint64_t before = ring_.messages();
+  ring_.stabilize_round();
+  const std::uint64_t per_round = ring_.messages() - before;
+  // Every online node probes successors + refreshes fingers: O(n) total.
+  EXPECT_GE(per_round, kN);
+}
+
+TEST_F(ChordTest, LookupFromOfflineOriginFails) {
+  join_all();
+  ring_.leave(5);
+  const LookupResult result = ring_.lookup(5, 123);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(ChordEdge, SingleNodeRing) {
+  ChordRing ring(4, ChordConfig{}, util::Rng(9));
+  ring.join(2);
+  EXPECT_EQ(ring.responsible_for(777), 2u);
+  EXPECT_TRUE(ring.store(2, 777));
+  const LookupResult result = ring.lookup(2, 777);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.hops, 0u);
+}
+
+TEST(ChordEdge, EmptyRing) {
+  ChordRing ring(4, ChordConfig{}, util::Rng(9));
+  EXPECT_EQ(ring.responsible_for(1), kInvalidPeer);
+  EXPECT_FALSE(ring.store(0, 1));
+  EXPECT_FALSE(ring.lookup(0, 1).success);
+  ring.stabilize_round();  // no crash
+}
+
+}  // namespace
+}  // namespace tribvote::dht

@@ -1,0 +1,171 @@
+// End-to-end integration tests: miniature versions of the paper's three
+// experiments, run on small fast traces, asserting the qualitative results
+// (experience forms; vote sampling converges to the correct ordering; a
+// flash crowd pollutes bootstrapping nodes through VoxPopuli but not the
+// experienced core, and victims recover).
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "metrics/cev.hpp"
+#include "metrics/ordering.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/generator.hpp"
+
+namespace tribvote::core {
+namespace {
+
+trace::Trace mini_trace(std::uint64_t seed, std::uint32_t peers = 30,
+                        Duration duration = 2 * kDay) {
+  trace::GeneratorParams params;
+  params.n_peers = peers;
+  params.n_swarms = 4;
+  params.duration = duration;
+  params.founder_fraction = 0.7;
+  params.arrival_window = 0.3;
+  return trace::generate_trace(params, seed);
+}
+
+TEST(Integration, ExperienceFormsOverTime) {
+  const trace::Trace tr = mini_trace(11);
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 1);
+
+  std::vector<double> cev_samples;
+  runner.sample_every(12 * kHour, [&](Time) {
+    const auto agents = runner.barter_agents();
+    cev_samples.push_back(metrics::collective_experience_value(
+        std::span<const bartercast::BarterAgent* const>(agents.data(),
+                                                        tr.peers.size()),
+        config.experience_threshold_mb));
+  });
+  runner.run_until(tr.duration);
+
+  ASSERT_GE(cev_samples.size(), 4u);
+  EXPECT_EQ(cev_samples.front(), 0.0);
+  EXPECT_GT(cev_samples.back(), 0.05);  // a core formed
+  // CEV is (weakly) increasing: experience never evaporates.
+  for (std::size_t i = 1; i < cev_samples.size(); ++i) {
+    EXPECT_GE(cev_samples[i], cev_samples[i - 1] - 1e-9);
+  }
+}
+
+TEST(Integration, LowerThresholdMeansMoreExperience) {
+  const trace::Trace tr = mini_trace(12);
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 2);
+  runner.run_until(tr.duration);
+  const auto agents = runner.barter_agents();
+  const std::span<const bartercast::BarterAgent* const> span(
+      agents.data(), tr.peers.size());
+  const double cev1 = metrics::collective_experience_value(span, 1.0);
+  const double cev5 = metrics::collective_experience_value(span, 5.0);
+  const double cev50 = metrics::collective_experience_value(span, 50.0);
+  EXPECT_GE(cev1, cev5);
+  EXPECT_GE(cev5, cev50);
+  EXPECT_GT(cev1, 0.0);
+}
+
+TEST(Integration, VoteSamplingConvergesToCorrectOrdering) {
+  const trace::Trace tr = mini_trace(13, 40, 3 * kDay);
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 3);
+
+  const auto firsts = trace::earliest_arrivals(tr, 3);
+  const ModeratorId m1 = firsts[0], m2 = firsts[1], m3 = firsts[2];
+  runner.publish_moderation(m1, 10 * kMinute, "good");
+  runner.publish_moderation(m2, 10 * kMinute, "neutral");
+  runner.publish_moderation(m3, 10 * kMinute, "bad");
+  // 20% vote +M1, 20% vote -M3 (denser than the paper's 10% to converge on
+  // this small population).
+  util::Rng pick(4);
+  const auto voters = pick.sample_indices(tr.peers.size(), 16);
+  for (std::size_t i = 0; i < voters.size(); ++i) {
+    const auto v = static_cast<PeerId>(voters[i]);
+    if (v == m1 || v == m2 || v == m3) continue;
+    if (i % 2 == 0) {
+      runner.script_vote_on_receipt(v, m1, Opinion::kPositive);
+    } else {
+      runner.script_vote_on_receipt(v, m3, Opinion::kNegative);
+    }
+  }
+  runner.run_until(tr.duration);
+
+  std::vector<vote::RankedList> rankings;
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p != m1 && p != m2 && p != m3) {
+      rankings.push_back(runner.ranking_of(p));
+    }
+  }
+  const std::vector<ModeratorId> expected{m1, m2, m3};
+  EXPECT_GT(metrics::correct_ordering_fraction(rankings, expected), 0.6);
+}
+
+TEST(Integration, FlashCrowdPollutesThenRecoveryHolds) {
+  const trace::Trace tr = mini_trace(14, 40, 2 * kDay);
+  ScenarioConfig config;
+  config.attack.crowd_size = 50;  // overwhelming vs ~20 online honest
+  config.attack.start = 0;
+  config.attack.duty = 1.0;       // maximal pressure for this test
+
+  ScenarioRunner runner(tr, config, 5);
+  const ModeratorId m0 = runner.spam_moderator();
+
+  // Pre-converged core: the 10 earliest arrivals all voted +M1 and hold
+  // each other's votes (past B_min), plus mutual transfer history so they
+  // are experienced for each other and for newcomers they upload to.
+  const auto core = trace::earliest_arrivals(tr, 10);
+  const ModeratorId m1 = core.front();
+  runner.publish_moderation(m1, kMinute, "the real thing");
+  for (const PeerId a : core) {
+    if (a != m1) runner.cast_vote_now(a, m1, Opinion::kPositive);
+    for (const PeerId b : core) {
+      if (a != b) {
+        runner.preseed_transfer(a, b, 25.0);
+        runner.preload_ballot(a, b, m1, Opinion::kPositive);
+      }
+    }
+  }
+
+  std::vector<double> new_node_pollution;
+  std::vector<double> core_pollution;
+  const auto is_core = [&](PeerId p) {
+    return std::find(core.begin(), core.end(), p) != core.end();
+  };
+  runner.sample_every(6 * kHour, [&](Time t) {
+    std::vector<vote::RankedList> fresh, core_rankings;
+    for (PeerId p = 0; p < tr.peers.size(); ++p) {
+      if (!runner.has_arrived(p, t)) continue;
+      if (is_core(p)) {
+        core_rankings.push_back(runner.ranking_of(p));
+      } else {
+        fresh.push_back(runner.ranking_of(p));
+      }
+    }
+    new_node_pollution.push_back(metrics::pollution_fraction(fresh, m0));
+    core_pollution.push_back(metrics::pollution_fraction(core_rankings, m0));
+  });
+  runner.run_until(tr.duration);
+
+  // The experienced core is never polluted — colluders fail E.
+  for (const double p : core_pollution) EXPECT_EQ(p, 0.0);
+  // New nodes are polluted at some point (VoxPopuli window)...
+  const double peak =
+      *std::max_element(new_node_pollution.begin(), new_node_pollution.end());
+  EXPECT_GT(peak, 0.3);
+  // ...but recover: final pollution well below the peak.
+  EXPECT_LT(new_node_pollution.back(), peak * 0.7);
+}
+
+TEST(Integration, NoAttackMeansNoPollution) {
+  const trace::Trace tr = mini_trace(15, 30, kDay);
+  ScenarioConfig config;
+  ScenarioRunner runner(tr, config, 6);
+  const auto firsts = trace::earliest_arrivals(tr, 1);
+  runner.publish_moderation(firsts[0], kMinute, "fine");
+  runner.run_until(tr.duration);
+  EXPECT_EQ(runner.spam_moderator(), kInvalidModerator);
+  EXPECT_EQ(runner.colluders().size(), 0u);
+}
+
+}  // namespace
+}  // namespace tribvote::core

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "moderation/db.hpp"
+#include "moderation/moderation.hpp"
+#include "moderation/moderationcast.hpp"
+
+namespace tribvote::moderation {
+namespace {
+
+crypto::KeyPair make_keys(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::generate_keypair(rng);
+}
+
+TEST(Moderation, SignAndVerify) {
+  util::Rng rng(1);
+  const crypto::KeyPair keys = make_keys(1);
+  const Moderation m =
+      make_moderation(3, keys, 0xabc, "great movie", 100, rng);
+  EXPECT_TRUE(verify_moderation(m));
+  EXPECT_EQ(m.moderator, 3u);
+  EXPECT_EQ(m.created, 100);
+}
+
+TEST(Moderation, TamperingBreaksSignature) {
+  util::Rng rng(1);
+  const crypto::KeyPair keys = make_keys(1);
+  Moderation m = make_moderation(3, keys, 0xabc, "great movie", 100, rng);
+  Moderation altered = m;
+  altered.description = "great movie + malware";
+  EXPECT_FALSE(verify_moderation(altered));
+  altered = m;
+  altered.infohash ^= 1;
+  EXPECT_FALSE(verify_moderation(altered));
+  altered = m;
+  altered.moderator = 4;  // re-binding to another moderator fails
+  EXPECT_FALSE(verify_moderation(altered));
+}
+
+TEST(Moderation, DigestDistinguishesItems) {
+  util::Rng rng(1);
+  const crypto::KeyPair keys = make_keys(1);
+  const Moderation a = make_moderation(1, keys, 0x1, "x", 10, rng);
+  const Moderation b = make_moderation(1, keys, 0x2, "x", 10, rng);
+  const Moderation c = make_moderation(1, keys, 0x1, "y", 10, rng);
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+class DbTest : public ::testing::Test {
+ protected:
+  DbTest()
+      : keys_(make_keys(7)),
+        db_(0, DbConfig{},
+            [this](ModeratorId m) {
+              const auto it = opinions_.find(m);
+              return it == opinions_.end() ? Opinion::kNone : it->second;
+            }) {}
+
+  Moderation make(ModeratorId moderator, std::uint64_t infohash,
+                  Time created = 0) {
+    return make_moderation(moderator, keys_, infohash, "desc", created,
+                           rng_);
+  }
+
+  util::Rng rng_{9};
+  crypto::KeyPair keys_;
+  std::map<ModeratorId, Opinion> opinions_;
+  ModerationDb db_;
+};
+
+TEST_F(DbTest, MergeInsertsAndDeduplicates) {
+  const Moderation m = make(1, 0xa);
+  EXPECT_EQ(db_.merge(m, 10), ModerationDb::MergeResult::kInserted);
+  EXPECT_EQ(db_.merge(m, 20), ModerationDb::MergeResult::kDuplicate);
+  EXPECT_EQ(db_.size(), 1u);
+  EXPECT_TRUE(db_.contains(m.digest()));
+}
+
+TEST_F(DbTest, MergeRejectsBadSignature) {
+  Moderation m = make(1, 0xa);
+  m.description = "tampered";
+  EXPECT_EQ(db_.merge(m, 10), ModerationDb::MergeResult::kBadSignature);
+  EXPECT_EQ(db_.size(), 0u);
+}
+
+TEST_F(DbTest, MergeRefusesDisapprovedModerator) {
+  opinions_[5] = Opinion::kNegative;
+  EXPECT_EQ(db_.merge(make(5, 0xa), 10),
+            ModerationDb::MergeResult::kDisapprovedModerator);
+  EXPECT_EQ(db_.size(), 0u);
+}
+
+TEST_F(DbTest, CapacityEvictsOldestReceived) {
+  ModerationDb small(0, DbConfig{3}, [](ModeratorId) {
+    return Opinion::kPositive;
+  });
+  const Moderation a = make(1, 0x1), b = make(1, 0x2), c = make(1, 0x3),
+                   d = make(1, 0x4);
+  (void)small.merge(a, 10);
+  (void)small.merge(b, 20);
+  (void)small.merge(c, 30);
+  EXPECT_EQ(small.merge(d, 40), ModerationDb::MergeResult::kEvictedOthers);
+  EXPECT_EQ(small.size(), 3u);
+  EXPECT_FALSE(small.contains(a.digest()));  // oldest gone
+  EXPECT_TRUE(small.contains(d.digest()));
+}
+
+TEST_F(DbTest, PurgeModeratorRemovesAllTheirItems) {
+  (void)db_.merge(make(1, 0x1), 10);
+  (void)db_.merge(make(1, 0x2), 10);
+  (void)db_.merge(make(2, 0x3), 10);
+  db_.purge_moderator(1);
+  EXPECT_EQ(db_.size(), 1u);
+  EXPECT_EQ(db_.count_from(1), 0u);
+  EXPECT_EQ(db_.count_from(2), 1u);
+}
+
+TEST_F(DbTest, ExtractForwardsOnlyApprovedAndOwn) {
+  opinions_[1] = Opinion::kPositive;   // approved
+  // moderator 2: no vote; moderator 0 is the owner itself.
+  (void)db_.merge(make(1, 0x1), 10);
+  (void)db_.merge(make(2, 0x2), 10);
+  (void)db_.merge(make(0, 0x3), 10);
+  const auto out = db_.extract(10, rng_);
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& m : out) {
+    EXPECT_TRUE(m.moderator == 1 || m.moderator == 0);
+  }
+}
+
+TEST_F(DbTest, ExtractHonoursCapAndPrefersRecent) {
+  opinions_[1] = Opinion::kPositive;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    (void)db_.merge(make(1, i), static_cast<Time>(i * 10));
+  }
+  const auto out = db_.extract(6, rng_);
+  ASSERT_EQ(out.size(), 6u);
+  // The recency half (3 items) must be the 3 newest receives (170,180,190
+  // -> infohashes 17,18,19).
+  std::set<std::uint64_t> hashes;
+  for (const auto& m : out) hashes.insert(m.infohash);
+  EXPECT_TRUE(hashes.contains(19));
+  EXPECT_TRUE(hashes.contains(18));
+  EXPECT_TRUE(hashes.contains(17));
+}
+
+TEST_F(DbTest, ExtractRandomHalfVaries) {
+  opinions_[1] = Opinion::kPositive;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    (void)db_.merge(make(1, i), static_cast<Time>(i));
+  }
+  std::set<std::uint64_t> seen;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (const auto& m : db_.extract(10, rng_)) seen.insert(m.infohash);
+  }
+  // Over 20 extractions the random half should have covered far more than
+  // one message's worth of items.
+  EXPECT_GT(seen.size(), 15u);
+}
+
+TEST_F(DbTest, KnownModeratorsSortedUnique) {
+  (void)db_.merge(make(5, 0x1), 1);
+  (void)db_.merge(make(2, 0x2), 1);
+  (void)db_.merge(make(5, 0x3), 1);
+  EXPECT_EQ(db_.known_moderators(), (std::vector<ModeratorId>{2, 5}));
+}
+
+class CastTest : public ::testing::Test {
+ protected:
+  struct Peer {
+    explicit Peer(PeerId id)
+        : keys(make_keys(100 + id)),
+          agent(id, keys, ModerationCastConfig{},
+                [this](ModeratorId m) {
+                  const auto it = opinions.find(m);
+                  return it == opinions.end() ? Opinion::kNone : it->second;
+                },
+                util::Rng(200 + id)) {}
+    crypto::KeyPair keys;
+    std::map<ModeratorId, Opinion> opinions;
+    ModerationCastAgent agent;
+  };
+};
+
+TEST_F(CastTest, PublishStoresOwnModeration) {
+  Peer alice(0);
+  const Moderation& m = alice.agent.publish(0xfeed, "my upload", 5);
+  EXPECT_TRUE(verify_moderation(m));
+  EXPECT_EQ(alice.agent.db().count_from(0), 1u);
+}
+
+TEST_F(CastTest, ExchangeSpreadsOwnModerations) {
+  Peer alice(0), bob(1);
+  alice.agent.publish(0xfeed, "my upload", 5);
+  exchange(alice.agent, bob.agent, 10);
+  EXPECT_EQ(bob.agent.db().count_from(0), 1u);
+}
+
+TEST_F(CastTest, UnapprovedModerationsDoNotRelay) {
+  Peer alice(0), bob(1), carol(2);
+  alice.agent.publish(0xfeed, "content", 5);
+  exchange(alice.agent, bob.agent, 10);   // bob has it (direct contact)
+  exchange(bob.agent, carol.agent, 20);   // bob does NOT forward: no vote
+  EXPECT_EQ(carol.agent.db().count_from(0), 0u);
+}
+
+TEST_F(CastTest, ApprovalEnablesRelay) {
+  Peer alice(0), bob(1), carol(2);
+  alice.agent.publish(0xfeed, "content", 5);
+  exchange(alice.agent, bob.agent, 10);
+  bob.opinions[0] = Opinion::kPositive;  // bob approves moderator 0
+  exchange(bob.agent, carol.agent, 20);
+  EXPECT_EQ(carol.agent.db().count_from(0), 1u);
+}
+
+TEST_F(CastTest, DisapprovalPurgesAndBlocks) {
+  Peer alice(0), bob(1);
+  alice.agent.publish(0xfeed, "content", 5);
+  exchange(alice.agent, bob.agent, 10);
+  ASSERT_EQ(bob.agent.db().count_from(0), 1u);
+  bob.opinions[0] = Opinion::kNegative;
+  bob.agent.handle_disapproval(0);
+  EXPECT_EQ(bob.agent.db().count_from(0), 0u);
+  // Further direct contact cannot re-insert.
+  exchange(alice.agent, bob.agent, 30);
+  EXPECT_EQ(bob.agent.db().count_from(0), 0u);
+}
+
+TEST_F(CastTest, OnNewModerationFiresOncePerItem) {
+  Peer alice(0), bob(1);
+  int fires = 0;
+  bob.agent.on_new_moderation = [&](const Moderation&) { ++fires; };
+  alice.agent.publish(0xfeed, "content", 5);
+  exchange(alice.agent, bob.agent, 10);
+  exchange(alice.agent, bob.agent, 20);  // duplicate: no second fire
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(CastTest, ExchangeIsBidirectional) {
+  Peer alice(0), bob(1);
+  alice.agent.publish(0x1, "from alice", 5);
+  bob.agent.publish(0x2, "from bob", 5);
+  exchange(alice.agent, bob.agent, 10);
+  EXPECT_EQ(alice.agent.db().count_from(1), 1u);
+  EXPECT_EQ(bob.agent.db().count_from(0), 1u);
+}
+
+}  // namespace
+}  // namespace tribvote::moderation

@@ -1,0 +1,216 @@
+// Cross-module property tests: randomized operation sequences checked
+// against invariants, parameterized over seeds (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "moderation/db.hpp"
+#include "sim/simulator.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "util/rng.hpp"
+#include "vote/ballot_box.hpp"
+#include "vote/voxpopuli.hpp"
+
+namespace tribvote {
+namespace {
+
+// ---- simulator: random schedules execute in nondecreasing time order --------
+
+class SimulatorOrderProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimulatorOrderProperty, EventsFireInNondecreasingTimeOrder) {
+  util::Rng rng(GetParam());
+  sim::Simulator sim;
+  std::vector<Time> fired;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 300; ++i) {
+    const Time at = static_cast<Time>(rng.next_below(10000));
+    handles.push_back(
+        sim.schedule_at(at, [&fired, &sim] { fired.push_back(sim.now()); }));
+  }
+  // Cancel a random third.
+  std::size_t cancelled = 0;
+  for (auto& h : handles) {
+    if (rng.next_bool(0.33)) {
+      h.cancel();
+      ++cancelled;
+    }
+  }
+  sim.run_until(10000);
+  EXPECT_EQ(fired.size(), 300 - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrderProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// ---- ballot box: random merges never violate the structural invariants ------
+
+class BallotBoxProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BallotBoxProperty, InvariantsHoldUnderRandomMerges) {
+  util::Rng rng(GetParam());
+  const std::size_t b_max = 1 + rng.next_below(60);
+  vote::BallotBox box(b_max);
+  std::set<PeerId> voters_seen;
+  for (int op = 0; op < 400; ++op) {
+    const auto voter = static_cast<PeerId>(rng.next_below(25));
+    std::vector<vote::VoteEntry> votes;
+    const auto n_votes = 1 + rng.next_below(4);
+    for (std::uint64_t v = 0; v < n_votes; ++v) {
+      votes.push_back(vote::VoteEntry{
+          static_cast<ModeratorId>(rng.next_below(8)),
+          rng.next_bool(0.5) ? Opinion::kPositive : Opinion::kNegative,
+          static_cast<Time>(op)});
+    }
+    box.merge(voter, votes, static_cast<Time>(op));
+
+    // Invariant: capacity respected.
+    ASSERT_LE(box.size(), b_max);
+    // Invariant: unique voters consistent with tally mass.
+    std::size_t tally_mass = 0;
+    for (const auto& [m, t] : box.tally()) tally_mass += t.total();
+    ASSERT_EQ(tally_mass, box.size());
+    ASSERT_LE(box.unique_voters(), box.size());
+    ASSERT_GE(box.unique_voters(), box.size() > 0 ? 1u : 0u);
+    // Invariant: dispersion bounded.
+    ASSERT_GE(box.dispersion(), 0.0);
+    ASSERT_LE(box.dispersion(), 1.0);
+    ASSERT_GE(box.max_dispersion(/*min_votes=*/2),
+              box.dispersion() - 1e-12);
+  }
+  // Purging everything empties the box coherently.
+  box.purge_voters([](PeerId) { return false; });
+  EXPECT_EQ(box.size(), 0u);
+  EXPECT_EQ(box.unique_voters(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BallotBoxProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// ---- VoxPopuli: merged ranking contains exactly the cached moderators -------
+
+class VoxProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VoxProperty, MergedRankingIsPermutationOfCachedModerators) {
+  util::Rng rng(GetParam());
+  const std::size_t v_max = 1 + rng.next_below(12);
+  const std::size_t k = 1 + rng.next_below(6);
+  vote::VoxPopuliCache cache(v_max, k);
+  std::vector<vote::RankedList> recent;  // our model of the cache window
+  for (int round = 0; round < 60; ++round) {
+    vote::RankedList list;
+    std::set<ModeratorId> used;
+    const std::size_t len = 1 + rng.next_below(k);
+    while (list.size() < len) {
+      const auto m = static_cast<ModeratorId>(rng.next_below(12));
+      if (used.insert(m).second) list.push_back(m);
+    }
+    cache.add_list(list);
+    recent.push_back(list);
+    if (recent.size() > v_max) recent.erase(recent.begin());
+
+    const vote::RankedList merged = cache.merged_ranking();
+    std::set<ModeratorId> expected;
+    for (const auto& l : recent) expected.insert(l.begin(), l.end());
+    std::set<ModeratorId> actual(merged.begin(), merged.end());
+    ASSERT_EQ(actual, expected) << "round " << round;
+    ASSERT_EQ(merged.size(), actual.size()) << "duplicates in ranking";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VoxProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// ---- moderation db: extract never leaks disapproved moderators --------------
+
+class ModerationDbProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ModerationDbProperty, ExtractRespectsApprovalGating) {
+  util::Rng rng(GetParam());
+  util::Rng key_rng(GetParam() ^ 0xfeed);
+  const crypto::KeyPair keys = crypto::generate_keypair(key_rng);
+  std::map<ModeratorId, Opinion> opinions;
+  moderation::ModerationDb db(
+      /*owner=*/99, moderation::DbConfig{50},
+      [&opinions](ModeratorId m) {
+        const auto it = opinions.find(m);
+        return it == opinions.end() ? Opinion::kNone : it->second;
+      });
+  for (int op = 0; op < 200; ++op) {
+    const auto moderator = static_cast<ModeratorId>(rng.next_below(6));
+    const double roll = rng.next_double();
+    if (roll < 0.5) {
+      (void)db.merge(moderation::make_moderation(
+                         moderator, keys, rng(), "item",
+                         static_cast<Time>(op), rng),
+                     static_cast<Time>(op));
+    } else if (roll < 0.7) {
+      opinions[moderator] =
+          rng.next_bool(0.5) ? Opinion::kPositive : Opinion::kNegative;
+      if (opinions[moderator] == Opinion::kNegative) {
+        db.purge_moderator(moderator);
+      }
+    } else {
+      const auto out = db.extract(1 + rng.next_below(20), rng);
+      std::set<moderation::ModerationId> ids;
+      for (const auto& m : out) {
+        // Gating: own or positively-approved moderators only.
+        const auto it = opinions.find(m.moderator);
+        const Opinion o = it == opinions.end() ? Opinion::kNone : it->second;
+        ASSERT_TRUE(m.moderator == 99 || o == Opinion::kPositive)
+            << "leaked moderator " << m.moderator;
+        ASSERT_TRUE(ids.insert(m.digest()).second) << "duplicate item";
+      }
+    }
+    ASSERT_LE(db.size(), 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModerationDbProperty,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+// ---- trace: generate -> serialize -> parse roundtrips for random params -----
+
+class TraceRoundtripProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TraceRoundtripProperty, GeneratedTracesRoundtripAndValidate) {
+  util::Rng rng(GetParam());
+  trace::GeneratorParams params;
+  params.n_peers = static_cast<std::uint32_t>(5 + rng.next_below(40));
+  params.n_swarms = static_cast<std::uint32_t>(1 + rng.next_below(6));
+  params.duration = static_cast<Duration>(
+      kDay / 2 + static_cast<Duration>(rng.next_below(2 * kDay)));
+  params.free_rider_fraction = rng.next_double(0.0, 0.5);
+  const trace::Trace original = trace::generate_trace(params, rng());
+
+  std::stringstream buf;
+  trace::write_trace(buf, original);
+  const trace::Trace parsed = trace::read_trace(buf);
+  EXPECT_EQ(parsed.event_count(), original.event_count());
+  EXPECT_EQ(parsed.peers.size(), original.peers.size());
+
+  // Analyzer invariants on arbitrary generated traces.
+  const trace::TraceStats st = trace::analyze(parsed);
+  EXPECT_GE(st.avg_online_fraction, 0.0);
+  EXPECT_LE(st.avg_online_fraction, 1.0);
+  EXPECT_LE(st.free_rider_fraction, 1.0);
+  for (const auto& s : parsed.sessions) {
+    EXPECT_LT(s.start, s.end);
+    EXPECT_LE(s.end, parsed.duration);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundtripProperty,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace tribvote

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pss/newscast.hpp"
+#include "pss/online_directory.hpp"
+#include "pss/oracle.hpp"
+
+namespace tribvote::pss {
+namespace {
+
+TEST(OnlineDirectory, SetAndQuery) {
+  OnlineDirectory dir(5);
+  EXPECT_EQ(dir.online_count(), 0u);
+  dir.set_online(2, true);
+  dir.set_online(4, true);
+  EXPECT_TRUE(dir.is_online(2));
+  EXPECT_FALSE(dir.is_online(0));
+  EXPECT_EQ(dir.online_count(), 2u);
+  dir.set_online(2, false);
+  EXPECT_FALSE(dir.is_online(2));
+  EXPECT_EQ(dir.online_count(), 1u);
+}
+
+TEST(OnlineDirectory, IdempotentTransitions) {
+  OnlineDirectory dir(3);
+  dir.set_online(1, true);
+  dir.set_online(1, true);
+  EXPECT_EQ(dir.online_count(), 1u);
+  dir.set_online(1, false);
+  dir.set_online(1, false);
+  EXPECT_EQ(dir.online_count(), 0u);
+}
+
+TEST(OnlineDirectory, SwapRemovalKeepsSetConsistent) {
+  OnlineDirectory dir(10);
+  for (PeerId p = 0; p < 10; ++p) dir.set_online(p, true);
+  dir.set_online(0, false);
+  dir.set_online(5, false);
+  dir.set_online(9, false);
+  std::set<PeerId> expected{1, 2, 3, 4, 6, 7, 8};
+  std::set<PeerId> actual(dir.online_ids().begin(), dir.online_ids().end());
+  EXPECT_EQ(actual, expected);
+  for (PeerId p = 0; p < 10; ++p) {
+    EXPECT_EQ(dir.is_online(p), expected.contains(p)) << "peer " << p;
+  }
+}
+
+TEST(OnlineDirectory, SampleExcludesSelf) {
+  OnlineDirectory dir(3);
+  util::Rng rng(1);
+  dir.set_online(0, true);
+  EXPECT_EQ(dir.sample_online(0, rng), kInvalidPeer);  // only self online
+  dir.set_online(1, true);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dir.sample_online(0, rng), 1u);
+  }
+}
+
+TEST(OnlineDirectory, SampleEmptyReturnsInvalid) {
+  OnlineDirectory dir(3);
+  util::Rng rng(1);
+  EXPECT_EQ(dir.sample_online(0, rng), kInvalidPeer);
+}
+
+TEST(OnlineDirectory, SampleIsUniform) {
+  OnlineDirectory dir(6);
+  util::Rng rng(2);
+  for (PeerId p = 0; p < 6; ++p) dir.set_online(p, true);
+  std::map<PeerId, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[dir.sample_online(0, rng)];
+  EXPECT_EQ(counts.size(), 5u);  // everyone but self
+  for (const auto& [peer, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 5, 500) << "peer " << peer;
+  }
+}
+
+TEST(OraclePss, DelegatesToDirectory) {
+  OnlineDirectory dir(4);
+  dir.set_online(1, true);
+  dir.set_online(3, true);
+  OraclePss pss(dir, util::Rng(3));
+  for (int i = 0; i < 50; ++i) {
+    const PeerId p = pss.sample(1);
+    EXPECT_EQ(p, 3u);
+  }
+}
+
+class NewscastTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 40;
+
+  NewscastTest()
+      : dir_(kN), pss_(kN, dir_, NewscastConfig{}, util::Rng(11)) {}
+
+  void all_online(Time now) {
+    for (PeerId p = 0; p < kN; ++p) {
+      dir_.set_online(p, true);
+      pss_.on_peer_online(p, now);
+    }
+  }
+
+  OnlineDirectory dir_;
+  NewscastPss pss_;
+};
+
+TEST_F(NewscastTest, BootstrapSeedsViews) {
+  all_online(0);
+  std::size_t non_empty = 0;
+  for (PeerId p = 0; p < kN; ++p) {
+    if (!pss_.view_of(p).empty()) ++non_empty;
+  }
+  EXPECT_GT(non_empty, kN / 2);
+}
+
+TEST_F(NewscastTest, GossipFillsViewsToCapacity) {
+  all_online(0);
+  for (Time t = 60; t <= 600; t += 60) pss_.gossip_round(t);
+  const NewscastConfig config;
+  std::size_t full = 0;
+  for (PeerId p = 0; p < kN; ++p) {
+    const auto view = pss_.view_of(p);
+    EXPECT_LE(view.size(), config.view_size);
+    if (view.size() == config.view_size) ++full;
+  }
+  EXPECT_GT(full, kN * 3 / 4);
+}
+
+TEST_F(NewscastTest, ViewsNeverContainSelf) {
+  all_online(0);
+  for (Time t = 60; t <= 600; t += 60) pss_.gossip_round(t);
+  for (PeerId p = 0; p < kN; ++p) {
+    for (const PeerId q : pss_.view_of(p)) EXPECT_NE(q, p);
+  }
+}
+
+TEST_F(NewscastTest, SampleReturnsOnlinePeers) {
+  all_online(0);
+  for (Time t = 60; t <= 300; t += 60) pss_.gossip_round(t);
+  for (PeerId p = 0; p < kN; ++p) {
+    const PeerId s = pss_.sample(p);
+    if (s != kInvalidPeer) {
+      EXPECT_NE(s, p);
+      EXPECT_TRUE(dir_.is_online(s));
+    }
+  }
+}
+
+TEST_F(NewscastTest, SampleCoversPopulationOverTime) {
+  all_online(0);
+  // A single snapshot can only cover view_size peers; across gossip rounds
+  // the view churns, so cumulative coverage must exceed the view size.
+  std::set<PeerId> seen;
+  for (Time t = 60; t <= 3600; t += 60) {
+    pss_.gossip_round(t);
+    for (int i = 0; i < 10; ++i) {
+      const PeerId s = pss_.sample(0);
+      if (s != kInvalidPeer) seen.insert(s);
+    }
+  }
+  EXPECT_GT(seen.size(), NewscastConfig{}.view_size);
+}
+
+TEST_F(NewscastTest, SelfHealsAfterMassChurn) {
+  all_online(0);
+  for (Time t = 60; t <= 600; t += 60) pss_.gossip_round(t);
+  // Half the population leaves.
+  for (PeerId p = 0; p < kN / 2; ++p) {
+    dir_.set_online(p, false);
+    pss_.on_peer_offline(p);
+  }
+  for (Time t = 660; t <= 1800; t += 60) pss_.gossip_round(t);
+  // Remaining nodes still sample live peers.
+  int live_samples = 0;
+  for (PeerId p = kN / 2; p < kN; ++p) {
+    const PeerId s = pss_.sample(p);
+    if (s != kInvalidPeer) {
+      EXPECT_TRUE(dir_.is_online(s));
+      ++live_samples;
+    }
+  }
+  EXPECT_GT(live_samples, static_cast<int>(kN / 4));
+}
+
+TEST_F(NewscastTest, ReturningPeerRebootstraps) {
+  all_online(0);
+  for (Time t = 60; t <= 300; t += 60) pss_.gossip_round(t);
+  dir_.set_online(0, false);
+  pss_.on_peer_offline(0);
+  // Long absence: entries expire.
+  const Time comeback = 300 + NewscastConfig{}.entry_ttl + 60;
+  dir_.set_online(0, true);
+  pss_.on_peer_online(0, comeback);
+  const PeerId s = pss_.sample(0);
+  EXPECT_NE(s, kInvalidPeer);  // bootstrap refilled the view
+}
+
+TEST(NewscastEdge, EmptyPopulation) {
+  OnlineDirectory dir(1);
+  NewscastPss pss(1, dir, NewscastConfig{}, util::Rng(1));
+  dir.set_online(0, true);
+  pss.on_peer_online(0, 0);
+  EXPECT_EQ(pss.sample(0), kInvalidPeer);
+  pss.gossip_round(60);  // must not crash
+}
+
+}  // namespace
+}  // namespace tribvote::pss

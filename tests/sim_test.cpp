@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace tribvote::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  std::vector<int> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(1, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeOnDefault) {
+  EventHandle h;
+  h.cancel();  // no crash
+  EXPECT_FALSE(h.pending());
+  EventQueue q;
+  EventHandle h2 = q.schedule(1, [] {});
+  h2.cancel();
+  h2.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledEventSkippedAmongLive) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] { order.push_back(1); });
+  EventHandle h = q.schedule(2, [&] { order.push_back(2); });
+  q.schedule(3, [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestLive) {
+  EventQueue q;
+  EventHandle h = q.schedule(5, [] {});
+  q.schedule(9, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+  h.cancel();
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  sim.schedule_at(10, [&] { stamps.push_back(sim.now()); });
+  sim.schedule_at(25, [&] { stamps.push_back(sim.now()); });
+  sim.run_until(100);
+  EXPECT_EQ(stamps, (std::vector<Time>{10, 25}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunUntilExecutesBoundaryEvents) {
+  Simulator sim;
+  bool at_boundary = false, beyond = false;
+  sim.schedule_at(50, [&] { at_boundary = true; });
+  sim.schedule_at(51, [&] { beyond = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(at_boundary);
+  EXPECT_FALSE(beyond);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.schedule_at(40, [&] {
+    sim.schedule_in(5, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until(100);
+  EXPECT_EQ(fired_at, 45);
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.schedule_in(0, [&] { order.push_back(2); });
+  });
+  sim.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run_until(100);
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(PeriodicTask, FiresOnPeriod) {
+  Simulator sim;
+  std::vector<Time> fires;
+  PeriodicTask task(sim, 10, [&] { fires.push_back(sim.now()); });
+  task.start();
+  sim.run_until(35);
+  EXPECT_EQ(fires, (std::vector<Time>{10, 20, 30}));
+}
+
+TEST(PeriodicTask, CustomPhase) {
+  Simulator sim;
+  std::vector<Time> fires;
+  PeriodicTask task(sim, 10, [&] { fires.push_back(sim.now()); });
+  task.start(/*phase=*/3);
+  sim.run_until(25);
+  EXPECT_EQ(fires, (std::vector<Time>{3, 13, 23}));
+}
+
+TEST(PeriodicTask, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 10, [&] { ++count; });
+  task.start();
+  sim.run_until(25);
+  task.stop();
+  EXPECT_FALSE(task.running());
+  sim.run_until(100);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, CanStopItselfFromCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 5, [&] {
+    if (++count == 3) task.stop();
+  });
+  task.start();
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, 5, [&] { ++count; });
+    task.start();
+    sim.run_until(12);
+  }
+  sim.run_until(100);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, RestartReschedules) {
+  Simulator sim;
+  std::vector<Time> fires;
+  PeriodicTask task(sim, 10, [&] { fires.push_back(sim.now()); });
+  task.start();
+  sim.run_until(15);            // fired at 10
+  task.start();                 // re-arm: next at 25
+  sim.run_until(40);
+  EXPECT_EQ(fires, (std::vector<Time>{10, 25, 35}));
+}
+
+}  // namespace
+}  // namespace tribvote::sim

@@ -1,0 +1,186 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/analyzer.hpp"
+
+namespace tribvote::trace {
+namespace {
+
+class GeneratorDefaults : public ::testing::Test {
+ protected:
+  static const Trace& trace() {
+    static const Trace tr = generate_trace(GeneratorParams{}, 42);
+    return tr;
+  }
+  static const TraceStats& stats() {
+    static const TraceStats st = analyze(trace());
+    return st;
+  }
+};
+
+TEST_F(GeneratorDefaults, Determinism) {
+  const Trace a = generate_trace(GeneratorParams{}, 42);
+  EXPECT_EQ(a.sessions.size(), trace().sessions.size());
+  EXPECT_EQ(a.joins.size(), trace().joins.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].peer, trace().sessions[i].peer);
+    EXPECT_EQ(a.sessions[i].start, trace().sessions[i].start);
+    EXPECT_EQ(a.sessions[i].end, trace().sessions[i].end);
+  }
+}
+
+TEST_F(GeneratorDefaults, DifferentSeedsDiffer) {
+  const Trace b = generate_trace(GeneratorParams{}, 43);
+  EXPECT_NE(b.sessions.size(), trace().sessions.size());
+}
+
+TEST_F(GeneratorDefaults, PaperScale) {
+  EXPECT_EQ(trace().peers.size(), 100u);
+  EXPECT_EQ(trace().duration, 7 * kDay);
+  // "approximately 23,000 unique events"
+  EXPECT_GT(stats().n_events, 18000u);
+  EXPECT_LT(stats().n_events, 30000u);
+}
+
+TEST_F(GeneratorDefaults, OnlineFractionNearHalf) {
+  // "on average only 50% of the total population of nodes are online"
+  EXPECT_GT(stats().avg_online_fraction, 0.35);
+  EXPECT_LT(stats().avg_online_fraction, 0.60);
+}
+
+TEST_F(GeneratorDefaults, FreeRiderFractionNearQuarter) {
+  // "approximately 25% of peers uploaded little to others"
+  EXPECT_GT(stats().free_rider_fraction, 0.12);
+  EXPECT_LT(stats().free_rider_fraction, 0.40);
+}
+
+TEST_F(GeneratorDefaults, SomePeersRarelyPresent) {
+  EXPECT_GT(stats().rare_peer_fraction, 0.0);
+  EXPECT_LT(stats().rare_peer_fraction, 0.30);
+}
+
+TEST_F(GeneratorDefaults, SessionsSortedAndWithinHorizon) {
+  Time prev = 0;
+  for (const auto& s : trace().sessions) {
+    EXPECT_LE(prev, s.start);
+    prev = s.start;
+    EXPECT_LT(s.start, s.end);
+    EXPECT_LE(s.end, trace().duration);
+    EXPECT_LT(s.peer, trace().peers.size());
+  }
+}
+
+TEST_F(GeneratorDefaults, SessionsRespectArrival) {
+  for (const auto& s : trace().sessions) {
+    EXPECT_GE(s.start, trace().peers[s.peer].arrival);
+  }
+}
+
+TEST_F(GeneratorDefaults, SessionsDoNotOverlapPerPeer) {
+  std::vector<Time> last_end(trace().peers.size(), -1);
+  for (const auto& s : trace().sessions) {
+    EXPECT_GE(s.start, last_end[s.peer]) << "peer " << s.peer;
+    last_end[s.peer] = s.end;
+  }
+}
+
+TEST_F(GeneratorDefaults, JoinsFallInsideASession) {
+  for (const auto& j : trace().joins) {
+    bool inside = false;
+    for (const auto& s : trace().sessions) {
+      if (s.peer == j.peer && s.start <= j.at && j.at < s.end) {
+        inside = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(inside) << "join by " << j.peer << " at " << j.at;
+  }
+}
+
+TEST_F(GeneratorDefaults, JoinsAfterSwarmCreation) {
+  for (const auto& j : trace().joins) {
+    EXPECT_GE(j.at, trace().swarms[j.swarm].created);
+  }
+}
+
+TEST_F(GeneratorDefaults, NoDuplicateJoins) {
+  std::set<std::pair<PeerId, SwarmId>> seen;
+  for (const auto& j : trace().joins) {
+    EXPECT_TRUE(seen.insert({j.peer, j.swarm}).second)
+        << "duplicate join " << j.peer << "/" << j.swarm;
+  }
+}
+
+TEST_F(GeneratorDefaults, SeederNeverJoinsOwnSwarm) {
+  for (const auto& j : trace().joins) {
+    EXPECT_NE(j.peer, trace().swarms[j.swarm].initial_seeder);
+  }
+}
+
+TEST_F(GeneratorDefaults, SwarmsWellFormed) {
+  GeneratorParams params;
+  ASSERT_EQ(trace().swarms.size(), params.n_swarms);
+  for (const auto& sw : trace().swarms) {
+    EXPECT_GE(sw.size_mb, params.size_lo_mb);
+    EXPECT_LE(sw.size_mb, params.size_hi_mb);
+    EXPECT_GT(sw.piece_count(), 0);
+    EXPECT_LT(sw.initial_seeder, trace().peers.size());
+    // Seeders are founders: present from the start.
+    EXPECT_EQ(trace().peers[sw.initial_seeder].arrival, 0);
+  }
+}
+
+TEST(Generator, DatasetProducesDistinctTraces) {
+  const auto traces = generate_dataset(GeneratorParams{}, 7, 5);
+  ASSERT_EQ(traces.size(), 5u);
+  std::set<std::size_t> session_counts;
+  for (const auto& tr : traces) session_counts.insert(tr.sessions.size());
+  EXPECT_GT(session_counts.size(), 1u);
+}
+
+TEST(Generator, SmallPopulationWorks) {
+  GeneratorParams params;
+  params.n_peers = 8;
+  params.n_swarms = 2;
+  params.duration = kDay;
+  const Trace tr = generate_trace(params, 1);
+  EXPECT_EQ(tr.peers.size(), 8u);
+  EXPECT_FALSE(tr.sessions.empty());
+}
+
+TEST(Generator, EventCountScalesWithDuration) {
+  GeneratorParams short_params;
+  short_params.duration = kDay;
+  GeneratorParams long_params;
+  long_params.duration = 4 * kDay;
+  const auto short_tr = generate_trace(short_params, 5);
+  const auto long_tr = generate_trace(long_params, 5);
+  EXPECT_GT(long_tr.event_count(), 2 * short_tr.event_count());
+}
+
+TEST(EarliestArrivals, ReturnsFoundersFirst) {
+  const Trace tr = generate_trace(GeneratorParams{}, 42);
+  const auto firsts = earliest_arrivals(tr, 10);
+  ASSERT_EQ(firsts.size(), 10u);
+  for (const PeerId p : firsts) {
+    EXPECT_EQ(tr.peers[p].arrival, 0) << "peer " << p;
+  }
+  // Requesting more than the population clamps.
+  EXPECT_EQ(earliest_arrivals(tr, 1000).size(), tr.peers.size());
+}
+
+TEST(OnlineCount, MatchesManualScan) {
+  const Trace tr = generate_trace(GeneratorParams{}, 42);
+  const Time t = 36 * kHour;
+  std::size_t manual = 0;
+  for (const auto& s : tr.sessions) {
+    if (s.start <= t && t < s.end) ++manual;
+  }
+  EXPECT_EQ(online_count(tr, t), manual);
+}
+
+}  // namespace
+}  // namespace tribvote::trace

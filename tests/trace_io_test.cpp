@@ -1,0 +1,144 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace tribvote::trace {
+namespace {
+
+TEST(TraceIo, RoundtripPreservesEverything) {
+  GeneratorParams params;
+  params.n_peers = 20;
+  params.n_swarms = 3;
+  params.duration = 2 * kDay;
+  const Trace original = generate_trace(params, 9);
+
+  std::stringstream buf;
+  write_trace(buf, original);
+  const Trace parsed = read_trace(buf);
+
+  EXPECT_EQ(parsed.duration, original.duration);
+  EXPECT_EQ(parsed.seed, original.seed);
+  ASSERT_EQ(parsed.peers.size(), original.peers.size());
+  for (std::size_t i = 0; i < parsed.peers.size(); ++i) {
+    EXPECT_EQ(parsed.peers[i].id, original.peers[i].id);
+    EXPECT_EQ(parsed.peers[i].connectable, original.peers[i].connectable);
+    EXPECT_EQ(parsed.peers[i].behavior, original.peers[i].behavior);
+    EXPECT_EQ(parsed.peers[i].arrival, original.peers[i].arrival);
+    EXPECT_NEAR(parsed.peers[i].upload_kbps, original.peers[i].upload_kbps,
+                1e-3);
+  }
+  ASSERT_EQ(parsed.swarms.size(), original.swarms.size());
+  for (std::size_t i = 0; i < parsed.swarms.size(); ++i) {
+    EXPECT_EQ(parsed.swarms[i].size_mb, original.swarms[i].size_mb);
+    EXPECT_EQ(parsed.swarms[i].initial_seeder,
+              original.swarms[i].initial_seeder);
+  }
+  ASSERT_EQ(parsed.sessions.size(), original.sessions.size());
+  ASSERT_EQ(parsed.joins.size(), original.joins.size());
+  EXPECT_EQ(parsed.event_count(), original.event_count());
+}
+
+TEST(TraceIo, FileRoundtrip) {
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.txt";
+  GeneratorParams params;
+  params.n_peers = 5;
+  params.n_swarms = 1;
+  params.duration = kDay / 2;
+  const Trace original = generate_trace(params, 3);
+  write_trace_file(path, original);
+  const Trace parsed = read_trace_file(path);
+  EXPECT_EQ(parsed.sessions.size(), original.sessions.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "trace 1000 7\n"
+      "peer 0 1 A 100 800 0\n"
+      "# another comment\n"
+      "session 0 10 20\n");
+  const Trace tr = read_trace(in);
+  EXPECT_EQ(tr.duration, 1000);
+  EXPECT_EQ(tr.peers.size(), 1u);
+  EXPECT_EQ(tr.sessions.size(), 1u);
+}
+
+TEST(TraceIo, SortsOutOfOrderRecords) {
+  std::stringstream in(
+      "trace 1000 0\n"
+      "peer 0 1 A 100 800 0\n"
+      "peer 1 0 F 4 800 0\n"
+      "session 0 500 600\n"
+      "session 1 10 20\n");
+  const Trace tr = read_trace(in);
+  EXPECT_EQ(tr.sessions[0].peer, 1u);
+  EXPECT_EQ(tr.sessions[1].peer, 0u);
+}
+
+TEST(TraceIo, MissingHeaderThrows) {
+  std::stringstream in("peer 0 1 A 100 800 0\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, UnknownRecordThrows) {
+  std::stringstream in("trace 1000 0\nbogus 1 2 3\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, BadBehaviorCodeThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 X 100 800 0\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, InvertedSessionThrows) {
+  std::stringstream in(
+      "trace 1000 0\npeer 0 1 A 100 800 0\nsession 0 50 40\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, SessionForUnknownPeerThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\nsession 5 1 2\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, JoinForUnknownSwarmThrows) {
+  std::stringstream in(
+      "trace 1000 0\npeer 0 1 A 100 800 0\njoin 0 3 10\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, SwarmWithUnknownSeederThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\n"
+                       "swarm 0 100 1024 0 9\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, NonPositiveSwarmSizeThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\n"
+                       "swarm 0 0 1024 0 0\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, ErrorMessageNamesLine) {
+  std::stringstream in("trace 1000 0\nbogus\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, UnreadableFileThrows) {
+  EXPECT_THROW((void)read_trace_file("/nonexistent/trace.txt"),
+               TraceFormatError);
+}
+
+}  // namespace
+}  // namespace tribvote::trace

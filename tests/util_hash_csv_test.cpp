@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/hash.hpp"
+
+namespace tribvote::util {
+namespace {
+
+TEST(Fnv1a, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, BytesAndStringAgree) {
+  const std::string s = "hello world";
+  const auto* data = reinterpret_cast<const std::byte*>(s.data());
+  EXPECT_EQ(fnv1a64(std::span<const std::byte>(data, s.size())), fnv1a64(s));
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);  // no collisions on consecutive inputs
+}
+
+TEST(Mix64, Avalanche) {
+  // Flipping one input bit flips roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = mix64(0x123456789abcdefULL);
+    const std::uint64_t b = mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    total_flips += std::popcount(a ^ b);
+  }
+  EXPECT_NEAR(total_flips / 64.0, 32.0, 6.0);
+}
+
+TEST(HashCombine, OrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(DigestFields, DistinguishesFieldBoundaries) {
+  EXPECT_NE(digest_fields({1, 2, 3}), digest_fields({1, 2}));
+  EXPECT_NE(digest_fields({12, 3}), digest_fields({1, 23}));
+  EXPECT_EQ(digest_fields({7, 8}), digest_fields({7, 8}));
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(-3.1400001, 2), "-3.14");
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "csv_test.csv";
+
+  std::string read_back() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, PlainRows) {
+  {
+    CsvWriter w(path_);
+    ASSERT_TRUE(w.ok());
+    w.write_row({"a", "b", "c"});
+    w.write_row({"1", "2", "3"});
+  }
+  EXPECT_EQ(read_back(), "a,b,c\n1,2,3\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"with,comma", "with\"quote", "plain"});
+  }
+  EXPECT_EQ(read_back(), "\"with,comma\",\"with\"\"quote\",plain\n");
+}
+
+TEST_F(CsvWriterTest, IncrementalFields) {
+  {
+    CsvWriter w(path_);
+    w.field("t").field(1.25).field(static_cast<long long>(-7));
+    w.end_row();
+  }
+  EXPECT_EQ(read_back(), "t,1.25,-7\n");
+}
+
+TEST_F(CsvWriterTest, NewlineInFieldIsQuoted) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"line1\nline2"});
+  }
+  EXPECT_EQ(read_back(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriterBadPath, OkIsFalse) {
+  CsvWriter w("/nonexistent-dir-xyz/file.csv");
+  EXPECT_FALSE(w.ok());
+}
+
+}  // namespace
+}  // namespace tribvote::util
