@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_adaptive_threshold.dir/abl_adaptive_threshold.cpp.o"
+  "CMakeFiles/abl_adaptive_threshold.dir/abl_adaptive_threshold.cpp.o.d"
+  "abl_adaptive_threshold"
+  "abl_adaptive_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

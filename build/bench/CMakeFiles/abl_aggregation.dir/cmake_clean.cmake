@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_aggregation.dir/abl_aggregation.cpp.o"
+  "CMakeFiles/abl_aggregation.dir/abl_aggregation.cpp.o.d"
+  "abl_aggregation"
+  "abl_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

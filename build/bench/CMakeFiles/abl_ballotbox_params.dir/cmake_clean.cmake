@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ballotbox_params.dir/abl_ballotbox_params.cpp.o"
+  "CMakeFiles/abl_ballotbox_params.dir/abl_ballotbox_params.cpp.o.d"
+  "abl_ballotbox_params"
+  "abl_ballotbox_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ballotbox_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_credence_isolation.dir/abl_credence_isolation.cpp.o"
+  "CMakeFiles/abl_credence_isolation.dir/abl_credence_isolation.cpp.o.d"
+  "abl_credence_isolation"
+  "abl_credence_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_credence_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_credence_isolation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dht_vs_gossip.dir/abl_dht_vs_gossip.cpp.o"
+  "CMakeFiles/abl_dht_vs_gossip.dir/abl_dht_vs_gossip.cpp.o.d"
+  "abl_dht_vs_gossip"
+  "abl_dht_vs_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dht_vs_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

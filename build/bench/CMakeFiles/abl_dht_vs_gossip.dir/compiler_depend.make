@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_dht_vs_gossip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fake_experience.dir/abl_fake_experience.cpp.o"
+  "CMakeFiles/abl_fake_experience.dir/abl_fake_experience.cpp.o.d"
+  "abl_fake_experience"
+  "abl_fake_experience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fake_experience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_fake_experience.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pss_comparison.dir/abl_pss_comparison.cpp.o"
+  "CMakeFiles/abl_pss_comparison.dir/abl_pss_comparison.cpp.o.d"
+  "abl_pss_comparison"
+  "abl_pss_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pss_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

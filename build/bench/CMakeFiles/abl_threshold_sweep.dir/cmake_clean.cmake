@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_threshold_sweep.dir/abl_threshold_sweep.cpp.o"
+  "CMakeFiles/abl_threshold_sweep.dir/abl_threshold_sweep.cpp.o.d"
+  "abl_threshold_sweep"
+  "abl_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

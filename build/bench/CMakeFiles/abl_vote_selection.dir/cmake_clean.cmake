@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vote_selection.dir/abl_vote_selection.cpp.o"
+  "CMakeFiles/abl_vote_selection.dir/abl_vote_selection.cpp.o.d"
+  "abl_vote_selection"
+  "abl_vote_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vote_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

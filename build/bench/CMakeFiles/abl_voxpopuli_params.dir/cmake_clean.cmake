@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_voxpopuli_params.dir/abl_voxpopuli_params.cpp.o"
+  "CMakeFiles/abl_voxpopuli_params.dir/abl_voxpopuli_params.cpp.o.d"
+  "abl_voxpopuli_params"
+  "abl_voxpopuli_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_voxpopuli_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_experience_formation.dir/fig5_experience_formation.cpp.o"
+  "CMakeFiles/fig5_experience_formation.dir/fig5_experience_formation.cpp.o.d"
+  "fig5_experience_formation"
+  "fig5_experience_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_experience_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

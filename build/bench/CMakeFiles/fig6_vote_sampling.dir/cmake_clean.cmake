@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vote_sampling.dir/fig6_vote_sampling.cpp.o"
+  "CMakeFiles/fig6_vote_sampling.dir/fig6_vote_sampling.cpp.o.d"
+  "fig6_vote_sampling"
+  "fig6_vote_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vote_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

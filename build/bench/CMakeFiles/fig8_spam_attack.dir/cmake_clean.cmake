@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_spam_attack.dir/fig8_spam_attack.cpp.o"
+  "CMakeFiles/fig8_spam_attack.dir/fig8_spam_attack.cpp.o.d"
+  "fig8_spam_attack"
+  "fig8_spam_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spam_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_diagnostics.dir/convergence_diagnostics.cpp.o"
+  "CMakeFiles/convergence_diagnostics.dir/convergence_diagnostics.cpp.o.d"
+  "convergence_diagnostics"
+  "convergence_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

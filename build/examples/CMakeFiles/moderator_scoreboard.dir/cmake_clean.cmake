@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moderator_scoreboard.dir/moderator_scoreboard.cpp.o"
+  "CMakeFiles/moderator_scoreboard.dir/moderator_scoreboard.cpp.o.d"
+  "moderator_scoreboard"
+  "moderator_scoreboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moderator_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_cli.dir/scenario_cli.cpp.o"
+  "CMakeFiles/scenario_cli.dir/scenario_cli.cpp.o.d"
+  "scenario_cli"
+  "scenario_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

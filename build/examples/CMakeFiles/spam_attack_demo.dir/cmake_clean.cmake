@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_attack_demo.dir/spam_attack_demo.cpp.o"
+  "CMakeFiles/spam_attack_demo.dir/spam_attack_demo.cpp.o.d"
+  "spam_attack_demo"
+  "spam_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

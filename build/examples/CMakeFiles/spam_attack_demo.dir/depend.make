@@ -1,0 +1,2 @@
+# Empty dependencies file for spam_attack_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/colluder.cpp" "src/attack/CMakeFiles/tribvote_attack.dir/colluder.cpp.o" "gcc" "src/attack/CMakeFiles/tribvote_attack.dir/colluder.cpp.o.d"
+  "/root/repo/src/attack/front_peer.cpp" "src/attack/CMakeFiles/tribvote_attack.dir/front_peer.cpp.o" "gcc" "src/attack/CMakeFiles/tribvote_attack.dir/front_peer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vote/CMakeFiles/tribvote_vote.dir/DependInfo.cmake"
+  "/root/repo/build/src/bartercast/CMakeFiles/tribvote_bartercast.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tribvote_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/tribvote_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tribvote_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tribvote_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_attack.dir/colluder.cpp.o"
+  "CMakeFiles/tribvote_attack.dir/colluder.cpp.o.d"
+  "CMakeFiles/tribvote_attack.dir/front_peer.cpp.o"
+  "CMakeFiles/tribvote_attack.dir/front_peer.cpp.o.d"
+  "libtribvote_attack.a"
+  "libtribvote_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

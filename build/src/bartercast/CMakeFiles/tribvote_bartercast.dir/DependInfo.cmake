@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bartercast/experience.cpp" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/experience.cpp.o" "gcc" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/experience.cpp.o.d"
+  "/root/repo/src/bartercast/maxflow.cpp" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/maxflow.cpp.o" "gcc" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/maxflow.cpp.o.d"
+  "/root/repo/src/bartercast/protocol.cpp" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/protocol.cpp.o" "gcc" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/protocol.cpp.o.d"
+  "/root/repo/src/bartercast/subjective_graph.cpp" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/subjective_graph.cpp.o" "gcc" "src/bartercast/CMakeFiles/tribvote_bartercast.dir/subjective_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tribvote_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/tribvote_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tribvote_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_bartercast.dir/experience.cpp.o"
+  "CMakeFiles/tribvote_bartercast.dir/experience.cpp.o.d"
+  "CMakeFiles/tribvote_bartercast.dir/maxflow.cpp.o"
+  "CMakeFiles/tribvote_bartercast.dir/maxflow.cpp.o.d"
+  "CMakeFiles/tribvote_bartercast.dir/protocol.cpp.o"
+  "CMakeFiles/tribvote_bartercast.dir/protocol.cpp.o.d"
+  "CMakeFiles/tribvote_bartercast.dir/subjective_graph.cpp.o"
+  "CMakeFiles/tribvote_bartercast.dir/subjective_graph.cpp.o.d"
+  "libtribvote_bartercast.a"
+  "libtribvote_bartercast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_bartercast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

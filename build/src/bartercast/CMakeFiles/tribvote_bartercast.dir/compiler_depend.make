@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tribvote_bartercast.
+# This may be replaced when dependencies are built.

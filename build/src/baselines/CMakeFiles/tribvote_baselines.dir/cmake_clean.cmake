@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_baselines.dir/credence.cpp.o"
+  "CMakeFiles/tribvote_baselines.dir/credence.cpp.o.d"
+  "libtribvote_baselines.a"
+  "libtribvote_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

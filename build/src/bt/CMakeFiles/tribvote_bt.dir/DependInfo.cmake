@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bt/bandwidth.cpp" "src/bt/CMakeFiles/tribvote_bt.dir/bandwidth.cpp.o" "gcc" "src/bt/CMakeFiles/tribvote_bt.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/bt/bitfield.cpp" "src/bt/CMakeFiles/tribvote_bt.dir/bitfield.cpp.o" "gcc" "src/bt/CMakeFiles/tribvote_bt.dir/bitfield.cpp.o.d"
+  "/root/repo/src/bt/choker.cpp" "src/bt/CMakeFiles/tribvote_bt.dir/choker.cpp.o" "gcc" "src/bt/CMakeFiles/tribvote_bt.dir/choker.cpp.o.d"
+  "/root/repo/src/bt/piece_picker.cpp" "src/bt/CMakeFiles/tribvote_bt.dir/piece_picker.cpp.o" "gcc" "src/bt/CMakeFiles/tribvote_bt.dir/piece_picker.cpp.o.d"
+  "/root/repo/src/bt/swarm.cpp" "src/bt/CMakeFiles/tribvote_bt.dir/swarm.cpp.o" "gcc" "src/bt/CMakeFiles/tribvote_bt.dir/swarm.cpp.o.d"
+  "/root/repo/src/bt/transfer_ledger.cpp" "src/bt/CMakeFiles/tribvote_bt.dir/transfer_ledger.cpp.o" "gcc" "src/bt/CMakeFiles/tribvote_bt.dir/transfer_ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tribvote_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tribvote_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

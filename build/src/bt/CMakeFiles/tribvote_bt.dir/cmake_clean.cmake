@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_bt.dir/bandwidth.cpp.o"
+  "CMakeFiles/tribvote_bt.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/tribvote_bt.dir/bitfield.cpp.o"
+  "CMakeFiles/tribvote_bt.dir/bitfield.cpp.o.d"
+  "CMakeFiles/tribvote_bt.dir/choker.cpp.o"
+  "CMakeFiles/tribvote_bt.dir/choker.cpp.o.d"
+  "CMakeFiles/tribvote_bt.dir/piece_picker.cpp.o"
+  "CMakeFiles/tribvote_bt.dir/piece_picker.cpp.o.d"
+  "CMakeFiles/tribvote_bt.dir/swarm.cpp.o"
+  "CMakeFiles/tribvote_bt.dir/swarm.cpp.o.d"
+  "CMakeFiles/tribvote_bt.dir/transfer_ledger.cpp.o"
+  "CMakeFiles/tribvote_bt.dir/transfer_ledger.cpp.o.d"
+  "libtribvote_bt.a"
+  "libtribvote_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

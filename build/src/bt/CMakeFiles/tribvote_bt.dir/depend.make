@@ -1,0 +1,2 @@
+# Empty dependencies file for tribvote_bt.
+# This may be replaced when dependencies are built.

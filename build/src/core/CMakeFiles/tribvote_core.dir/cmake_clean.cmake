@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_core.dir/experiment.cpp.o"
+  "CMakeFiles/tribvote_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/tribvote_core.dir/node.cpp.o"
+  "CMakeFiles/tribvote_core.dir/node.cpp.o.d"
+  "CMakeFiles/tribvote_core.dir/runner.cpp.o"
+  "CMakeFiles/tribvote_core.dir/runner.cpp.o.d"
+  "libtribvote_core.a"
+  "libtribvote_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

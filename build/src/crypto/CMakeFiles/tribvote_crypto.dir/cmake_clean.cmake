@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_crypto.dir/field.cpp.o"
+  "CMakeFiles/tribvote_crypto.dir/field.cpp.o.d"
+  "CMakeFiles/tribvote_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/tribvote_crypto.dir/schnorr.cpp.o.d"
+  "libtribvote_crypto.a"
+  "libtribvote_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_dht.dir/chord.cpp.o"
+  "CMakeFiles/tribvote_dht.dir/chord.cpp.o.d"
+  "libtribvote_dht.a"
+  "libtribvote_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

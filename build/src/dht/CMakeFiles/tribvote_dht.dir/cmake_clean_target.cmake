@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtribvote_dht.a"
+)

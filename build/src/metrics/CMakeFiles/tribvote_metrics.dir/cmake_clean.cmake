@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_metrics.dir/cev.cpp.o"
+  "CMakeFiles/tribvote_metrics.dir/cev.cpp.o.d"
+  "CMakeFiles/tribvote_metrics.dir/ordering.cpp.o"
+  "CMakeFiles/tribvote_metrics.dir/ordering.cpp.o.d"
+  "CMakeFiles/tribvote_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/tribvote_metrics.dir/timeseries.cpp.o.d"
+  "libtribvote_metrics.a"
+  "libtribvote_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moderation/db.cpp" "src/moderation/CMakeFiles/tribvote_moderation.dir/db.cpp.o" "gcc" "src/moderation/CMakeFiles/tribvote_moderation.dir/db.cpp.o.d"
+  "/root/repo/src/moderation/moderation.cpp" "src/moderation/CMakeFiles/tribvote_moderation.dir/moderation.cpp.o" "gcc" "src/moderation/CMakeFiles/tribvote_moderation.dir/moderation.cpp.o.d"
+  "/root/repo/src/moderation/moderationcast.cpp" "src/moderation/CMakeFiles/tribvote_moderation.dir/moderationcast.cpp.o" "gcc" "src/moderation/CMakeFiles/tribvote_moderation.dir/moderationcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tribvote_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tribvote_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

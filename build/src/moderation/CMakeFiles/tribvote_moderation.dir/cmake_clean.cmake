@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_moderation.dir/db.cpp.o"
+  "CMakeFiles/tribvote_moderation.dir/db.cpp.o.d"
+  "CMakeFiles/tribvote_moderation.dir/moderation.cpp.o"
+  "CMakeFiles/tribvote_moderation.dir/moderation.cpp.o.d"
+  "CMakeFiles/tribvote_moderation.dir/moderationcast.cpp.o"
+  "CMakeFiles/tribvote_moderation.dir/moderationcast.cpp.o.d"
+  "libtribvote_moderation.a"
+  "libtribvote_moderation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_moderation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

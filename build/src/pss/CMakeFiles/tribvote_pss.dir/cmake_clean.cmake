@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_pss.dir/newscast.cpp.o"
+  "CMakeFiles/tribvote_pss.dir/newscast.cpp.o.d"
+  "CMakeFiles/tribvote_pss.dir/online_directory.cpp.o"
+  "CMakeFiles/tribvote_pss.dir/online_directory.cpp.o.d"
+  "libtribvote_pss.a"
+  "libtribvote_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tribvote_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tribvote_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tribvote_sim.dir/simulator.cpp.o.d"
+  "libtribvote_sim.a"
+  "libtribvote_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/tribvote_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/tribvote_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/tribvote_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/tribvote_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/tribvote_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/tribvote_trace.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tribvote_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/tribvote_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/tribvote_trace.dir/generator.cpp.o"
+  "CMakeFiles/tribvote_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/tribvote_trace.dir/io.cpp.o"
+  "CMakeFiles/tribvote_trace.dir/io.cpp.o.d"
+  "libtribvote_trace.a"
+  "libtribvote_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_util.dir/csv.cpp.o"
+  "CMakeFiles/tribvote_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tribvote_util.dir/hash.cpp.o"
+  "CMakeFiles/tribvote_util.dir/hash.cpp.o.d"
+  "CMakeFiles/tribvote_util.dir/rng.cpp.o"
+  "CMakeFiles/tribvote_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tribvote_util.dir/stats.cpp.o"
+  "CMakeFiles/tribvote_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tribvote_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/tribvote_util.dir/thread_pool.cpp.o.d"
+  "libtribvote_util.a"
+  "libtribvote_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

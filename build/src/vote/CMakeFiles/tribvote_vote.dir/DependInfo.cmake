@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vote/agent.cpp" "src/vote/CMakeFiles/tribvote_vote.dir/agent.cpp.o" "gcc" "src/vote/CMakeFiles/tribvote_vote.dir/agent.cpp.o.d"
+  "/root/repo/src/vote/ballot_box.cpp" "src/vote/CMakeFiles/tribvote_vote.dir/ballot_box.cpp.o" "gcc" "src/vote/CMakeFiles/tribvote_vote.dir/ballot_box.cpp.o.d"
+  "/root/repo/src/vote/ranking.cpp" "src/vote/CMakeFiles/tribvote_vote.dir/ranking.cpp.o" "gcc" "src/vote/CMakeFiles/tribvote_vote.dir/ranking.cpp.o.d"
+  "/root/repo/src/vote/vote_list.cpp" "src/vote/CMakeFiles/tribvote_vote.dir/vote_list.cpp.o" "gcc" "src/vote/CMakeFiles/tribvote_vote.dir/vote_list.cpp.o.d"
+  "/root/repo/src/vote/voxpopuli.cpp" "src/vote/CMakeFiles/tribvote_vote.dir/voxpopuli.cpp.o" "gcc" "src/vote/CMakeFiles/tribvote_vote.dir/voxpopuli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tribvote_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tribvote_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribvote_vote.dir/agent.cpp.o"
+  "CMakeFiles/tribvote_vote.dir/agent.cpp.o.d"
+  "CMakeFiles/tribvote_vote.dir/ballot_box.cpp.o"
+  "CMakeFiles/tribvote_vote.dir/ballot_box.cpp.o.d"
+  "CMakeFiles/tribvote_vote.dir/ranking.cpp.o"
+  "CMakeFiles/tribvote_vote.dir/ranking.cpp.o.d"
+  "CMakeFiles/tribvote_vote.dir/vote_list.cpp.o"
+  "CMakeFiles/tribvote_vote.dir/vote_list.cpp.o.d"
+  "CMakeFiles/tribvote_vote.dir/voxpopuli.cpp.o"
+  "CMakeFiles/tribvote_vote.dir/voxpopuli.cpp.o.d"
+  "libtribvote_vote.a"
+  "libtribvote_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribvote_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tribvote_vote.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bartercast_test.dir/bartercast_test.cpp.o"
+  "CMakeFiles/bartercast_test.dir/bartercast_test.cpp.o.d"
+  "bartercast_test"
+  "bartercast_test.pdb"
+  "bartercast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bartercast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

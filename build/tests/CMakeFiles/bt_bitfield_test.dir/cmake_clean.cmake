@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_bitfield_test.dir/bt_bitfield_test.cpp.o"
+  "CMakeFiles/bt_bitfield_test.dir/bt_bitfield_test.cpp.o.d"
+  "bt_bitfield_test"
+  "bt_bitfield_test.pdb"
+  "bt_bitfield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_bitfield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

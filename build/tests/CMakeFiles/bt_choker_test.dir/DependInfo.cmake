@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bt_choker_test.cpp" "tests/CMakeFiles/bt_choker_test.dir/bt_choker_test.cpp.o" "gcc" "tests/CMakeFiles/bt_choker_test.dir/bt_choker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tribvote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tribvote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/tribvote_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/moderation/CMakeFiles/tribvote_moderation.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/tribvote_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tribvote_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/bartercast/CMakeFiles/tribvote_bartercast.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/tribvote_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tribvote_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vote/CMakeFiles/tribvote_vote.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tribvote_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/tribvote_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tribvote_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tribvote_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

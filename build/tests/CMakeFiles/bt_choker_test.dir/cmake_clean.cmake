@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_choker_test.dir/bt_choker_test.cpp.o"
+  "CMakeFiles/bt_choker_test.dir/bt_choker_test.cpp.o.d"
+  "bt_choker_test"
+  "bt_choker_test.pdb"
+  "bt_choker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_choker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

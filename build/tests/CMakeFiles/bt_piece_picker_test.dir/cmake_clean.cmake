@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_piece_picker_test.dir/bt_piece_picker_test.cpp.o"
+  "CMakeFiles/bt_piece_picker_test.dir/bt_piece_picker_test.cpp.o.d"
+  "bt_piece_picker_test"
+  "bt_piece_picker_test.pdb"
+  "bt_piece_picker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_piece_picker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_swarm_test.dir/bt_swarm_test.cpp.o"
+  "CMakeFiles/bt_swarm_test.dir/bt_swarm_test.cpp.o.d"
+  "bt_swarm_test"
+  "bt_swarm_test.pdb"
+  "bt_swarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_swarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bt_swarm_test.
+# This may be replaced when dependencies are built.

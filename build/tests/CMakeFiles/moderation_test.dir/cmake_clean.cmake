@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moderation_test.dir/moderation_test.cpp.o"
+  "CMakeFiles/moderation_test.dir/moderation_test.cpp.o.d"
+  "moderation_test"
+  "moderation_test.pdb"
+  "moderation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moderation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

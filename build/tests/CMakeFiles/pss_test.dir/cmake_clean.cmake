@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pss_test.dir/pss_test.cpp.o"
+  "CMakeFiles/pss_test.dir/pss_test.cpp.o.d"
+  "pss_test"
+  "pss_test.pdb"
+  "pss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

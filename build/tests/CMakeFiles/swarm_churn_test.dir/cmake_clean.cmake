@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_churn_test.dir/swarm_churn_test.cpp.o"
+  "CMakeFiles/swarm_churn_test.dir/swarm_churn_test.cpp.o.d"
+  "swarm_churn_test"
+  "swarm_churn_test.pdb"
+  "swarm_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

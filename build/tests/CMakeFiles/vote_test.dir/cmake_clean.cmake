@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vote_test.dir/vote_test.cpp.o"
+  "CMakeFiles/vote_test.dir/vote_test.cpp.o.d"
+  "vote_test"
+  "vote_test.pdb"
+  "vote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

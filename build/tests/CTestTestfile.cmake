@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_hash_csv_test[1]_include.cmake")
+include("/root/repo/build/tests/util_thread_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/bt_bitfield_test[1]_include.cmake")
+include("/root/repo/build/tests/bt_piece_picker_test[1]_include.cmake")
+include("/root/repo/build/tests/bt_choker_test[1]_include.cmake")
+include("/root/repo/build/tests/bt_swarm_test[1]_include.cmake")
+include("/root/repo/build/tests/pss_test[1]_include.cmake")
+include("/root/repo/build/tests/bartercast_test[1]_include.cmake")
+include("/root/repo/build/tests/moderation_test[1]_include.cmake")
+include("/root/repo/build/tests/vote_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/core_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dht_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/swarm_churn_test[1]_include.cmake")
