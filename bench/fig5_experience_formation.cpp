@@ -32,10 +32,12 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index) {
   runner.sample_every(2 * kHour, [&](Time t) {
     std::array<std::size_t, kThresholdsMb.size()> edges{};
     for (PeerId i = 0; i < n; ++i) {
-      const auto& agent = runner.node(i).barter();
+      // One batched column per sink serves every threshold (and is cached
+      // against the graph version for the next sampling epoch).
+      const auto& column = runner.node(i).barter().contribution_column(n);
       for (PeerId j = 0; j < n; ++j) {
         if (i == j) continue;
-        const double f = agent.contribution_of(j);
+        const double f = column[j];
         for (std::size_t k = 0; k < kThresholdsMb.size(); ++k) {
           if (f >= kThresholdsMb[k]) ++edges[k];
         }

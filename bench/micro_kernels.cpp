@@ -5,13 +5,20 @@
 // tractable on one core.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "bartercast/maxflow.hpp"
+#include "bartercast/protocol.hpp"
 #include "bartercast/subjective_graph.hpp"
 #include "bt/piece_picker.hpp"
 #include "bt/swarm.hpp"
+#include "bt/transfer_ledger.hpp"
 #include "crypto/schnorr.hpp"
+#include "metrics/cev.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "vote/ballot_box.hpp"
 #include "vote/voxpopuli.hpp"
 
@@ -98,6 +105,131 @@ void BM_MaxflowEdmondsKarp3Hop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxflowEdmondsKarp3Hop)->Arg(400)->Arg(2000);
+
+/// A gossip-converged population of BarterCast agents over a random
+/// transfer matrix, as the CEV measurements see it.
+struct BarterPopulation {
+  bt::TransferLedger ledger;
+  std::vector<std::unique_ptr<bartercast::BarterAgent>> agents;
+  std::vector<const bartercast::BarterAgent*> ptrs;
+
+  BarterPopulation(std::size_t n, std::size_t transfers, std::uint64_t seed)
+      : ledger(n) {
+    util::Rng rng(seed);
+    for (std::size_t e = 0; e < transfers; ++e) {
+      const auto a = static_cast<PeerId>(rng.next_below(n));
+      const auto b = static_cast<PeerId>(rng.next_below(n));
+      if (a != b) {
+        ledger.add_transfer(a, b, rng.next_double(1, 100) * 1024 * 1024);
+      }
+    }
+    for (PeerId i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<bartercast::BarterAgent>(
+          i, bartercast::BarterConfig{}));
+    }
+    for (PeerId i = 0; i < n; ++i) {
+      agents[i]->sync_direct(ledger, 0);
+      for (PeerId j = 0; j < n; ++j) {
+        if (i != j) agents[i]->receive(j, agents[j]->outgoing_records(ledger, 0));
+      }
+    }
+    for (const auto& a : agents) ptrs.push_back(a.get());
+  }
+
+  [[nodiscard]] std::span<const bartercast::BarterAgent* const> span() const {
+    return {ptrs.data(), ptrs.size()};
+  }
+};
+
+/// Uncached baseline: scratch max-flow per query, what contribution_of cost
+/// before the version cache.
+void BM_ContributionOf_cold(benchmark::State& state) {
+  const BarterPopulation pop(100, 3000, 42);
+  const bartercast::BarterAgent& agent = *pop.agents[0];
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const auto j = static_cast<PeerId>(1 + rng.next_below(99));
+    benchmark::DoNotOptimize(
+        bartercast::max_flow(agent.graph(), j, agent.self(), 2));
+  }
+}
+BENCHMARK(BM_ContributionOf_cold);
+
+/// Memoized path on an unchanged graph: O(1) hash lookup per query.
+void BM_ContributionOf_warm(benchmark::State& state) {
+  const BarterPopulation pop(100, 3000, 42);
+  const bartercast::BarterAgent& agent = *pop.agents[0];
+  for (PeerId j = 0; j < 100; ++j) {
+    benchmark::DoNotOptimize(agent.contribution_of(j));  // warm the cache
+  }
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const auto j = static_cast<PeerId>(1 + rng.next_below(99));
+    benchmark::DoNotOptimize(agent.contribution_of(j));
+  }
+}
+BENCHMARK(BM_ContributionOf_warm);
+
+/// Uncached CEV baseline: all ordered pairs, scratch max-flow each — the
+/// pre-cache cost of one CEV sample on a warm (unchanged) graph.
+void BM_CEV_uncached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BarterPopulation pop(n, 30 * n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::collective_experience_value(
+        n, [&](PeerId i, PeerId j) {
+          return bartercast::max_flow(pop.agents[i]->graph(), j, i, 2) >= 5.0;
+        }));
+  }
+}
+BENCHMARK(BM_CEV_uncached)->Arg(50)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+/// Batched + memoized CEV on a warm graph (the per-epoch steady state: the
+/// acceptance target is ≥5× over BM_CEV_uncached at n=100).
+void BM_CEV(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BarterPopulation pop(n, 30 * n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::collective_experience_value(pop.span(), 5.0));
+  }
+}
+BENCHMARK(BM_CEV)->Arg(50)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+/// Same with the per-sink columns fanned out across a thread pool.
+void BM_CEV_pooled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BarterPopulation pop(n, 30 * n, 42);
+  util::ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::collective_experience_value(pop.span(), 5.0, pool));
+  }
+}
+BENCHMARK(BM_CEV_pooled)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+/// First CEV after a graph mutation: columns rebuilt from the CSR snapshot
+/// (the cold half of the per-epoch cost).
+void BM_CEV_after_mutation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BarterPopulation pop(n, 30 * n, 42);
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // One new transfer, gossiped to everyone: every sink's column and the
+    // affected cache entries go stale.
+    pop.ledger.add_transfer(0, 1, static_cast<double>(++tick) * 1024 * 1024);
+    pop.agents[0]->sync_direct(pop.ledger, static_cast<Time>(tick));
+    pop.agents[1]->sync_direct(pop.ledger, static_cast<Time>(tick));
+    const auto report =
+        pop.agents[0]->outgoing_records(pop.ledger, static_cast<Time>(tick));
+    for (auto& agent : pop.agents) agent->receive(0, report);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        metrics::collective_experience_value(pop.span(), 5.0));
+  }
+}
+BENCHMARK(BM_CEV_after_mutation)->Arg(100)->Unit(benchmark::kMicrosecond);
 
 void BM_BallotBoxMerge(benchmark::State& state) {
   std::vector<vote::VoteEntry> votes;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the microbenchmark suite and emit machine-readable results.
+#
+#   bench/run_bench.sh [build-dir] [output.json] [extra benchmark args...]
+#
+# Defaults: build-dir = build, output = BENCH_micro.json (repo root).
+# Extra args are passed through to google-benchmark, e.g.
+#   bench/run_bench.sh build out.json --benchmark_filter=CEV
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_micro.json}"
+shift $(( $# > 2 ? 2 : $# ))
+
+bin="$build_dir/bench/micro_kernels"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not built (cmake --build $build_dir --target micro_kernels)" >&2
+  exit 1
+fi
+
+"$bin" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  "$@" > /dev/null
+
+echo "wrote $out"

@@ -68,10 +68,8 @@ int main() {
         rankings.push_back(runner.ranking_of(p));
       }
     }
-    const auto agents = runner.barter_agents();
-    const double cev = metrics::collective_experience_value(
-        std::span<const bartercast::BarterAgent* const>(agents.data(), n),
-        config.experience_threshold_mb);
+    const double cev =
+        runner.collective_experience(config.experience_threshold_mb);
     const double correct = metrics::correct_ordering_fraction(
         rankings, std::span<const ModeratorId>(expected));
     std::printf("%5.0f  %5zu  %9zu  %10.2f  %6zu  %5.3f  %7.2f\n",

@@ -51,7 +51,66 @@ void BarterAgent::receive(PeerId sender,
 
 double BarterAgent::contribution_of(PeerId j) const {
   if (j == self_) return 0.0;
-  return max_flow(graph_, j, self_, config_.max_path_edges);
+  const std::uint64_t v = graph_.version();
+  const auto it = contribution_cache_.find(j);
+  if (it != contribution_cache_.end()) {
+    if (it->second.version == v) {
+      ++cache_stats_.hits;
+      return it->second.mb;
+    }
+    // Fine-grained revalidation via the delta log — only sound for the
+    // closed-form hop bound, where relevance of a mutated edge is exactly
+    // "touches (j, *) or (*, self)". Longer bounds invalidate wholesale.
+    if (config_.max_path_edges <= 2 &&
+        graph_.deltas_since(it->second.version, j, self_) ==
+            SubjectiveGraph::DeltaCheck::kUnaffected) {
+      it->second.version = v;
+      ++cache_stats_.revalidations;
+      return it->second.mb;
+    }
+  }
+  ++cache_stats_.misses;
+  const double f = max_flow(graph_, j, self_, config_.max_path_edges);
+  contribution_cache_.insert_or_assign(j, CachedContribution{f, v});
+  return f;
+}
+
+const std::vector<double>& BarterAgent::contribution_column(
+    std::size_t population) const {
+  const std::uint64_t v = graph_.version();
+  if (column_version_ == v && column_cache_.size() == population) {
+    return column_cache_;
+  }
+  // Fine-grained revalidation: when every delta since the cached version
+  // misses (*, self), only the delta tails' own rows can have moved —
+  // recompute exactly those entries and keep the rest. This is what makes
+  // per-round CEV sampling cheap under steady gossip: a wave of records
+  // about a handful of peers touches a handful of entries, not O(n).
+  if (config_.max_path_edges <= 2 && column_version_ != kNoColumn &&
+      column_cache_.size() == population) {
+    static thread_local std::vector<PeerId> stale;
+    if (graph_.affected_sources_since(column_version_, self_, stale) ==
+        SubjectiveGraph::DeltaCheck::kUnaffected) {
+      for (const PeerId j : stale) {
+        if (j < population && j != self_) {
+          column_cache_[j] =
+              graph_.two_hop_flow(j, self_, config_.max_path_edges);
+        }
+      }
+      column_version_ = v;
+      return column_cache_;
+    }
+  }
+  column_cache_.assign(population, 0.0);
+  if (config_.max_path_edges > 2) {
+    for (PeerId j = 0; j < population; ++j) {
+      column_cache_[j] = contribution_of(j);
+    }
+  } else {
+    graph_.two_hop_flow_column(self_, config_.max_path_edges, column_cache_);
+  }
+  column_version_ = v;
+  return column_cache_;
 }
 
 }  // namespace tribvote::bartercast

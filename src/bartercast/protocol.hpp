@@ -6,12 +6,21 @@
 // graph. The contribution f_{j→i} that the experience function consumes is
 // the hop-bounded max-flow from j to i in i's subjective graph.
 //
+// Contribution queries are memoized against the graph's version counter
+// (subjective_graph.hpp): an unchanged graph answers repeat queries in O(1),
+// and a stale entry is revalidated against the graph's delta log — only a
+// mutation touching (source, *) or (*, self) can move a hop-≤2 flow, so
+// gossip about unrelated pairs costs no recomputation. The cached value is
+// the bit-identical result of the same max_flow() code path, never an
+// approximation.
+//
 // Honest agents report truthfully from the shared TransferLedger's
 // per-peer direct view; the attack module subclasses the reporting hook to
 // model front-peer collusion (fabricated records).
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "bartercast/maxflow.hpp"
@@ -28,6 +37,13 @@ struct BarterConfig {
   std::size_t max_records_per_message = 25;
   /// Path bound for the max-flow contribution.
   int max_path_edges = kDefaultMaxPathEdges;
+};
+
+/// Observability counters for the contribution cache (tests and benches).
+struct ContributionCacheStats {
+  std::uint64_t hits = 0;           ///< exact version match
+  std::uint64_t revalidations = 0;  ///< stale entry proven unaffected
+  std::uint64_t misses = 0;         ///< recomputed from the graph
 };
 
 class BarterAgent {
@@ -52,7 +68,18 @@ class BarterAgent {
   void receive(PeerId sender, const std::vector<BarterRecord>& records);
 
   /// Contribution f_{j→self}: hop-bounded max-flow from j to self.
+  /// Memoized on (j, graph version); see the file comment.
   [[nodiscard]] double contribution_of(PeerId j) const;
+
+  /// The whole contribution column f_{j→self} for every j < population in
+  /// one pass. For the deployed hop bound (≤ 2) the column costs one sweep
+  /// of self's two-hop in-neighborhood — O(Σ_{k∈in(self)} indeg(k)) instead
+  /// of `population` separate queries — and is itself cached per graph
+  /// version, so repeat measurements on an unchanged graph are O(1).
+  /// Per-entry summation order matches contribution_of exactly, so results
+  /// are bit-identical to per-pair queries.
+  [[nodiscard]] const std::vector<double>& contribution_column(
+      std::size_t population) const;
 
   /// Naive alternative metric (Σ claimed upload of j) for the ablation.
   [[nodiscard]] double naive_contribution_of(PeerId j) const {
@@ -63,6 +90,9 @@ class BarterAgent {
     return graph_;
   }
   [[nodiscard]] PeerId self() const noexcept { return self_; }
+  [[nodiscard]] const ContributionCacheStats& cache_stats() const noexcept {
+    return cache_stats_;
+  }
 
  protected:
   PeerId self_;
@@ -76,6 +106,19 @@ class BarterAgent {
   std::uint64_t synced_version_ = kNeverSynced;
   mutable std::uint64_t reported_version_ = kNeverSynced;
   mutable std::vector<BarterRecord> report_cache_;
+
+  // Contribution memoization, keyed on the subjective graph's version.
+  struct CachedContribution {
+    double mb;
+    std::uint64_t version;
+  };
+  mutable std::unordered_map<PeerId, CachedContribution> contribution_cache_;
+  mutable ContributionCacheStats cache_stats_;
+  // Column cache: valid when column_version_ matches the graph and the
+  // requested population size is unchanged.
+  static constexpr std::uint64_t kNoColumn = ~std::uint64_t{0};
+  mutable std::vector<double> column_cache_;
+  mutable std::uint64_t column_version_ = kNoColumn;
 };
 
 }  // namespace tribvote::bartercast

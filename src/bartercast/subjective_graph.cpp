@@ -1,13 +1,37 @@
 #include "bartercast/subjective_graph.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tribvote::bartercast {
 
+double CsrSnapshot::cap(std::uint32_t u, std::uint32_t v) const {
+  const auto first = out_target.begin() + out_begin[u];
+  const auto last = out_target.begin() + out_begin[u + 1];
+  const auto it = std::lower_bound(first, last, v);
+  if (it == last || *it != v) return 0.0;
+  return out_cap[static_cast<std::size_t>(it - out_target.begin())];
+}
+
+void SubjectiveGraph::record_delta(PeerId from, PeerId to) {
+  ++version_;
+  if (delta_log_.size() >= 2 * kDeltaLogCapacity) {
+    // Amortized O(1) trim: drop the oldest half in one move.
+    delta_log_.erase(delta_log_.begin(),
+                     delta_log_.begin() + kDeltaLogCapacity);
+    delta_base_version_ += kDeltaLogCapacity;
+  }
+  delta_log_.push_back(EdgeDelta{from, to});
+}
+
 void SubjectiveGraph::put(PeerId from, PeerId to, const EdgeInfo& info) {
   const auto [it, inserted] = out_[from].insert_or_assign(to, info);
+  const bool mb_changed = inserted || in_[to][from].mb != info.mb;
   in_[to].insert_or_assign(from, info);
   if (inserted) ++n_edges_;
+  // Version tracks flow-relevant changes only: a re-pin or timestamp update
+  // that leaves mb intact cannot change any max-flow answer.
+  if (mb_changed) record_delta(from, to);
 }
 
 void SubjectiveGraph::update_direct(PeerId from, PeerId to, double mb,
@@ -32,7 +56,8 @@ void SubjectiveGraph::merge_gossip(const BarterRecord& record) {
       if (it->second.reported_at >= record.reported_at) return;  // stale
       if (it->second.mb == record.mb) {
         // Same value, fresher report: refresh the timestamp in place (the
-        // mirrored in_ copy's timestamp is never read).
+        // mirrored in_ copy's timestamp is never read, and the flow value
+        // is untouched so the version stays put).
         it->second.reported_at = record.reported_at;
         return;
       }
@@ -79,6 +104,175 @@ double SubjectiveGraph::claimed_upload_mb(PeerId peer) const {
   if (row == out_.end()) return 0.0;
   for (const auto& [to, info] : row->second) total += info.mb;
   return total;
+}
+
+SubjectiveGraph::DeltaCheck SubjectiveGraph::deltas_since(
+    std::uint64_t since_version, PeerId source, PeerId sink) const {
+  if (since_version >= version_) return DeltaCheck::kUnaffected;
+  if (since_version < delta_base_version_) return DeltaCheck::kUnknown;
+  const std::size_t first =
+      static_cast<std::size_t>(since_version - delta_base_version_);
+  for (std::size_t k = first; k < delta_log_.size(); ++k) {
+    if (delta_log_[k].from == source || delta_log_[k].to == sink) {
+      return DeltaCheck::kAffected;
+    }
+  }
+  return DeltaCheck::kUnaffected;
+}
+
+double SubjectiveGraph::two_hop_flow(PeerId source, PeerId sink,
+                                     int max_path_edges) const {
+  if (source == sink || max_path_edges <= 0) return 0.0;
+  double flow = edge_mb(source, sink);
+  if (max_path_edges >= 2) {
+    const auto out_row = out_.find(source);
+    const auto in_row = in_.find(sink);
+    if (out_row != out_.end() && in_row != in_.end()) {
+      // Gather the two-hop terms, then sum in ascending-k order so the
+      // accumulation order matches the CSR column pass bit-for-bit. The
+      // scratch buffer is thread_local: no steady-state allocation, and
+      // pool workers each get their own.
+      static thread_local std::vector<std::pair<PeerId, double>> terms;
+      terms.clear();
+      const auto& into_sink = in_row->second;
+      for (const auto& [k, info] : out_row->second) {
+        if (k == sink || k == source || info.mb <= 0) continue;
+        const auto cap_it = into_sink.find(k);
+        if (cap_it == into_sink.end() || cap_it->second.mb <= 0) continue;
+        terms.emplace_back(k, std::min(info.mb, cap_it->second.mb));
+      }
+      std::sort(terms.begin(), terms.end());
+      for (const auto& term : terms) flow += term.second;
+    }
+  }
+  return flow;
+}
+
+void SubjectiveGraph::two_hop_flow_column(PeerId sink, int max_path_edges,
+                                          std::vector<double>& column) const {
+  if (max_path_edges <= 0) return;
+  const auto in_row = in_.find(sink);
+  if (in_row == in_.end()) return;
+  const std::size_t population = column.size();
+  // Direct terms: each source receives exactly one, so hash order is fine
+  // (the term is the first addition to a zeroed entry either way).
+  for (const auto& [j, info] : in_row->second) {
+    if (info.mb > 0 && j < population) column[j] += info.mb;
+  }
+  if (max_path_edges >= 2) {
+    // Mid-hop nodes sorted ascending so every source's terms accumulate in
+    // the same order two_hop_flow sums them. Within one mid-hop row each
+    // source appears at most once, so the inner hash order is irrelevant.
+    static thread_local std::vector<std::pair<PeerId, double>> mids;
+    mids.clear();
+    for (const auto& [k, info] : in_row->second) {
+      if (info.mb > 0 && k != sink) mids.emplace_back(k, info.mb);
+    }
+    std::sort(mids.begin(), mids.end());
+    for (const auto& [k, cap_in] : mids) {
+      const auto k_row = in_.find(k);
+      if (k_row == in_.end()) continue;
+      for (const auto& [j, info] : k_row->second) {
+        if (j == sink || info.mb <= 0 || j >= population) continue;
+        column[j] += std::min(info.mb, cap_in);
+      }
+    }
+  }
+  if (sink < population) column[sink] = 0.0;
+}
+
+SubjectiveGraph::DeltaCheck SubjectiveGraph::affected_sources_since(
+    std::uint64_t since_version, PeerId sink,
+    std::vector<PeerId>& sources) const {
+  sources.clear();
+  if (since_version >= version_) return DeltaCheck::kUnaffected;
+  if (since_version < delta_base_version_) return DeltaCheck::kUnknown;
+  const std::size_t first =
+      static_cast<std::size_t>(since_version - delta_base_version_);
+  for (std::size_t k = first; k < delta_log_.size(); ++k) {
+    if (delta_log_[k].to == sink) return DeltaCheck::kAffected;
+    sources.push_back(delta_log_[k].from);
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return DeltaCheck::kUnaffected;
+}
+
+const CsrSnapshot& SubjectiveGraph::csr() const {
+  if (csr_.built_version != version_) build_csr();
+  return csr_;
+}
+
+void SubjectiveGraph::build_csr() const {
+  CsrSnapshot& snap = csr_;
+  snap.peer_of.clear();
+  snap.index_of_.clear();
+  snap.peer_of.reserve(out_.size() + in_.size());
+  for (const auto& [p, row] : out_) snap.peer_of.push_back(p);
+  for (const auto& [p, row] : in_) {
+    if (!out_.contains(p)) snap.peer_of.push_back(p);
+  }
+  std::sort(snap.peer_of.begin(), snap.peer_of.end());
+  const auto n = static_cast<std::uint32_t>(snap.peer_of.size());
+  snap.index_of_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) snap.index_of_[snap.peer_of[i]] = i;
+
+  // Counting pass (positive-capacity arcs only), then fill.
+  snap.out_begin.assign(n + 1, 0);
+  snap.in_begin.assign(n + 1, 0);
+  std::size_t n_arcs = 0;
+  for (const auto& [from, row] : out_) {
+    const std::uint32_t u = snap.index_of_.at(from);
+    for (const auto& [to, info] : row) {
+      if (info.mb <= 0) continue;
+      ++snap.out_begin[u + 1];
+      ++snap.in_begin[snap.index_of_.at(to) + 1];
+      ++n_arcs;
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    snap.out_begin[i + 1] += snap.out_begin[i];
+    snap.in_begin[i + 1] += snap.in_begin[i];
+  }
+  snap.out_target.assign(n_arcs, 0);
+  snap.out_cap.assign(n_arcs, 0.0);
+  snap.in_source.assign(n_arcs, 0);
+  snap.in_cap.assign(n_arcs, 0.0);
+  std::vector<std::uint32_t> out_fill(snap.out_begin.begin(),
+                                      snap.out_begin.end() - 1);
+  std::vector<std::uint32_t> in_fill(snap.in_begin.begin(),
+                                     snap.in_begin.end() - 1);
+  for (const auto& [from, row] : out_) {
+    const std::uint32_t u = snap.index_of_.at(from);
+    for (const auto& [to, info] : row) {
+      if (info.mb <= 0) continue;
+      const std::uint32_t v = snap.index_of_.at(to);
+      snap.out_target[out_fill[u]] = v;
+      snap.out_cap[out_fill[u]++] = info.mb;
+      snap.in_source[in_fill[v]] = u;
+      snap.in_cap[in_fill[v]++] = info.mb;
+    }
+  }
+  // Sort each row by neighbor index: deterministic iteration (and summation)
+  // order plus binary-searchable lookups.
+  auto sort_rows = [n](std::vector<std::uint32_t>& begin_idx,
+                       std::vector<std::uint32_t>& nbr,
+                       std::vector<double>& cap) {
+    std::vector<std::pair<std::uint32_t, double>> row;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      const std::size_t lo = begin_idx[u], hi = begin_idx[u + 1];
+      row.clear();
+      for (std::size_t a = lo; a < hi; ++a) row.emplace_back(nbr[a], cap[a]);
+      std::sort(row.begin(), row.end());
+      for (std::size_t a = lo; a < hi; ++a) {
+        nbr[a] = row[a - lo].first;
+        cap[a] = row[a - lo].second;
+      }
+    }
+  };
+  sort_rows(snap.out_begin, snap.out_target, snap.out_cap);
+  sort_rows(snap.in_begin, snap.in_source, snap.in_cap);
+  snap.built_version = version_;
 }
 
 }  // namespace tribvote::bartercast

@@ -5,6 +5,14 @@
 // received through BarterCast gossip, where the freshest report per directed
 // pair wins. Edge weights are megabytes uploaded; the experience function
 // computes hop-bounded max-flow over this graph (maxflow.hpp).
+//
+// The graph carries a monotone `version()` counter, bumped exactly when a
+// mutation changes some edge's flow capacity (new edge, or an mb change).
+// Timestamp refreshes and re-pins that leave mb intact do NOT bump it, so
+// the version doubles as a "could any max-flow answer have changed?" token.
+// Consumers key caches on it (BarterAgent's contribution cache, the CSR
+// snapshot below) and use the bounded delta log to revalidate stale entries
+// without recomputing (`deltas_since`).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,40 @@ struct BarterRecord {
   PeerId to = kInvalidPeer;
   double mb = 0;
   Time reported_at = 0;
+};
+
+/// Flat, read-only adjacency snapshot of a SubjectiveGraph at one version.
+///
+/// Nodes get dense indices (sorted by PeerId); each row's arcs are sorted by
+/// neighbor index, so iteration order — and therefore every floating-point
+/// summation order downstream — is deterministic, and single-arc lookup is a
+/// binary search. Only positive-capacity edges are materialized. Rebuilt
+/// lazily whenever the graph version moves (SubjectiveGraph::csr()).
+struct CsrSnapshot {
+  static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+
+  std::uint64_t built_version = ~std::uint64_t{0};
+  std::vector<PeerId> peer_of;  ///< dense index -> PeerId (ascending)
+  std::unordered_map<PeerId, std::uint32_t> index_of_;
+  // Out-adjacency: arcs of node u live in [out_begin[u], out_begin[u+1]).
+  std::vector<std::uint32_t> out_begin;
+  std::vector<std::uint32_t> out_target;
+  std::vector<double> out_cap;
+  // Mirrored in-adjacency (sources of arcs into u).
+  std::vector<std::uint32_t> in_begin;
+  std::vector<std::uint32_t> in_source;
+  std::vector<double> in_cap;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return peer_of.size();
+  }
+  /// Dense index of `peer`, or kNoNode when absent from the snapshot.
+  [[nodiscard]] std::uint32_t index_of(PeerId peer) const {
+    const auto it = index_of_.find(peer);
+    return it == index_of_.end() ? kNoNode : it->second;
+  }
+  /// Capacity of arc u -> v (dense indices); 0 when absent. O(log deg(u)).
+  [[nodiscard]] double cap(std::uint32_t u, std::uint32_t v) const;
 };
 
 class SubjectiveGraph {
@@ -56,6 +98,58 @@ class SubjectiveGraph {
     return out_.size();
   }
 
+  /// Monotone counter of flow-relevant mutations (see file comment).
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Verdict on whether any mutation in (since_version, version()] could
+  /// change a hop-≤2 max-flow from `source` to `sink`. With paths of at most
+  /// two edges, every candidate path is source→sink or source→k→sink, so a
+  /// mutated edge (u, v) is relevant iff u == source or v == sink.
+  enum class DeltaCheck : std::uint8_t {
+    kUnaffected,  ///< no logged delta touches (source, *) or (*, sink)
+    kAffected,    ///< some delta does — the cached flow must be recomputed
+    kUnknown,     ///< the delta log no longer reaches back to since_version
+  };
+  [[nodiscard]] DeltaCheck deltas_since(std::uint64_t since_version,
+                                        PeerId source, PeerId sink) const;
+
+  /// Closed-form hop-bounded max flow for `max_path_edges` ≤ 2, computed
+  /// straight off the hash adjacency: cap(source→sink) plus, when two-hop
+  /// paths are admitted, Σ_k min(cap(source→k), cap(k→sink)). Every
+  /// admissible path is edge-disjoint from the others at this bound, so the
+  /// sum IS the max flow. Two-hop terms are accumulated in ascending-k
+  /// order — the same order the CSR-based column pass uses — so the result
+  /// is bit-identical across the per-query and batched code paths. Does NOT
+  /// touch the CSR snapshot: single queries against a mutating graph stay
+  /// O(deg) instead of paying an O(E) snapshot rebuild.
+  [[nodiscard]] double two_hop_flow(PeerId source, PeerId sink,
+                                    int max_path_edges) const;
+
+  /// Batched form: accumulate two_hop_flow(j, sink) into column[j] for every
+  /// source j < column.size() in one sweep of sink's two-hop in-neighborhood
+  /// — O(Σ_{k∈in(sink)} indeg(k)) instead of column.size() separate queries.
+  /// The caller supplies a zeroed column. Entries are bit-identical to
+  /// two_hop_flow: per source the direct term lands first and the two-hop
+  /// terms accumulate in ascending-k order (only the outer mid-hop order
+  /// matters — each mid-hop node contributes at most one term per source).
+  void two_hop_flow_column(PeerId sink, int max_path_edges,
+                           std::vector<double>& column) const;
+
+  /// Column-grade delta verdict: can mutations in (since_version, version()]
+  /// change any hop-≤2 flow *into* `sink`? kAffected when some delta edge
+  /// ends at the sink (every source's flow may have moved — rebuild the
+  /// column); kUnaffected otherwise, with `sources` filled with the
+  /// deduplicated tails of the logged deltas — exactly the sources whose
+  /// cached column entries need recomputing.
+  [[nodiscard]] DeltaCheck affected_sources_since(
+      std::uint64_t since_version, PeerId sink,
+      std::vector<PeerId>& sources) const;
+
+  /// Flat adjacency snapshot of the current version, rebuilt lazily on
+  /// version change. NOT thread-safe to call concurrently on one graph (it
+  /// mutates the cached snapshot); distinct graphs are independent.
+  [[nodiscard]] const CsrSnapshot& csr() const;
+
  private:
   struct EdgeInfo {
     double mb = 0;
@@ -63,13 +157,33 @@ class SubjectiveGraph {
     bool direct = false;
   };
 
+  /// One flow-relevant mutation, for cache revalidation.
+  struct EdgeDelta {
+    PeerId from;
+    PeerId to;
+  };
+  /// Deltas retained before stale caches fall back to recompute. Bounds both
+  /// memory and the revalidation scan; sized so a full BarterCast message
+  /// (25 records) plus a direct-view sync fits several times over.
+  static constexpr std::size_t kDeltaLogCapacity = 256;
+
   // out_[a][b] mirrors in_[b][a]; both kept for fast max-flow neighborhood
   // expansion in either direction.
   std::unordered_map<PeerId, std::unordered_map<PeerId, EdgeInfo>> out_;
   std::unordered_map<PeerId, std::unordered_map<PeerId, EdgeInfo>> in_;
   std::size_t n_edges_ = 0;
 
+  std::uint64_t version_ = 0;
+  // delta_log_[k] is the mutation that moved the graph from version
+  // delta_base_version_ + k to delta_base_version_ + k + 1.
+  std::vector<EdgeDelta> delta_log_;
+  std::uint64_t delta_base_version_ = 0;
+
+  mutable CsrSnapshot csr_;
+
   void put(PeerId from, PeerId to, const EdgeInfo& info);
+  void record_delta(PeerId from, PeerId to);
+  void build_csr() const;
 };
 
 }  // namespace tribvote::bartercast

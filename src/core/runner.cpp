@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "metrics/cev.hpp"
 #include "moderation/moderation.hpp"
 
 namespace tribvote::core {
@@ -215,6 +216,18 @@ std::vector<const bartercast::BarterAgent*> ScenarioRunner::barter_agents()
   agents.reserve(nodes_.size());
   for (const auto& node : nodes_) agents.push_back(&node->barter());
   return agents;
+}
+
+double ScenarioRunner::collective_experience(double threshold_mb,
+                                             util::ThreadPool* pool) const {
+  const std::vector<const bartercast::BarterAgent*> agents = barter_agents();
+  const std::span<const bartercast::BarterAgent* const> trace_span(
+      agents.data(), trace_peer_count());
+  if (pool != nullptr) {
+    return metrics::collective_experience_value(trace_span, threshold_mb,
+                                                *pool);
+  }
+  return metrics::collective_experience_value(trace_span, threshold_mb);
 }
 
 // ---- event handlers -----------------------------------------------------------

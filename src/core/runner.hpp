@@ -32,6 +32,7 @@
 #include "pss/oracle.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tribvote::core {
 
@@ -136,6 +137,12 @@ class ScenarioRunner {
   /// CEV metric).
   [[nodiscard]] std::vector<const bartercast::BarterAgent*> barter_agents()
       const;
+  /// CEV over the trace population (colluder identities excluded, as the
+  /// paper's measurements are) at threshold T, via the batched
+  /// contribution-column engine. Pass a pool to fan the per-sink columns
+  /// out across threads; the result is bit-identical either way.
+  [[nodiscard]] double collective_experience(
+      double threshold_mb, util::ThreadPool* pool = nullptr) const;
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const trace::Trace& trace() const noexcept { return trace_; }
   [[nodiscard]] const ScenarioConfig& config() const noexcept {

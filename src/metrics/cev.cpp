@@ -1,6 +1,28 @@
 #include "metrics/cev.hpp"
 
+#include <vector>
+
 namespace tribvote::metrics {
+
+namespace {
+
+/// e_i(j) count for one sink i from its batched contribution column.
+std::size_t experienced_count(const bartercast::BarterAgent& agent,
+                              std::size_t n, PeerId i, double threshold_mb) {
+  const std::vector<double>& column = agent.contribution_column(n);
+  std::size_t edges = 0;
+  for (PeerId j = 0; j < n; ++j) {
+    if (j != i && column[j] >= threshold_mb) ++edges;
+  }
+  return edges;
+}
+
+double cev_from_edges(std::size_t edges, std::size_t n) {
+  return static_cast<double>(edges) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace
 
 double collective_experience_value(
     std::size_t n, const std::function<bool(PeerId, PeerId)>& experienced) {
@@ -11,17 +33,34 @@ double collective_experience_value(
       if (i != j && experienced(i, j)) ++edges;
     }
   }
-  return static_cast<double>(edges) /
-         (static_cast<double>(n) * static_cast<double>(n - 1));
+  return cev_from_edges(edges, n);
 }
 
 double collective_experience_value(
     std::span<const bartercast::BarterAgent* const> agents,
     double threshold_mb) {
-  return collective_experience_value(
-      agents.size(), [&](PeerId i, PeerId j) {
-        return agents[i]->contribution_of(j) >= threshold_mb;
-      });
+  const std::size_t n = agents.size();
+  if (n < 2) return 0.0;
+  std::size_t edges = 0;
+  for (PeerId i = 0; i < n; ++i) {
+    edges += experienced_count(*agents[i], n, i, threshold_mb);
+  }
+  return cev_from_edges(edges, n);
+}
+
+double collective_experience_value(
+    std::span<const bartercast::BarterAgent* const> agents,
+    double threshold_mb, util::ThreadPool& pool) {
+  const std::size_t n = agents.size();
+  if (n < 2) return 0.0;
+  std::vector<std::size_t> per_sink(n, 0);
+  pool.parallel_for(n, [&](std::size_t i) {
+    per_sink[i] = experienced_count(*agents[i], n, static_cast<PeerId>(i),
+                                    threshold_mb);
+  });
+  std::size_t edges = 0;
+  for (const std::size_t c : per_sink) edges += c;
+  return cev_from_edges(edges, n);
 }
 
 }  // namespace tribvote::metrics

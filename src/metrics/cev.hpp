@@ -6,12 +6,20 @@
 // ordered node pairs (i, j) where i considers j experienced. Requires
 // global knowledge (each node's subjective BarterCast graph) — it is an
 // evaluation-only metric, exactly as the paper's footnote 8 notes.
+//
+// The agent-based overloads pull each sink's whole contribution column in
+// one batched pass (BarterAgent::contribution_column) instead of N separate
+// max-flow queries, and can fan the sinks out across a thread pool: each
+// task reads and memoizes only its own agent, and the per-sink counts are
+// integers, so the parallel result is bit-identical to the serial one
+// regardless of thread count or scheduling.
 #pragma once
 
 #include <functional>
 #include <span>
 
 #include "bartercast/protocol.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tribvote::metrics {
 
@@ -20,6 +28,13 @@ namespace tribvote::metrics {
 [[nodiscard]] double collective_experience_value(
     std::span<const bartercast::BarterAgent* const> agents,
     double threshold_mb);
+
+/// Same, with the per-sink columns computed in parallel across `pool`.
+/// Deterministic (see file comment); safe because task i touches only
+/// agents[i]'s caches.
+[[nodiscard]] double collective_experience_value(
+    std::span<const bartercast::BarterAgent* const> agents,
+    double threshold_mb, util::ThreadPool& pool);
 
 /// Generalized CEV over an arbitrary experience predicate e(i, j).
 [[nodiscard]] double collective_experience_value(

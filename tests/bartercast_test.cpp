@@ -260,6 +260,127 @@ TEST(AdaptiveThreshold, RespectsCap) {
   EXPECT_DOUBLE_EQ(at.threshold_mb(), 10.0);
 }
 
+TEST(SubjectiveGraph, VersionBumpsExactlyOnFlowRelevantMutations) {
+  SubjectiveGraph g;
+  EXPECT_EQ(g.version(), 0u);
+  g.update_direct(1, 2, 10.0, 100);  // new edge
+  EXPECT_EQ(g.version(), 1u);
+  g.update_direct(1, 2, 10.0, 200);  // unchanged value: no bump
+  EXPECT_EQ(g.version(), 1u);
+  g.update_direct(1, 2, 12.0, 300);  // value change
+  EXPECT_EQ(g.version(), 2u);
+  g.merge_gossip(BarterRecord{1, 2, 999.0, 400});  // loses to direct pin
+  EXPECT_EQ(g.version(), 2u);
+  g.merge_gossip(BarterRecord{3, 4, 5.0, 100});  // new gossip edge
+  EXPECT_EQ(g.version(), 3u);
+  g.merge_gossip(BarterRecord{3, 4, 5.0, 150});  // timestamp-only refresh
+  EXPECT_EQ(g.version(), 3u);
+  g.merge_gossip(BarterRecord{3, 4, 2.0, 50});  // stale report
+  EXPECT_EQ(g.version(), 3u);
+  g.merge_gossip(BarterRecord{3, 4, 7.0, 200});  // fresher, new value
+  EXPECT_EQ(g.version(), 4u);
+}
+
+TEST(SubjectiveGraph, CsrSnapshotMatchesEdgeQueries) {
+  SubjectiveGraph g;
+  g.update_direct(5, 1, 10.0, 1);
+  g.update_direct(1, 5, 3.0, 1);
+  g.merge_gossip(BarterRecord{2, 5, 7.0, 1});
+  const CsrSnapshot& snap = g.csr();
+  EXPECT_EQ(snap.node_count(), 3u);
+  EXPECT_EQ(snap.built_version, g.version());
+  for (PeerId a : {1u, 2u, 5u}) {
+    for (PeerId b : {1u, 2u, 5u}) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(snap.cap(snap.index_of(a), snap.index_of(b)),
+                       g.edge_mb(a, b));
+    }
+  }
+  EXPECT_EQ(snap.index_of(99), CsrSnapshot::kNoNode);
+  // A mutation invalidates and rebuilds lazily.
+  g.update_direct(5, 2, 4.0, 2);
+  const CsrSnapshot& snap2 = g.csr();
+  EXPECT_EQ(snap2.built_version, g.version());
+  EXPECT_DOUBLE_EQ(snap2.cap(snap2.index_of(5), snap2.index_of(2)), 4.0);
+}
+
+TEST(SubjectiveGraph, DeltaCheckSeparatesRelevantFromIrrelevant) {
+  SubjectiveGraph g;
+  g.update_direct(1, 0, 5.0, 1);
+  const std::uint64_t v = g.version();
+  EXPECT_EQ(g.deltas_since(v, 1, 0), SubjectiveGraph::DeltaCheck::kUnaffected);
+  // Edge (2, 3) lies on no hop-≤2 path 1 → 0.
+  g.merge_gossip(BarterRecord{2, 3, 9.0, 1});
+  EXPECT_EQ(g.deltas_since(v, 1, 0), SubjectiveGraph::DeltaCheck::kUnaffected);
+  // But it is relevant to 2 → 0 (source side) and 1 → 3 (sink side).
+  EXPECT_EQ(g.deltas_since(v, 2, 0), SubjectiveGraph::DeltaCheck::kAffected);
+  EXPECT_EQ(g.deltas_since(v, 1, 3), SubjectiveGraph::DeltaCheck::kAffected);
+}
+
+TEST_F(BarterAgentTest, ContributionCacheHitsRevalidatesAndInvalidates) {
+  BarterAgent agent(0, BarterConfig{});
+  ledger_.add_transfer(2, 0, 8.0 * 1024 * 1024);
+  agent.sync_direct(ledger_, 1);
+  agent.receive(2, {BarterRecord{3, 2, 6.0, 2}});
+
+  EXPECT_NEAR(agent.contribution_of(3), 6.0, 1e-9);
+  const auto after_first = agent.cache_stats();
+  EXPECT_EQ(after_first.misses, 1u);
+
+  // Unchanged graph: pure hit.
+  EXPECT_NEAR(agent.contribution_of(3), 6.0, 1e-9);
+  EXPECT_EQ(agent.cache_stats().hits, after_first.hits + 1);
+
+  // Gossip about an unrelated pair: stale version, but the delta log proves
+  // the 3 → 0 flow untouched — revalidated, not recomputed.
+  agent.receive(4, {BarterRecord{4, 5, 50.0, 3}});
+  EXPECT_NEAR(agent.contribution_of(3), 6.0, 1e-9);
+  EXPECT_EQ(agent.cache_stats().revalidations, after_first.revalidations + 1);
+  EXPECT_EQ(agent.cache_stats().misses, after_first.misses);
+
+  // A record on 3's out-edges is relevant: recomputed, new value visible.
+  agent.receive(2, {BarterRecord{3, 2, 1.0, 9}});
+  EXPECT_NEAR(agent.contribution_of(3), 1.0, 1e-9);
+  EXPECT_EQ(agent.cache_stats().misses, after_first.misses + 1);
+}
+
+TEST_F(BarterAgentTest, CachedValueRespectsDirectPinning) {
+  BarterAgent agent(0, BarterConfig{});
+  ledger_.add_transfer(2, 0, 8.0 * 1024 * 1024);
+  agent.sync_direct(ledger_, 1);
+  EXPECT_NEAR(agent.contribution_of(2), 8.0, 1e-9);
+  // Fresher gossip claiming a bigger 2 → 0 upload is ignored (claims about
+  // self carry no weight), so the cached value must remain correct.
+  agent.receive(2, {BarterRecord{2, 0, 500.0, 99}});
+  EXPECT_NEAR(agent.contribution_of(2), 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(agent.contribution_of(2),
+                   max_flow(agent.graph(), 2, 0, 2));
+}
+
+TEST_F(BarterAgentTest, ContributionColumnMatchesPerQueryBitExactly) {
+  BarterAgent agent(0, BarterConfig{});
+  ledger_.add_transfer(2, 0, 8.0 * 1024 * 1024);
+  ledger_.add_transfer(4, 0, 2.5 * 1024 * 1024);
+  agent.sync_direct(ledger_, 1);
+  agent.receive(2, {BarterRecord{3, 2, 6.0, 2}, BarterRecord{5, 2, 4.0, 2}});
+  agent.receive(4, {BarterRecord{3, 4, 1.5, 3}});
+
+  const std::vector<double>& column = agent.contribution_column(6);
+  ASSERT_EQ(column.size(), 6u);
+  for (PeerId j = 0; j < 6; ++j) {
+    EXPECT_DOUBLE_EQ(column[j], agent.contribution_of(j)) << "j=" << j;
+  }
+  // The column is cached per graph version...
+  const auto* before = column.data();
+  EXPECT_EQ(agent.contribution_column(6).data(), before);
+  // ...and rebuilt (with correct values) after any mutation.
+  agent.receive(2, {BarterRecord{3, 2, 9.0, 5}});
+  const std::vector<double>& fresh = agent.contribution_column(6);
+  EXPECT_DOUBLE_EQ(fresh[3], agent.contribution_of(3));
+  // min(9, 8) through 2 plus min(1.5, 2.5) through 4.
+  EXPECT_NEAR(fresh[3], 9.5, 1e-9);
+}
+
 TEST(FrontPeerAttack, MaxFlowResistsWhereNaiveFails) {
   // Honest node 0; colluders 3,4,5 fabricate huge intra-clique transfers.
   // Colluder 3 ("the mole") genuinely uploaded only 1 MB to node 0.

@@ -31,12 +31,10 @@ TEST(Integration, ExperienceFormsOverTime) {
   ScenarioRunner runner(tr, config, 1);
 
   std::vector<double> cev_samples;
+  util::ThreadPool pool(4);
   runner.sample_every(12 * kHour, [&](Time) {
-    const auto agents = runner.barter_agents();
-    cev_samples.push_back(metrics::collective_experience_value(
-        std::span<const bartercast::BarterAgent* const>(agents.data(),
-                                                        tr.peers.size()),
-        config.experience_threshold_mb));
+    cev_samples.push_back(runner.collective_experience(
+        config.experience_threshold_mb, &pool));
   });
   runner.run_until(tr.duration);
 

@@ -7,6 +7,9 @@
 #include <set>
 #include <sstream>
 
+#include "bartercast/maxflow.hpp"
+#include "bartercast/protocol.hpp"
+#include "bt/transfer_ledger.hpp"
 #include "moderation/db.hpp"
 #include "sim/simulator.hpp"
 #include "trace/analyzer.hpp"
@@ -211,6 +214,88 @@ TEST_P(TraceRoundtripProperty, GeneratedTracesRoundtripAndValidate) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundtripProperty,
                          ::testing::Range<std::uint64_t>(0, 15));
+
+// ---- barter contribution cache: cached == scratch across random mutations ---
+
+class BarterCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Drives a BarterAgent through 1k random mutations (direct-view syncs and
+// gossip merges, interleaved with pin conflicts and stale reports) and
+// checks after every step that the memoized contribution_of answers are
+// bit-identical to a scratch max_flow over the same graph, and match a
+// brute-force closed-form recompute from edge_mb (independent of the CSR /
+// cache machinery). Also cross-checks the batched column periodically.
+TEST_P(BarterCacheProperty, CachedContributionsEqualScratchRecompute) {
+  util::Rng rng(GetParam() * 7919 + 17);
+  constexpr PeerId kPeers = 12;
+  const int hops = GetParam() % 3 == 2 ? 3 : 2;  // exercise the EK path too
+  bartercast::BarterConfig config;
+  config.max_path_edges = hops;
+  bt::TransferLedger ledger(kPeers);
+  bartercast::BarterAgent agent(0, config);
+
+  Time now = 1;
+  for (int step = 0; step < 1000; ++step) {
+    ++now;
+    if (rng.next_bool(0.3)) {
+      // A transfer adjacent to the agent, then a direct-view sync.
+      const auto other = static_cast<PeerId>(1 + rng.next_below(kPeers - 1));
+      if (rng.next_bool(0.5)) {
+        ledger.add_transfer(other, 0, rng.next_double(0.1, 20.0) * 1024 * 1024);
+      } else {
+        ledger.add_transfer(0, other, rng.next_double(0.1, 20.0) * 1024 * 1024);
+      }
+      agent.sync_direct(ledger, now);
+    } else {
+      // Gossip from a random sender about one of its pairs; timestamps are
+      // sometimes stale so the freshest-wins rule gets exercised.
+      const auto sender = static_cast<PeerId>(1 + rng.next_below(kPeers - 1));
+      auto counterpart = static_cast<PeerId>(rng.next_below(kPeers));
+      if (counterpart == sender) counterpart = (sender + 1) % kPeers;
+      const Time reported =
+          rng.next_bool(0.2) ? now - static_cast<Time>(rng.next_below(500))
+                             : now;
+      const bartercast::BarterRecord record =
+          rng.next_bool(0.5)
+              ? bartercast::BarterRecord{sender, counterpart,
+                                         rng.next_double(0.1, 20.0), reported}
+              : bartercast::BarterRecord{counterpart, sender,
+                                         rng.next_double(0.1, 20.0), reported};
+      agent.receive(sender, {record});
+    }
+
+    // Cached vs scratch: must be bit-identical (same code path, memo off).
+    const auto probe = static_cast<PeerId>(rng.next_below(kPeers));
+    const double cached = agent.contribution_of(probe);
+    const double scratch =
+        probe == 0 ? 0.0 : bartercast::max_flow(agent.graph(), probe, 0, hops);
+    EXPECT_DOUBLE_EQ(cached, scratch) << "step " << step << " j=" << probe;
+
+    // Cached vs brute force (hop bound 2 admits the closed form).
+    if (hops == 2) {
+      double reference = agent.graph().edge_mb(probe, 0);
+      for (PeerId k = 1; k < kPeers; ++k) {
+        if (k == probe) continue;
+        const double a = agent.graph().edge_mb(probe, k);
+        const double b = agent.graph().edge_mb(k, 0);
+        if (a > 0 && b > 0) reference += std::min(a, b);
+      }
+      if (probe == 0) reference = 0.0;
+      EXPECT_NEAR(cached, reference, 1e-9) << "step " << step;
+    }
+
+    if (step % 100 == 99) {
+      const std::vector<double>& column = agent.contribution_column(kPeers);
+      for (PeerId j = 0; j < kPeers; ++j) {
+        EXPECT_DOUBLE_EQ(column[j], agent.contribution_of(j))
+            << "step " << step << " j=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BarterCacheProperty,
+                         ::testing::Range<std::uint64_t>(0, 9));
 
 }  // namespace
 }  // namespace tribvote
