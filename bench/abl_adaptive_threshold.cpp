@@ -34,6 +34,7 @@ constexpr Duration kHorizon = 2 * kDay;
 core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
                                 bool adaptive) {
   core::ScenarioConfig config;
+  config.shards = bench::shard_count();
   config.attack.crowd_size = kCrowd;
   config.attack.start = 0;
   config.attack.duty = 0.5;

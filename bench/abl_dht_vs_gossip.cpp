@@ -131,6 +131,7 @@ struct GossipOutcome {
 
 GossipOutcome run_gossip(const trace::Trace& tr, std::uint64_t seed) {
   core::ScenarioConfig config;
+  config.shards = bench::shard_count();
   core::ScenarioRunner runner(tr, config, seed);
   // 50 moderations from the earliest arrival; population approves it so
   // items relay at full gossip speed (the favourable case for gossip is

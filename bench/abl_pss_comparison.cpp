@@ -23,6 +23,7 @@ constexpr Duration kHorizon = 3 * kDay;
 core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
                                 core::PssKind pss) {
   core::ScenarioConfig config;
+  config.shards = bench::shard_count();
   config.pss = pss;
   core::ScenarioRunner runner(tr, config, 0xA4 + index);
 

@@ -9,6 +9,9 @@
 //                      count; set lower for a quick pass)
 //   TRIBVOTE_SEED      base seed for the trace dataset (default 20090525,
 //                      the IPPS 2009 conference date)
+//   TRIBVOTE_SHARDS    worker shards per ScenarioRunner (default 1).
+//                      Results are bit-identical for any value; >1 trades
+//                      replica-level for population-level parallelism.
 #pragma once
 
 #include <algorithm>
@@ -49,6 +52,10 @@ inline std::size_t ablation_replica_count() {
                   std::min<std::size_t>(4, replica_count()));
 }
 
+/// Worker shards for each replica's population event kernel
+/// (ScenarioConfig::shards). Golden CSVs are byte-identical for any value.
+inline std::size_t shard_count() { return env_size("TRIBVOTE_SHARDS", 1); }
+
 /// The standard dataset: `n` synthetic 7-day/100-peer traces calibrated to
 /// the filelist.org statistics (DESIGN.md §2).
 inline std::vector<trace::Trace> paper_dataset(std::size_t n) {
@@ -60,8 +67,8 @@ inline void banner(const char* experiment, const char* paper_ref) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("replicas=%zu seed=%llu\n", replica_count(),
-              static_cast<unsigned long long>(env_seed()));
+  std::printf("replicas=%zu seed=%llu shards=%zu\n", replica_count(),
+              static_cast<unsigned long long>(env_seed()), shard_count());
   std::printf("================================================================\n");
 }
 

@@ -24,6 +24,7 @@ namespace {
 
 core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index) {
   core::ScenarioConfig config;  // paper defaults
+  config.shards = bench::shard_count();
   core::ScenarioRunner runner(tr, config, 0xF16 + index);
 
   const auto firsts = trace::earliest_arrivals(tr, 3);

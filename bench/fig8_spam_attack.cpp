@@ -30,6 +30,7 @@ constexpr Duration kHorizon = 4 * kDay;  // recovery fully visible
 core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
                                 std::size_t crowd_size) {
   core::ScenarioConfig config;
+  config.shards = bench::shard_count();
   config.attack.crowd_size = crowd_size;
   config.attack.start = 0;
   config.attack.duty = 0.5;  // trace-like churn

@@ -14,11 +14,14 @@
 #include "bt/piece_picker.hpp"
 #include "bt/swarm.hpp"
 #include "bt/transfer_ledger.hpp"
+#include "core/node.hpp"
 #include "crypto/schnorr.hpp"
 #include "metrics/cev.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard_kernel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "vote/agent.hpp"
 #include "vote/ballot_box.hpp"
 #include "vote/voxpopuli.hpp"
 
@@ -230,6 +233,71 @@ void BM_CEV_after_mutation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CEV_after_mutation)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+/// Population for the round-throughput benchmark: honest nodes that each
+/// cast one vote (so vote-list messages are non-empty) under a zero
+/// experience threshold (so receives take the full merge path).
+struct RoundPopulation {
+  core::ScenarioConfig config;
+  std::vector<std::unique_ptr<core::Node>> nodes;
+
+  explicit RoundPopulation(std::size_t n) {
+    config.experience_threshold_mb = 0.0;
+    util::Rng rng(21);
+    nodes.reserve(n);
+    for (PeerId id = 0; id < n; ++id) {
+      nodes.push_back(std::make_unique<core::Node>(
+          id, core::NodeRole::kHonest, config, rng.derive(id)));
+      nodes.back()->vote().cast_vote(
+          id % 16, id % 3 == 0 ? Opinion::kNegative : Opinion::kPositive, 0);
+    }
+  }
+};
+
+/// One full BallotBox/VoxPopuli gossip round over a 10⁴-node population
+/// through the sharded event kernel, at shards ∈ {1, 2, 4, 8}. Pairing is
+/// serial and identical across shard counts; the measured quantity is the
+/// exchange fan-out. items/sec == nodes/sec (the ≥10⁵-peer scaling metric).
+/// Speedup over the shards=1 row requires as many physical cores as shards.
+void BM_RoundThroughput(benchmark::State& state) {
+  constexpr std::size_t kNodes = 10'000;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  RoundPopulation pop(kNodes);
+  util::ThreadPool pool(shards);
+  sim::ShardKernel kernel(kNodes, shards, shards > 1 ? &pool : nullptr);
+  util::Rng rng(22);
+  std::vector<PeerId> order(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) order[i] = static_cast<PeerId>(i);
+  Time now = 0;
+  for (auto _ : state) {
+    // Serial pairing phase, as ScenarioRunner::pair_round performs it.
+    rng.shuffle(order);
+    std::vector<sim::Encounter> encounters;
+    encounters.reserve(kNodes);
+    for (const PeerId i : order) {
+      const auto j = static_cast<PeerId>(rng.next_below(kNodes));
+      if (j == i) continue;
+      encounters.push_back(
+          {static_cast<std::uint32_t>(encounters.size()), i, j});
+    }
+    kernel.run_round(encounters,
+                     [&](const sim::Encounter& e, std::size_t) {
+                       vote::vote_exchange(pop.nodes[e.initiator]->vote(),
+                                           pop.nodes[e.responder]->vote(),
+                                           now);
+                     });
+    now += 60;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kNodes));
+}
+BENCHMARK(BM_RoundThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_BallotBoxMerge(benchmark::State& state) {
   std::vector<vote::VoteEntry> votes;

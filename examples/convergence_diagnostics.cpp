@@ -8,6 +8,7 @@
 // number of unique accepted voters per ballot box, the number of nodes past
 // B_min, the CEV at the configured threshold, and the correct-ordering
 // fraction.
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -20,10 +21,18 @@
 using namespace tribvote;
 
 int main() {
+  constexpr std::uint64_t kTraceSeed = 42;
+  constexpr std::uint64_t kScenarioSeed = 7;
   const trace::Trace tr =
-      trace::generate_trace(trace::GeneratorParams{}, /*seed=*/42);
+      trace::generate_trace(trace::GeneratorParams{}, kTraceSeed);
   core::ScenarioConfig config;
-  core::ScenarioRunner runner(tr, config, /*seed=*/7);
+  core::ScenarioRunner runner(tr, config, kScenarioSeed);
+  // Everything needed to reproduce this run from its console output alone.
+  std::printf("run: trace-seed=%llu scenario-seed=%llu shards=%zu "
+              "threshold=%g\n",
+              static_cast<unsigned long long>(kTraceSeed),
+              static_cast<unsigned long long>(kScenarioSeed),
+              runner.shard_count(), config.experience_threshold_mb);
 
   // Moderators: the first three nodes entering the system (paper §VI-B).
   const auto firsts = trace::earliest_arrivals(tr, 3);

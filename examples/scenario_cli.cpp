@@ -16,6 +16,7 @@
 //     --newscast           gossip PSS instead of the oracle
 //     --crowd N            flash-crowd colluders          (default 0)
 //     --core N             pre-converged core size        (default 20 if crowd>0)
+//     --shards N           population worker shards       (default 1)
 //     --sample HOURS       sampling period                (default 2)
 //     --csv FILE           output CSV                     (default scenario_cli.csv)
 #include <cstdio>
@@ -44,6 +45,7 @@ struct Options {
   bool newscast = false;
   std::size_t crowd = 0;
   std::size_t core = 0;
+  std::size_t shards = 1;
   Duration sample = 2 * kHour;
   std::string csv = "scenario_cli.csv";
 };
@@ -53,7 +55,7 @@ struct Options {
                "usage: %s [--trace FILE] [--seed N] [--peers N] [--days N] "
                "[--threshold MB]\n"
                "          [--adaptive] [--newscast] [--crowd N] [--core N] "
-               "[--sample HOURS] [--csv FILE]\n",
+               "[--shards N] [--sample HOURS] [--csv FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -85,6 +87,8 @@ Options parse(int argc, char** argv) {
       opt.crowd = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--core")) {
       opt.core = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--shards")) {
+      opt.shards = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--sample")) {
       opt.sample = static_cast<Duration>(
           std::atof(need_value(i)) * static_cast<double>(kHour));
@@ -95,7 +99,9 @@ Options parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (opt.peers < 5 || opt.days < 1 || opt.sample <= 0) usage(argv[0]);
+  if (opt.peers < 5 || opt.days < 1 || opt.sample <= 0 || opt.shards < 1) {
+    usage(argv[0]);
+  }
   if (opt.crowd > 0 && opt.core == 0) opt.core = 20;
   return opt;
 }
@@ -131,7 +137,16 @@ int main(int argc, char** argv) {
   config.pss =
       opt.newscast ? core::PssKind::kNewscast : core::PssKind::kOracle;
   config.attack.crowd_size = opt.crowd;
+  config.shards = opt.shards;
   core::ScenarioRunner runner(tr, config, opt.seed ^ 0xC11);
+  // Everything needed to reproduce this run from its console output alone.
+  std::printf("run: seed=%llu scenario-seed=%llu shards=%zu threshold=%g "
+              "pss=%s%s\n",
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<unsigned long long>(opt.seed ^ 0xC11),
+              runner.shard_count(), opt.threshold_mb,
+              opt.newscast ? "newscast" : "oracle",
+              opt.adaptive ? " adaptive" : "");
 
   // Standard script: three moderators, 20% voters; optional attack core.
   const auto firsts = trace::earliest_arrivals(tr, 3);

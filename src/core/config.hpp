@@ -2,6 +2,7 @@
 // defaults matching the paper's parameter choices (DESIGN.md §5).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "bartercast/experience.hpp"
@@ -60,6 +61,12 @@ struct ScenarioConfig {
   /// Use the §VII adaptive threshold instead of the fixed T.
   bool adaptive_threshold = false;
   bartercast::AdaptiveThresholdParams adaptive;
+
+  /// Worker shards for the population event kernel (sim/shard_kernel.hpp).
+  /// Nodes map to shards by id; protocol rounds fan encounters out across
+  /// one worker lane per shard. Results are bit-identical for every value
+  /// (1 = serial execution on the calling thread, today's behaviour).
+  std::size_t shards = 1;
 
   ProtocolPeriods periods;
   PssKind pss = PssKind::kOracle;

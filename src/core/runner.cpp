@@ -24,6 +24,11 @@ ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
       online_(trace_.peers.size() + config.attack.crowd_size),
       scripted_votes_(trace_.peers.size() + config.attack.crowd_size) {
   build_population(seed);
+  const std::size_t shards = std::max<std::size_t>(1, config_.shards);
+  if (shards > 1) shard_pool_ = std::make_unique<util::ThreadPool>(shards);
+  kernel_ = std::make_unique<sim::ShardKernel>(nodes_.size(), shards,
+                                               shard_pool_.get());
+  lane_stats_.assign(shards, RunStats{});
 }
 
 void ScenarioRunner::build_population(std::uint64_t seed) {
@@ -178,7 +183,13 @@ void ScenarioRunner::schedule_everything() {
   }
   if (config_.adaptive_threshold) {
     add_loop(pp.adaptive_update, pp.adaptive_update, [this] {
-      for (const auto& node : nodes_) node->update_adaptive_threshold();
+      // Node-local and order-independent: each node reads its own observed
+      // dispersion and re-derives its own threshold, so the update shards
+      // with no mailbox traffic.
+      kernel_->for_each_node(
+          [this](PeerId id, std::size_t) {
+            nodes_[id]->update_adaptive_threshold();
+          });
     });
   }
 
@@ -282,86 +293,113 @@ void ScenarioRunner::swarm_join(const trace::SwarmJoin& join) {
 // ---- protocol rounds ------------------------------------------------------------
 
 void ScenarioRunner::bt_round() {
+  // Swarm ticks write the shared ledger and bandwidth allocator, so the BT
+  // loop stays serial (ROADMAP: ledger sharding is a separate item).
   const double dt = static_cast<double>(config_.periods.bt_round);
   for (auto& [sid, swarm] : swarms_) swarm->tick(dt);
 }
 
-void ScenarioRunner::vote_round() {
-  // Every online node initiates one BallotBox (+ conditional VoxPopuli)
-  // exchange with a PSS-sampled peer (Fig. 3 active thread). Iteration
-  // order is shuffled each round for fairness.
+std::vector<sim::Encounter> ScenarioRunner::pair_round() {
+  // Every online node initiates one exchange with a PSS-sampled peer.
+  // Iteration order is shuffled each round for fairness. Pairing runs
+  // serially whatever the shard count: it is the only part of a gossip
+  // round that draws from the global RNG and the PSS.
   std::vector<PeerId> order = online_.online_ids();
   std::sort(order.begin(), order.end());
   rng_.shuffle(order);
-  const Time now = sim_.now();
+  std::vector<sim::Encounter> encounters;
+  encounters.reserve(order.size());
   for (const PeerId i : order) {
     if (!online_.is_online(i)) continue;
     const PeerId j = sample_peer(i);
     if (j == kInvalidPeer) continue;
-    Node& ni = *nodes_.at(i);
-    Node& nj = *nodes_.at(j);
-
-    // BallotBox leg, instrumented (vote_exchange() is the uninstrumented
-    // library entry point; the runner inlines it to keep counters).
-    vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
-    vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
-    const bool accepted_ij = nj.vote().receive_votes(from_i, now);
-    const bool accepted_ji = ni.vote().receive_votes(from_j, now);
-    stats_.votes_accepted +=
-        static_cast<std::uint64_t>(accepted_ij) +
-        static_cast<std::uint64_t>(accepted_ji);
-    if (!accepted_ij && !from_i.votes.empty()) {
-      ++stats_.votes_rejected_inexperienced;
-    }
-    if (!accepted_ji && !from_j.votes.empty()) {
-      ++stats_.votes_rejected_inexperienced;
-    }
-
-    // VoxPopuli leg.
-    if (ni.vote().bootstrapping()) {
-      vote::RankedList topk = nj.vote().answer_topk();
-      if (topk.empty()) {
-        ++stats_.vp_requests_null;
-      } else {
-        ++stats_.vp_requests_answered;
-        ni.vote().receive_topk(std::move(topk));
-      }
-    }
-    ++stats_.vote_exchanges;
+    encounters.push_back(
+        {static_cast<std::uint32_t>(encounters.size()), i, j});
   }
+  return encounters;
+}
+
+void ScenarioRunner::merge_lane_stats() {
+  for (RunStats& lane : lane_stats_) {
+    stats_.vote_exchanges += lane.vote_exchanges;
+    stats_.moderation_exchanges += lane.moderation_exchanges;
+    stats_.barter_exchanges += lane.barter_exchanges;
+    stats_.votes_accepted += lane.votes_accepted;
+    stats_.votes_rejected_inexperienced += lane.votes_rejected_inexperienced;
+    stats_.vp_requests_answered += lane.vp_requests_answered;
+    stats_.vp_requests_null += lane.vp_requests_null;
+    lane = RunStats{};
+  }
+}
+
+void ScenarioRunner::vote_round() {
+  // One BallotBox (+ conditional VoxPopuli) exchange per pair (Fig. 3
+  // active thread), fanned out across the shard kernel. The exchange body
+  // touches only the two endpoint nodes and its lane's counter block.
+  const Time now = sim_.now();
+  kernel_->run_round(
+      pair_round(), [this, now](const sim::Encounter& e, std::size_t lane) {
+        RunStats& st = lane_stats_[lane];
+        Node& ni = *nodes_[e.initiator];
+        Node& nj = *nodes_[e.responder];
+
+        // BallotBox leg, instrumented (vote_exchange() is the
+        // uninstrumented library entry point; the runner inlines it to
+        // keep counters).
+        vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
+        vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+        const bool accepted_ij = nj.vote().receive_votes(from_i, now);
+        const bool accepted_ji = ni.vote().receive_votes(from_j, now);
+        st.votes_accepted += static_cast<std::uint64_t>(accepted_ij) +
+                             static_cast<std::uint64_t>(accepted_ji);
+        if (!accepted_ij && !from_i.votes.empty()) {
+          ++st.votes_rejected_inexperienced;
+        }
+        if (!accepted_ji && !from_j.votes.empty()) {
+          ++st.votes_rejected_inexperienced;
+        }
+
+        // VoxPopuli leg.
+        if (ni.vote().bootstrapping()) {
+          vote::RankedList topk = nj.vote().answer_topk();
+          if (topk.empty()) {
+            ++st.vp_requests_null;
+          } else {
+            ++st.vp_requests_answered;
+            ni.vote().receive_topk(std::move(topk));
+          }
+        }
+        ++st.vote_exchanges;
+      });
+  merge_lane_stats();
 }
 
 void ScenarioRunner::moderation_round() {
-  std::vector<PeerId> order = online_.online_ids();
-  std::sort(order.begin(), order.end());
-  rng_.shuffle(order);
   const Time now = sim_.now();
-  for (const PeerId i : order) {
-    if (!online_.is_online(i)) continue;
-    const PeerId j = sample_peer(i);
-    if (j == kInvalidPeer) continue;
-    moderation::exchange(nodes_.at(i)->mod(), nodes_.at(j)->mod(), now);
-    ++stats_.moderation_exchanges;
-  }
+  kernel_->run_round(
+      pair_round(), [this, now](const sim::Encounter& e, std::size_t lane) {
+        moderation::exchange(nodes_[e.initiator]->mod(),
+                             nodes_[e.responder]->mod(), now);
+        ++lane_stats_[lane].moderation_exchanges;
+      });
+  merge_lane_stats();
 }
 
 void ScenarioRunner::barter_round() {
-  std::vector<PeerId> order = online_.online_ids();
-  std::sort(order.begin(), order.end());
-  rng_.shuffle(order);
+  // The ledger is read-only during a barter round (transfers land in
+  // bt_round), so concurrent direct-view reads are safe.
   const Time now = sim_.now();
-  for (const PeerId i : order) {
-    if (!online_.is_online(i)) continue;
-    const PeerId j = sample_peer(i);
-    if (j == kInvalidPeer) continue;
-    bartercast::BarterAgent& bi = nodes_.at(i)->barter();
-    bartercast::BarterAgent& bj = nodes_.at(j)->barter();
-    bi.sync_direct(ledger_, now);
-    bj.sync_direct(ledger_, now);
-    bj.receive(i, bi.outgoing_records(ledger_, now));
-    bi.receive(j, bj.outgoing_records(ledger_, now));
-    ++stats_.barter_exchanges;
-  }
+  kernel_->run_round(
+      pair_round(), [this, now](const sim::Encounter& e, std::size_t lane) {
+        bartercast::BarterAgent& bi = nodes_[e.initiator]->barter();
+        bartercast::BarterAgent& bj = nodes_[e.responder]->barter();
+        bi.sync_direct(ledger_, now);
+        bj.sync_direct(ledger_, now);
+        bj.receive(e.initiator, bi.outgoing_records(ledger_, now));
+        bi.receive(e.responder, bj.outgoing_records(ledger_, now));
+        ++lane_stats_[lane].barter_exchanges;
+      });
+  merge_lane_stats();
 }
 
 void ScenarioRunner::launch_attack() {

@@ -30,6 +30,7 @@
 #include "pss/newscast.hpp"
 #include "pss/online_directory.hpp"
 #include "pss/oracle.hpp"
+#include "sim/shard_kernel.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -116,6 +117,15 @@ class ScenarioRunner {
   [[nodiscard]] Time now() const noexcept { return sim_.now(); }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
+  /// Effective worker-shard count of the population event kernel (>= 1;
+  /// clamped from ScenarioConfig::shards at construction).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return kernel_->shards();
+  }
+  [[nodiscard]] const sim::ShardKernelStats& kernel_stats() const noexcept {
+    return kernel_->stats();
+  }
+
   // ---- queries for metrics --------------------------------------------------
 
   [[nodiscard]] bool is_online(PeerId id) const {
@@ -164,11 +174,26 @@ class ScenarioRunner {
   void schedule_colluder_churn(PeerId colluder, bool currently_online);
   [[nodiscard]] PeerId sample_peer(PeerId self);
 
+  /// Serial pairing phase shared by every gossip round: shuffle the online
+  /// set and draw one PSS counterpart per initiator, consuming the global
+  /// RNG/PSS streams in the exact pre-shard order (shard-count invariance
+  /// depends on it — see sim/shard_kernel.hpp).
+  [[nodiscard]] std::vector<sim::Encounter> pair_round();
+  /// Fold the per-lane counter deltas of the round just executed into
+  /// stats_ (lane order; all fields are sums, so the fold is exact).
+  void merge_lane_stats();
+
   trace::Trace trace_;
   ScenarioConfig config_;
   util::Rng rng_;
 
   sim::Simulator sim_;
+  // Population event kernel: worker pool + sharded round executor. The pool
+  // exists only when shards > 1; lane_stats_ holds one counter block per
+  // lane so exchange bodies never contend on stats_.
+  std::unique_ptr<util::ThreadPool> shard_pool_;
+  std::unique_ptr<sim::ShardKernel> kernel_;
+  std::vector<RunStats> lane_stats_;
   bt::TransferLedger ledger_;
   std::unique_ptr<bt::BandwidthAllocator> bandwidth_;
   pss::OnlineDirectory online_;

@@ -1,0 +1,110 @@
+#include "sim/shard_kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tribvote::sim {
+
+ShardKernel::ShardKernel(std::size_t population, std::size_t shards,
+                         util::ThreadPool* pool)
+    : population_(population),
+      shards_(std::max<std::size_t>(1, shards)),
+      pool_(pool) {
+  next_level_.assign(population_, 0);
+  mail_.resize(shards_);
+  for (auto& row : mail_) row.resize(shards_);
+}
+
+void ShardKernel::parallel_lanes(
+    const std::function<void(std::size_t)>& task) {
+  if (pool_ == nullptr) {
+    for (std::size_t s = 0; s < shards_; ++s) task(s);
+    return;
+  }
+  pool_->parallel_for(shards_, task);
+}
+
+void ShardKernel::run_round(const std::vector<Encounter>& encounters,
+                            const ExchangeFn& exchange) {
+  ++stats_.rounds;
+  if (shards_ == 1) {
+    // Serial fast path: the encounter list in sequence order *is* the
+    // pre-shard runner's loop body. No pool, no levels, no mailboxes.
+    for (const Encounter& e : encounters) exchange(e, 0);
+    stats_.local += encounters.size();
+    if (!encounters.empty()) ++stats_.levels;
+    return;
+  }
+
+  // Level assignment: one pass, O(encounters). next_level_[id] is the first
+  // level with no earlier encounter touching id, so placing e at
+  // max(next_level_[i], next_level_[j]) keeps every node's encounters in
+  // sequence order across levels and each level an independent set.
+  for (auto& level : levels_) level.clear();
+  for (const Encounter& e : encounters) {
+    assert(e.initiator < population_ && e.responder < population_);
+    const std::uint32_t lvl =
+        std::max(next_level_[e.initiator], next_level_[e.responder]);
+    next_level_[e.initiator] = lvl + 1;
+    next_level_[e.responder] = lvl + 1;
+    if (lvl >= levels_.size()) levels_.resize(lvl + 1);
+    levels_[lvl].push_back(e);
+  }
+  // Reset only the touched entries (population_ may dwarf the round size).
+  for (const Encounter& e : encounters) {
+    next_level_[e.initiator] = 0;
+    next_level_[e.responder] = 0;
+  }
+
+  for (const auto& level : levels_) {
+    if (level.empty()) continue;
+    ++stats_.levels;
+    // Phase A: shard-local execution + mailbox posting, per initiator lane.
+    parallel_lanes([&](std::size_t s) {
+      for (const Encounter& e : level) {
+        if (shard_of(e.initiator) != s) continue;
+        const std::size_t dest = shard_of(e.responder);
+        if (dest == s) {
+          exchange(e, s);
+        } else {
+          mail_[s][dest].push_back(e);
+        }
+      }
+    });
+    // Barrier reached: mailboxes are published. Phase B: each lane drains
+    // its inbox in (sender shard, sequence) order. Within the level the
+    // endpoint sets are pairwise disjoint, so touching the remote initiator
+    // is race-free and the drain order cannot affect results — it is fixed
+    // anyway so the schedule itself is deterministic.
+    parallel_lanes([&](std::size_t s) {
+      for (std::size_t sender = 0; sender < shards_; ++sender) {
+        auto& inbox = mail_[sender][s];
+        for (const Encounter& e : inbox) exchange(e, s);
+        inbox.clear();
+      }
+    });
+  }
+
+  // Accounting (serial, after the barriers).
+  for (const Encounter& e : encounters) {
+    if (shard_of(e.initiator) == shard_of(e.responder)) {
+      ++stats_.local;
+    } else {
+      ++stats_.mailed;
+    }
+  }
+}
+
+void ShardKernel::for_each_node(const NodeFn& fn) {
+  if (shards_ == 1) {
+    for (PeerId id = 0; id < population_; ++id) fn(id, 0);
+    return;
+  }
+  parallel_lanes([&](std::size_t s) {
+    for (std::size_t id = s; id < population_; id += shards_) {
+      fn(static_cast<PeerId>(id), s);
+    }
+  });
+}
+
+}  // namespace tribvote::sim

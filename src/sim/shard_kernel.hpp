@@ -1,0 +1,114 @@
+// Deterministic sharded round kernel (ROADMAP "Sharded populations").
+//
+// Gossip-style vote-sampling protocols are round-synchronous per *node*, not
+// globally: within one protocol round every encounter touches exactly its two
+// endpoint nodes (plus read-only shared state), so the population can be
+// sharded across worker threads without changing protocol semantics — as
+// long as each node's encounters are applied in the same relative order the
+// serial runner would apply them.
+//
+// The kernel guarantees exactly that, for any shard count:
+//
+//   1. The caller performs the *pairing* phase serially (it consumes the
+//      global scenario RNG and the PSS, whose draw order must not depend on
+//      the shard count) and hands the kernel the round's encounter list,
+//      tagged with ascending sequence numbers.
+//   2. The kernel assigns each encounter to a *level*:
+//      level(e) = 1 + max(level of the latest earlier encounter sharing an
+//      endpoint with e). Within a level no node appears twice, so the
+//      encounters of one level touch pairwise-disjoint node sets and commute.
+//      Across levels, each node's encounters execute in sequence order — the
+//      serial order.
+//   3. Each level executes in two barrier-delimited phases over a fixed
+//      worker pool (one lane per shard; nodes map to shards by id % shards):
+//        phase A — lane s executes its shard-local encounters (both
+//          endpoints in s) in sequence order, and posts every cross-shard
+//          encounter it initiates into the responder shard's mailbox;
+//        phase B — lane s drains its mailbox in (sender shard, sequence)
+//          order and executes those encounters, touching the remote
+//          initiator safely because the level is an independent set.
+//      The barrier between A and B publishes the mailboxes; the barrier
+//      after B closes the level.
+//
+// Result: for a fixed pairing, the per-node operation order — and therefore
+// every byte of simulation output — is invariant under the shard count,
+// including shards = 1, which executes the encounter list inline with no
+// pool at all (today's serial runner, verbatim). See DESIGN.md §8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tribvote::sim {
+
+/// One pairwise protocol encounter of a round, produced by the serial
+/// pairing phase. `seq` numbers are ascending within a round.
+struct Encounter {
+  std::uint32_t seq = 0;
+  PeerId initiator = kInvalidPeer;
+  PeerId responder = kInvalidPeer;
+};
+
+/// Observability counters (tests and benches).
+struct ShardKernelStats {
+  std::uint64_t rounds = 0;       ///< run_round calls
+  std::uint64_t levels = 0;       ///< barrier-delimited levels executed
+  std::uint64_t local = 0;        ///< encounters executed shard-locally
+  std::uint64_t mailed = 0;       ///< encounters routed through a mailbox
+};
+
+class ShardKernel {
+ public:
+  /// `population` bounds node ids; `shards` >= 1. `pool` carries the worker
+  /// lanes when shards > 1; pass nullptr to execute every lane on the
+  /// calling thread (identical results — useful under heavy replica
+  /// parallelism and in tests).
+  ShardKernel(std::size_t population, std::size_t shards,
+              util::ThreadPool* pool);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t shard_of(PeerId id) const noexcept {
+    return id % shards_;
+  }
+
+  /// Execute one encounter per list entry. `exchange(e, lane)` may mutate
+  /// the two endpoint nodes and anything owned by `lane` (lanes are in
+  /// [0, shards) and never run concurrently with themselves); it must treat
+  /// all other state as read-only. Encounters must carry ascending seq.
+  using ExchangeFn = std::function<void(const Encounter&, std::size_t lane)>;
+  void run_round(const std::vector<Encounter>& encounters,
+                 const ExchangeFn& exchange);
+
+  /// Run a node-local task over the whole population, partitioned by shard
+  /// (each lane walks its own ids in ascending order). `fn` must touch only
+  /// the given node plus lane-owned state; results are shard-count
+  /// invariant whenever `fn` is order-independent across nodes.
+  using NodeFn = std::function<void(PeerId, std::size_t lane)>;
+  void for_each_node(const NodeFn& fn);
+
+  [[nodiscard]] const ShardKernelStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  std::size_t population_;
+  std::size_t shards_;
+  util::ThreadPool* pool_;
+
+  /// Invoke `task(s)` for every lane s, then barrier. Runs inline when no
+  /// pool is attached.
+  void parallel_lanes(const std::function<void(std::size_t)>& task);
+
+  // Scratch reused across rounds (single-threaded access: the simulator
+  // calls run_round from one thread).
+  std::vector<std::uint32_t> next_level_;        // node -> next free level
+  std::vector<std::vector<Encounter>> levels_;
+  std::vector<std::vector<std::vector<Encounter>>> mail_;  // [sender][dest]
+  ShardKernelStats stats_;
+};
+
+}  // namespace tribvote::sim

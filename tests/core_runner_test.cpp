@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/experiment.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/generator.hpp"
@@ -214,6 +217,113 @@ TEST(Runner, NewscastPssVariantRuns) {
   ScenarioRunner runner(tr, config, 7);
   runner.run_until(6 * kHour);
   EXPECT_GT(runner.stats().vote_exchanges, 0u);
+}
+
+/// Run a fully-scripted scenario at the given shard count and return the
+/// sampled metrics as a CSV string — counters, a bit-exact float metric
+/// (CEV printed with %.17g round-trips doubles exactly) and a ranking, so
+/// any divergence in protocol state shows up as a byte difference.
+std::string metrics_csv(const trace::Trace& tr, ScenarioConfig config,
+                        std::size_t shards) {
+  config.shards = shards;
+  ScenarioRunner runner(tr, config, /*seed=*/42);
+  const auto firsts = trace::earliest_arrivals(tr, 2);
+  runner.publish_moderation(firsts[0], kMinute, "good metadata");
+  runner.publish_moderation(firsts[1], 2 * kMinute, "spam metadata");
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p == firsts[0] || p == firsts[1]) continue;
+    runner.script_vote_on_receipt(
+        p, p % 2 == 0 ? firsts[0] : firsts[1],
+        p % 2 == 0 ? Opinion::kPositive : Opinion::kNegative);
+  }
+  std::string csv = "t,online,accepted,rejected,vp,cev,top\n";
+  runner.sample_every(2 * kHour, [&](Time t) {
+    const double cev =
+        runner.collective_experience(config.experience_threshold_mb);
+    const vote::RankedList rank = runner.ranking_of(3);
+    char line[160];
+    std::snprintf(
+        line, sizeof line, "%lld,%zu,%llu,%llu,%llu,%.17g,%u\n",
+        static_cast<long long>(t), runner.online_count(),
+        static_cast<unsigned long long>(runner.stats().votes_accepted),
+        static_cast<unsigned long long>(
+            runner.stats().votes_rejected_inexperienced),
+        static_cast<unsigned long long>(runner.stats().vp_requests_answered),
+        cev, rank.empty() ? kInvalidModerator : rank.front());
+    csv += line;
+  });
+  runner.run_until(tr.duration);
+  char tail[160];
+  std::snprintf(tail, sizeof tail, "final,%llu,%llu,%llu,%.17g\n",
+                static_cast<unsigned long long>(
+                    runner.stats().downloads_completed),
+                static_cast<unsigned long long>(runner.stats().vote_exchanges),
+                static_cast<unsigned long long>(
+                    runner.stats().moderation_exchanges),
+                runner.ledger().total_uploaded_mb(0));
+  csv += tail;
+  return csv;
+}
+
+TEST(Runner, ShardCountInvariance) {
+  // The acceptance bar for the sharded kernel: byte-identical metrics CSV
+  // for shards ∈ {1, 2, 4} on a small trace.
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  const std::string serial = metrics_csv(tr, config, 1);
+  EXPECT_EQ(serial, metrics_csv(tr, config, 2));
+  EXPECT_EQ(serial, metrics_csv(tr, config, 4));
+}
+
+TEST(Runner, ShardCountInvarianceUnderAttackAndAdaptive) {
+  // Harder variant: colluder crowd (attack agents + churn), adaptive
+  // threshold (exercises the sharded for_each_node path) and the Newscast
+  // PSS (global gossip state drawn during serial pairing only).
+  const trace::Trace tr = small_trace(/*seed=*/11);
+  ScenarioConfig config;
+  config.attack.crowd_size = 6;
+  config.attack.start = 2 * kHour;
+  config.adaptive_threshold = true;
+  config.pss = PssKind::kNewscast;
+  const std::string serial = metrics_csv(tr, config, 1);
+  EXPECT_EQ(serial, metrics_csv(tr, config, 3));
+  EXPECT_EQ(serial, metrics_csv(tr, config, 8));
+}
+
+TEST(Runner, ShardStressCrossShardMailboxes) {
+  // TSan-friendly stress: a larger population on real worker threads, with
+  // shards chosen so most encounters cross shard boundaries. Asserts the
+  // mailboxed path actually ran and that results match the serial run.
+  trace::GeneratorParams params;
+  params.n_peers = 48;
+  params.n_swarms = 4;
+  params.duration = kDay;
+  params.founder_fraction = 0.7;
+  params.arrival_window = 0.3;
+  const trace::Trace tr = trace::generate_trace(params, 13);
+
+  ScenarioConfig config;
+  const std::string serial = metrics_csv(tr, config, 1);
+
+  config.shards = 4;
+  ScenarioRunner sharded(tr, config, /*seed=*/42);
+  const auto firsts = trace::earliest_arrivals(tr, 2);
+  sharded.publish_moderation(firsts[0], kMinute, "good metadata");
+  sharded.publish_moderation(firsts[1], 2 * kMinute, "spam metadata");
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p == firsts[0] || p == firsts[1]) continue;
+    sharded.script_vote_on_receipt(
+        p, p % 2 == 0 ? firsts[0] : firsts[1],
+        p % 2 == 0 ? Opinion::kPositive : Opinion::kNegative);
+  }
+  sharded.run_until(tr.duration);
+  EXPECT_EQ(sharded.shard_count(), 4u);
+  EXPECT_GT(sharded.kernel_stats().mailed, 0u);
+  EXPECT_GT(sharded.kernel_stats().levels,
+            sharded.kernel_stats().rounds);  // multi-level rounds happened
+
+  // And the full-fidelity comparison via the CSV harness.
+  EXPECT_EQ(serial, metrics_csv(tr, config, 4));
 }
 
 TEST(Experiment, RunReplicasAggregates) {

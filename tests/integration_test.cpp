@@ -28,6 +28,7 @@ trace::Trace mini_trace(std::uint64_t seed, std::uint32_t peers = 30,
 TEST(Integration, ExperienceFormsOverTime) {
   const trace::Trace tr = mini_trace(11);
   ScenarioConfig config;
+  config.shards = 2;  // results are shard-count invariant by construction
   ScenarioRunner runner(tr, config, 1);
 
   std::vector<double> cev_samples;
@@ -66,6 +67,7 @@ TEST(Integration, LowerThresholdMeansMoreExperience) {
 TEST(Integration, VoteSamplingConvergesToCorrectOrdering) {
   const trace::Trace tr = mini_trace(13, 40, 3 * kDay);
   ScenarioConfig config;
+  config.shards = 4;  // full qualitative scenario on the sharded kernel
   ScenarioRunner runner(tr, config, 3);
 
   const auto firsts = trace::earliest_arrivals(tr, 3);
