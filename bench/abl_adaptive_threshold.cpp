@@ -35,6 +35,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
                                 bool adaptive) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   config.attack.crowd_size = kCrowd;
   config.attack.start = 0;
   config.attack.duty = 0.5;

@@ -35,6 +35,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
                                 const Config& cfg) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   config.vote.b_min = cfg.b_min;
   config.vote.b_max = cfg.b_max;
   core::ScenarioRunner runner(tr, config, 0xA2 + index);

@@ -132,6 +132,7 @@ struct GossipOutcome {
 GossipOutcome run_gossip(const trace::Trace& tr, std::uint64_t seed) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   core::ScenarioRunner runner(tr, config, seed);
   // 50 moderations from the earliest arrival; population approves it so
   // items relay at full gossip speed (the favourable case for gossip is

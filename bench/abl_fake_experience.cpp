@@ -25,6 +25,7 @@ constexpr double kThresholdMb = 5.0;
 core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   config.attack.crowd_size = kCrowd;
   config.attack.start = 0;
   config.attack.duty = 1.0;          // moles stay online to gossip lies

@@ -24,6 +24,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
                                 core::PssKind pss) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   config.pss = pss;
   core::ScenarioRunner runner(tr, config, 0xA4 + index);
 

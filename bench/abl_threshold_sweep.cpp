@@ -20,6 +20,7 @@ constexpr std::array<double, 7> kThresholds{0.5, 1, 2, 5, 10, 25, 50};
 core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   core::ScenarioRunner runner(tr, config, 0xA1 + index);
   const std::size_t n = runner.trace_peer_count();
 

@@ -4,57 +4,43 @@
 // it prints a human-readable table reproducing the figure's series to
 // stdout and writes the same data as CSV next to the working directory.
 //
-// Environment knobs:
-//   TRIBVOTE_REPLICAS  number of trace replicas (default 10, the paper's
-//                      count; set lower for a quick pass)
-//   TRIBVOTE_SEED      base seed for the trace dataset (default 20090525,
-//                      the IPPS 2009 conference date)
-//   TRIBVOTE_SHARDS    worker shards per ScenarioRunner (default 1).
-//                      Results are bit-identical for any value; >1 trades
-//                      replica-level for population-level parallelism.
+// Environment knobs are shared across all harness binaries and documented
+// once in src/sim/options.hpp (TRIBVOTE_REPLICAS, TRIBVOTE_ABL_REPLICAS,
+// TRIBVOTE_SEED, TRIBVOTE_SHARDS, TRIBVOTE_LEDGER); the inline wrappers
+// below keep the bench::-local names the figure binaries use.
 #pragma once
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "metrics/timeseries.hpp"
+#include "sim/options.hpp"
 #include "trace/generator.hpp"
 #include "util/csv.hpp"
 #include "util/time.hpp"
 
 namespace tribvote::bench {
 
-inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  const long parsed = std::strtol(v, nullptr, 10);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
-}
+inline std::uint64_t env_seed() { return sim::options::seed(); }
 
-inline std::uint64_t env_seed() {
-  const char* v = std::getenv("TRIBVOTE_SEED");
-  return v != nullptr ? std::strtoull(v, nullptr, 10) : 20090525ULL;
-}
+inline std::size_t replica_count() { return sim::options::replicas(); }
 
-inline std::size_t replica_count() {
-  return env_size("TRIBVOTE_REPLICAS", 10);
-}
-
-/// Ablations default to fewer replicas than the headline figures — they
-/// compare configurations against each other, where 4 replicas already
-/// separate the curves. TRIBVOTE_ABL_REPLICAS overrides.
 inline std::size_t ablation_replica_count() {
-  return env_size("TRIBVOTE_ABL_REPLICAS",
-                  std::min<std::size_t>(4, replica_count()));
+  return sim::options::ablation_replicas();
 }
 
 /// Worker shards for each replica's population event kernel
 /// (ScenarioConfig::shards). Golden CSVs are byte-identical for any value.
-inline std::size_t shard_count() { return env_size("TRIBVOTE_SHARDS", 1); }
+inline std::size_t shard_count() { return sim::options::shards(); }
+
+/// Contribution-ledger backend (ScenarioConfig::ledger). Goldens are
+/// recorded on the map backend; the sharded_log backend reproduces the
+/// same metrics (bit-identical accounting, see bt/sharded_log_ledger.hpp).
+inline bt::LedgerBackend ledger_backend() {
+  return sim::options::ledger_backend();
+}
 
 /// The standard dataset: `n` synthetic 7-day/100-peer traces calibrated to
 /// the filelist.org statistics (DESIGN.md §2).
@@ -67,8 +53,9 @@ inline void banner(const char* experiment, const char* paper_ref) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("replicas=%zu seed=%llu shards=%zu\n", replica_count(),
-              static_cast<unsigned long long>(env_seed()), shard_count());
+  std::printf("replicas=%zu seed=%llu shards=%zu ledger=%s\n",
+              replica_count(), static_cast<unsigned long long>(env_seed()),
+              shard_count(), bt::ledger_backend_name(ledger_backend()));
   std::printf("================================================================\n");
 }
 

@@ -26,6 +26,7 @@ constexpr std::array<double, 5> kThresholdsMb{1.0, 5.0, 10.0, 25.0, 50.0};
 core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   core::ScenarioRunner runner(tr, config, 0x515 + index);
   const std::size_t n = runner.trace_peer_count();
 

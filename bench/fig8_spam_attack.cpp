@@ -31,6 +31,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
                                 std::size_t crowd_size) {
   core::ScenarioConfig config;
   config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
   config.attack.crowd_size = crowd_size;
   config.attack.start = 0;
   config.attack.duty = 0.5;  // trace-like churn

@@ -16,9 +16,14 @@
 //     --newscast           gossip PSS instead of the oracle
 //     --crowd N            flash-crowd colluders          (default 0)
 //     --core N             pre-converged core size        (default 20 if crowd>0)
-//     --shards N           population worker shards       (default 1)
+//     --shards N           population worker shards       (default TRIBVOTE_SHARDS or 1)
+//     --ledger NAME        ledger backend map|sharded_log (default TRIBVOTE_LEDGER or map)
 //     --sample HOURS       sampling period                (default 2)
 //     --csv FILE           output CSV                     (default scenario_cli.csv)
+//
+// The TRIBVOTE_* environment knobs (src/sim/options.hpp) provide the
+// defaults where noted, so scripted sweeps can steer the CLI the same way
+// they steer the figure benches.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,6 +31,7 @@
 
 #include "core/runner.hpp"
 #include "metrics/ordering.hpp"
+#include "sim/options.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
@@ -45,7 +51,8 @@ struct Options {
   bool newscast = false;
   std::size_t crowd = 0;
   std::size_t core = 0;
-  std::size_t shards = 1;
+  std::size_t shards = sim::options::shards();
+  bt::LedgerBackend ledger = sim::options::ledger_backend();
   Duration sample = 2 * kHour;
   std::string csv = "scenario_cli.csv";
 };
@@ -55,7 +62,8 @@ struct Options {
                "usage: %s [--trace FILE] [--seed N] [--peers N] [--days N] "
                "[--threshold MB]\n"
                "          [--adaptive] [--newscast] [--crowd N] [--core N] "
-               "[--shards N] [--sample HOURS] [--csv FILE]\n",
+               "[--shards N] [--ledger map|sharded_log]\n"
+               "          [--sample HOURS] [--csv FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -89,6 +97,14 @@ Options parse(int argc, char** argv) {
       opt.core = std::strtoull(need_value(i), nullptr, 10);
     } else if (!std::strcmp(arg, "--shards")) {
       opt.shards = std::strtoull(need_value(i), nullptr, 10);
+    } else if (!std::strcmp(arg, "--ledger")) {
+      const char* name = need_value(i);
+      const auto backend = bt::parse_ledger_backend(name);
+      if (!backend) {
+        std::fprintf(stderr, "unknown ledger backend: %s\n", name);
+        usage(argv[0]);
+      }
+      opt.ledger = *backend;
     } else if (!std::strcmp(arg, "--sample")) {
       opt.sample = static_cast<Duration>(
           std::atof(need_value(i)) * static_cast<double>(kHour));
@@ -138,14 +154,15 @@ int main(int argc, char** argv) {
       opt.newscast ? core::PssKind::kNewscast : core::PssKind::kOracle;
   config.attack.crowd_size = opt.crowd;
   config.shards = opt.shards;
+  config.ledger = opt.ledger;
   core::ScenarioRunner runner(tr, config, opt.seed ^ 0xC11);
   // Everything needed to reproduce this run from its console output alone.
-  std::printf("run: seed=%llu scenario-seed=%llu shards=%zu threshold=%g "
-              "pss=%s%s\n",
+  std::printf("run: seed=%llu scenario-seed=%llu shards=%zu ledger=%s "
+              "threshold=%g pss=%s%s\n",
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.seed ^ 0xC11),
-              runner.shard_count(), opt.threshold_mb,
-              opt.newscast ? "newscast" : "oracle",
+              runner.shard_count(), bt::ledger_backend_name(opt.ledger),
+              opt.threshold_mb, opt.newscast ? "newscast" : "oracle",
               opt.adaptive ? " adaptive" : "");
 
   // Standard script: three moderators, 20% voters; optional attack core.

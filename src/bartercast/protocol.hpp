@@ -14,8 +14,9 @@
 // the bit-identical result of the same max_flow() code path, never an
 // approximation.
 //
-// Honest agents report truthfully from the shared TransferLedger's
-// per-peer direct view; the attack module subclasses the reporting hook to
+// Honest agents report truthfully from the shared ledger's per-peer direct
+// view (through the read-only LedgerView half of the ledger API, so any
+// backend serves); the attack module subclasses the reporting hook to
 // model front-peer collusion (fabricated records).
 #pragma once
 
@@ -25,7 +26,7 @@
 
 #include "bartercast/maxflow.hpp"
 #include "bartercast/subjective_graph.hpp"
-#include "bt/transfer_ledger.hpp"
+#include "bt/ledger.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -56,11 +57,11 @@ class BarterAgent {
   /// largest volumes first, truncated to the message cap. Virtual so attack
   /// models can fabricate claims.
   [[nodiscard]] virtual std::vector<BarterRecord> outgoing_records(
-      const bt::TransferLedger& ledger, Time now) const;
+      const bt::LedgerView& ledger, Time now) const;
 
   /// Refresh the agent's own direct edges from its local statistics.
   /// Cheap no-op when the ledger reports no change since the last sync.
-  void sync_direct(const bt::TransferLedger& ledger, Time now);
+  void sync_direct(const bt::LedgerView& ledger, Time now);
 
   /// Merge a counterpart's gossip message. Records not adjacent to the
   /// claimed sender are dropped (a node may only report about transfers it

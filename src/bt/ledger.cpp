@@ -1,0 +1,16 @@
+#include "bt/ledger.hpp"
+
+#include "bt/sharded_log_ledger.hpp"
+#include "bt/transfer_ledger.hpp"
+
+namespace tribvote::bt {
+
+std::unique_ptr<Ledger> make_ledger(LedgerBackend backend,
+                                    std::size_t n_peers, std::size_t shards) {
+  if (backend == LedgerBackend::kShardedLog) {
+    return std::make_unique<ShardedLogLedger>(n_peers, shards);
+  }
+  return std::make_unique<MapLedger>(n_peers);
+}
+
+}  // namespace tribvote::bt

@@ -1,0 +1,117 @@
+// Abstract contribution-ledger API (ROADMAP "Ledger scalability").
+//
+// Every byte moved by the swarm engine is accounted in a ledger. The API is
+// split along the system's read/write seam:
+//
+//   * LedgerSink  — the write half. The swarm engine, the bandwidth/choker
+//     write sites and scenario preseeding append transfers; they never query.
+//   * LedgerView  — the read half. BarterCast (and the attack variants) read
+//     only per-peer direct views and totals; evaluation metrics read pair
+//     counters (allowed global knowledge per the paper's footnote 8).
+//   * Ledger      — both halves in one object, owned by the ScenarioRunner.
+//
+// Two backends implement the API (selected via ScenarioConfig::ledger):
+//
+//   * MapLedger (transfer_ledger.hpp, default) — the dense per-peer pair-map
+//     the repo always had. Golden CSVs are byte-identical on this backend.
+//   * ShardedLogLedger (sharded_log_ledger.hpp) — per-shard append-only
+//     transfer logs compacted periodically into per-peer CSR-style
+//     counterparty rows; sized for millions of peers and safe for
+//     concurrent shard-local appends via per-lane sinks (DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace tribvote::bt {
+
+/// One direct-transfer record as a peer would report it: "a uploaded
+/// `mb` megabytes to b".
+struct TransferRecord {
+  PeerId from = kInvalidPeer;
+  PeerId to = kInvalidPeer;
+  double mb = 0;
+};
+
+/// Write half of the ledger API.
+class LedgerSink {
+ public:
+  virtual ~LedgerSink() = default;
+
+  /// Record `bytes` uploaded by `from` to `to`.
+  virtual void add_transfer(PeerId from, PeerId to, double bytes) = 0;
+
+  /// Publish any buffered writes so subsequent reads are O(row) and safe
+  /// under concurrent readers. No-op for eager backends; the append-log
+  /// backend compacts its shard logs here. The runner calls this at the
+  /// end of every BT round, before the read-only gossip rounds fan out.
+  virtual void flush() {}
+};
+
+/// Read half of the ledger API.
+class LedgerView {
+ public:
+  virtual ~LedgerView() = default;
+
+  /// Megabytes uploaded by `from` to `to` so far.
+  [[nodiscard]] virtual double uploaded_mb(PeerId from, PeerId to) const = 0;
+
+  /// Total megabytes uploaded by a peer to everyone.
+  [[nodiscard]] virtual double total_uploaded_mb(PeerId peer) const = 0;
+
+  /// Total megabytes downloaded by a peer from everyone.
+  [[nodiscard]] virtual double total_downloaded_mb(PeerId peer) const = 0;
+
+  /// The direct records peer `p` can truthfully report: every counterpart
+  /// it exchanged data with, both directions. This is the local view
+  /// BarterCast gossips. Record *order* is backend-defined; every consumer
+  /// is order-insensitive (outgoing_records sorts, sync_direct applies
+  /// per-pair set semantics).
+  [[nodiscard]] virtual std::vector<TransferRecord> direct_view(
+      PeerId p) const = 0;
+
+  [[nodiscard]] virtual std::size_t peer_count() const noexcept = 0;
+
+  /// Monotone counter bumped whenever a transfer touches `peer` (either
+  /// direction). Lets BarterCast agents skip re-syncing an unchanged
+  /// direct view — the dominant cost in long runs.
+  [[nodiscard]] virtual std::uint64_t version(PeerId peer) const = 0;
+};
+
+/// A full ledger: both halves, one object.
+class Ledger : public LedgerView, public LedgerSink {};
+
+/// Backend selector (ScenarioConfig::ledger, TRIBVOTE_LEDGER,
+/// scenario_cli --ledger).
+enum class LedgerBackend : std::uint8_t {
+  kMap,         ///< dense per-peer pair maps (default; goldens' backend)
+  kShardedLog,  ///< sharded append-log + periodic CSR compaction
+};
+
+[[nodiscard]] inline constexpr const char* ledger_backend_name(
+    LedgerBackend backend) noexcept {
+  return backend == LedgerBackend::kShardedLog ? "sharded_log" : "map";
+}
+
+[[nodiscard]] inline std::optional<LedgerBackend> parse_ledger_backend(
+    std::string_view name) noexcept {
+  if (name == "map") return LedgerBackend::kMap;
+  if (name == "sharded_log" || name == "sharded") {
+    return LedgerBackend::kShardedLog;
+  }
+  return std::nullopt;
+}
+
+/// Construct a backend. `shards` only matters for kShardedLog (clamped to
+/// >= 1); pass the scenario's worker-shard count so ledger shards line up
+/// with the ShardKernel's lanes.
+[[nodiscard]] std::unique_ptr<Ledger> make_ledger(LedgerBackend backend,
+                                                  std::size_t n_peers,
+                                                  std::size_t shards = 1);
+
+}  // namespace tribvote::bt

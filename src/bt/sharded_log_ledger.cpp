@@ -1,0 +1,182 @@
+#include "bt/sharded_log_ledger.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tribvote::bt {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+
+/// Fold one (counterpart, bytes) delta into a sorted id/value row pair, in
+/// call order — the FP-associativity twin of `map[other] += bytes`.
+void fold_into_row(std::vector<PeerId>& ids, std::vector<double>& vals,
+                   PeerId other, double bytes) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), other);
+  const auto idx = static_cast<std::size_t>(it - ids.begin());
+  if (it != ids.end() && *it == other) {
+    vals[idx] += bytes;
+  } else {
+    ids.insert(it, other);
+    vals.insert(vals.begin() + static_cast<std::ptrdiff_t>(idx), bytes);
+  }
+}
+
+[[nodiscard]] double row_value(const std::vector<PeerId>& ids,
+                               const std::vector<double>& vals, PeerId other) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), other);
+  if (it == ids.end() || *it != other) return 0.0;
+  return vals[static_cast<std::size_t>(it - ids.begin())];
+}
+}  // namespace
+
+ShardedLogLedger::ShardedLogLedger(std::size_t n_peers, std::size_t shards,
+                                   std::size_t compact_threshold)
+    : n_(n_peers),
+      compact_threshold_(std::max<std::size_t>(1, compact_threshold)),
+      shards_(std::max<std::size_t>(1, shards)),
+      rows_(n_peers),
+      total_up_(n_peers, 0.0),
+      total_down_(n_peers, 0.0),
+      version_(n_peers, 0),
+      sinks_(std::max<std::size_t>(1, shards)) {}
+
+void ShardedLogLedger::append(PeerId self, PeerId other, double bytes,
+                              bool upload) {
+  Shard& shard = shards_[shard_of(self)];
+  shard.log.push_back(LogEntry{self, other, bytes, upload});
+  if (shard.log.size() >= compact_threshold_) compact(shard);
+}
+
+void ShardedLogLedger::add_transfer(PeerId from, PeerId to, double bytes) {
+  assert(from < n_ && to < n_ && from != to);
+  assert(bytes >= 0);
+  ++stats_.appends;
+  append(from, to, bytes, /*upload=*/true);
+  append(to, from, bytes, /*upload=*/false);
+}
+
+void ShardedLogLedger::compact(Shard& shard) {
+  // Stable sort groups each peer's entries while keeping them in arrival
+  // order, so the per-pair fold sequence matches the serial `+=` order and
+  // the scatter into rows_/totals/versions walks peers ascending.
+  std::stable_sort(shard.log.begin(), shard.log.end(),
+                   [](const LogEntry& a, const LogEntry& b) {
+                     return a.self < b.self;
+                   });
+  Row* row = nullptr;
+  PeerId current = kInvalidPeer;
+  for (const LogEntry& e : shard.log) {
+    if (e.self != current) {
+      current = e.self;
+      row = &rows_[e.self];
+    }
+    if (e.upload) {
+      fold_into_row(row->up_ids, row->up_bytes, e.other, e.bytes);
+      total_up_[e.self] += e.bytes;
+    } else {
+      fold_into_row(row->down_ids, row->down_bytes, e.other, e.bytes);
+      total_down_[e.self] += e.bytes;
+    }
+    ++version_[e.self];
+  }
+  ++stats_.compactions;
+  stats_.compacted_entries += shard.log.size();
+  shard.log.clear();
+}
+
+void ShardedLogLedger::flush() {
+  for (Shard& shard : shards_) {
+    if (!shard.log.empty()) compact(shard);
+  }
+}
+
+double ShardedLogLedger::uploaded_mb(PeerId from, PeerId to) const {
+  assert(from < n_ && to < n_);
+  const Row& row = rows_[from];
+  double bytes = row_value(row.up_ids, row.up_bytes, to);
+  for (const LogEntry& e : shards_[shard_of(from)].log) {
+    if (e.self == from && e.upload && e.other == to) bytes += e.bytes;
+  }
+  return bytes / kBytesPerMb;
+}
+
+double ShardedLogLedger::total_uploaded_mb(PeerId peer) const {
+  assert(peer < n_);
+  double bytes = total_up_[peer];
+  for (const LogEntry& e : shards_[shard_of(peer)].log) {
+    if (e.self == peer && e.upload) bytes += e.bytes;
+  }
+  return bytes / kBytesPerMb;
+}
+
+double ShardedLogLedger::total_downloaded_mb(PeerId peer) const {
+  assert(peer < n_);
+  double bytes = total_down_[peer];
+  for (const LogEntry& e : shards_[shard_of(peer)].log) {
+    if (e.self == peer && !e.upload) bytes += e.bytes;
+  }
+  return bytes / kBytesPerMb;
+}
+
+std::uint64_t ShardedLogLedger::version(PeerId peer) const {
+  assert(peer < n_);
+  std::uint64_t v = version_[peer];
+  for (const LogEntry& e : shards_[shard_of(peer)].log) {
+    if (e.self == peer) ++v;
+  }
+  return v;
+}
+
+std::vector<TransferRecord> ShardedLogLedger::direct_view(PeerId p) const {
+  assert(p < n_);
+  // Fold the pending tail into copies of p's rows, preserving arrival
+  // order, then emit uploads followed by downloads (counterparts
+  // ascending; consumers are order-insensitive, see bt/ledger.hpp).
+  const Row& row = rows_[p];
+  std::vector<PeerId> up_ids = row.up_ids;
+  std::vector<double> up_bytes = row.up_bytes;
+  std::vector<PeerId> down_ids = row.down_ids;
+  std::vector<double> down_bytes = row.down_bytes;
+  for (const LogEntry& e : shards_[shard_of(p)].log) {
+    if (e.self != p) continue;
+    if (e.upload) {
+      fold_into_row(up_ids, up_bytes, e.other, e.bytes);
+    } else {
+      fold_into_row(down_ids, down_bytes, e.other, e.bytes);
+    }
+  }
+  std::vector<TransferRecord> records;
+  records.reserve(up_ids.size() + down_ids.size());
+  for (std::size_t k = 0; k < up_ids.size(); ++k) {
+    records.push_back(TransferRecord{p, up_ids[k], up_bytes[k] / kBytesPerMb});
+  }
+  for (std::size_t k = 0; k < down_ids.size(); ++k) {
+    records.push_back(
+        TransferRecord{down_ids[k], p, down_bytes[k] / kBytesPerMb});
+  }
+  return records;
+}
+
+ShardedLogLedger::ShardSink& ShardedLogLedger::sink(std::size_t lane) {
+  assert(lane < sinks_.size());
+  return sinks_[lane];
+}
+
+void ShardedLogLedger::merge_sinks() {
+  for (ShardSink& s : sinks_) {
+    for (const ShardSink::Buffered& b : s.buffer_) {
+      add_transfer(b.from, b.to, b.bytes);
+    }
+    s.buffer_.clear();
+  }
+  ++stats_.sink_merges;
+}
+
+std::size_t ShardedLogLedger::pending_entries() const noexcept {
+  std::size_t pending = 0;
+  for (const Shard& shard : shards_) pending += shard.log.size();
+  return pending;
+}
+
+}  // namespace tribvote::bt

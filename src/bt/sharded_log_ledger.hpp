@@ -1,0 +1,159 @@
+// Sharded append-log ledger backend (see bt/ledger.hpp for the API).
+//
+// Built for populations far past what the pair-map backend handles: the
+// append path does no hashing, no per-pair node allocation and no random
+// scatter — a transfer becomes two sequential pushes into per-shard
+// append-only logs (one upload-side entry in `from`'s shard, one
+// download-side entry in `to`'s shard). All random-access work (pair
+// counters, per-peer totals, version bumps) is deferred to *compaction*:
+// when a shard's log crosses the threshold (or flush() is called), the log
+// is stable-sorted by owning peer and folded into per-peer CSR-style
+// counterparty rows — sorted column-id/value arrays per direction — so the
+// scatter happens once per batch, in peer order, instead of once per append
+// in random order.
+//
+// Exactness: queries between compactions merge the compacted base with the
+// pending tail of the owner's shard log, in arrival order. Because each
+// peer's entries are folded in arrival order everywhere (stable sort; the
+// pending scan preserves log order), every double this backend returns is
+// bit-identical to the pair-map backend's `+=` sequence — the backends are
+// interchangeable to the last bit of simulation output (DESIGN.md §9).
+//
+// Concurrency: the serial entry point (add_transfer) matches the pair-map
+// backend. Under the sharded event kernel, give each worker lane its own
+// ShardSink — appends buffer into lane-local storage with no shared writes,
+// and merge_sinks() folds the buffers in lane order at the barrier.
+// Concurrent *reads* are always safe against sink appends (the ledger
+// proper is untouched until merge) and against each other (queries never
+// mutate; there is no lazy compaction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bt/ledger.hpp"
+#include "util/ids.hpp"
+
+namespace tribvote::bt {
+
+/// Observability counters (tests and benches).
+struct ShardedLogLedgerStats {
+  std::uint64_t appends = 0;            ///< add_transfer calls
+  std::uint64_t compactions = 0;        ///< shard-log folds
+  std::uint64_t compacted_entries = 0;  ///< log entries folded into rows
+  std::uint64_t sink_merges = 0;        ///< merge_sinks calls
+};
+
+class ShardedLogLedger final : public Ledger {
+ public:
+  /// Entries one shard log buffers before it is folded into the rows.
+  static constexpr std::size_t kDefaultCompactThreshold = 16384;
+
+  /// `shards` is clamped to >= 1. Peers map to shards by id % shards,
+  /// matching sim::ShardKernel::shard_of, so lane-local appends about a
+  /// lane's own peers stay shard-local.
+  ShardedLogLedger(std::size_t n_peers, std::size_t shards,
+                   std::size_t compact_threshold = kDefaultCompactThreshold);
+
+  // ---- LedgerSink ----------------------------------------------------------
+
+  void add_transfer(PeerId from, PeerId to, double bytes) override;
+
+  /// Compact every dirty shard. Reads afterwards are pure row lookups.
+  void flush() override;
+
+  // ---- LedgerView ----------------------------------------------------------
+
+  [[nodiscard]] double uploaded_mb(PeerId from, PeerId to) const override;
+  [[nodiscard]] double total_uploaded_mb(PeerId peer) const override;
+  [[nodiscard]] double total_downloaded_mb(PeerId peer) const override;
+  [[nodiscard]] std::vector<TransferRecord> direct_view(
+      PeerId p) const override;
+  [[nodiscard]] std::size_t peer_count() const noexcept override {
+    return n_;
+  }
+  [[nodiscard]] std::uint64_t version(PeerId peer) const override;
+
+  // ---- concurrent shard-local appends -------------------------------------
+
+  /// A lane-local write buffer. Safe to append from one thread per sink
+  /// while other lanes append to theirs and readers query the ledger; the
+  /// buffered transfers become visible only at merge_sinks().
+  class ShardSink final : public LedgerSink {
+   public:
+    void add_transfer(PeerId from, PeerId to, double bytes) override {
+      buffer_.push_back(Buffered{from, to, bytes});
+    }
+
+   private:
+    friend class ShardedLogLedger;
+    struct Buffered {
+      PeerId from;
+      PeerId to;
+      double bytes;
+    };
+    std::vector<Buffered> buffer_;
+  };
+
+  /// The write buffer for worker lane `lane` (one per shard).
+  [[nodiscard]] ShardSink& sink(std::size_t lane);
+
+  /// Serial barrier step: fold every lane's buffered transfers into the
+  /// ledger, in (lane, append order) — deterministic for deterministic
+  /// per-lane streams. Call from one thread, with no concurrent appends.
+  void merge_sinks();
+
+  // ---- observability --------------------------------------------------------
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Log entries not yet folded into rows (two per buffered transfer).
+  [[nodiscard]] std::size_t pending_entries() const noexcept;
+  [[nodiscard]] const ShardedLogLedgerStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  /// One log entry, owned by `self`'s shard. `upload` tells which side of
+  /// the transfer `self` was on (true: self uploaded to `other`).
+  struct LogEntry {
+    PeerId self;
+    PeerId other;
+    double bytes;
+    bool upload;
+  };
+
+  /// Compacted per-peer counterparty rows: CSR-style parallel arrays,
+  /// sorted by counterpart id, one pair per direction. Presence in the
+  /// array mirrors pair-map key presence (a zero-byte transfer still
+  /// creates the entry).
+  struct Row {
+    std::vector<PeerId> up_ids;
+    std::vector<double> up_bytes;
+    std::vector<PeerId> down_ids;
+    std::vector<double> down_bytes;
+  };
+
+  struct Shard {
+    std::vector<LogEntry> log;
+  };
+
+  [[nodiscard]] std::size_t shard_of(PeerId p) const noexcept {
+    return p % shards_.size();
+  }
+  void append(PeerId self, PeerId other, double bytes, bool upload);
+  void compact(Shard& shard);
+
+  std::size_t n_;
+  std::size_t compact_threshold_;
+  std::vector<Shard> shards_;
+  std::vector<Row> rows_;
+  std::vector<double> total_up_;
+  std::vector<double> total_down_;
+  std::vector<std::uint64_t> version_;
+  std::vector<ShardSink> sinks_;
+  ShardedLogLedgerStats stats_;
+};
+
+}  // namespace tribvote::bt

@@ -12,8 +12,9 @@
 // free-riders leave permanently on completion. Firewalled peers can only
 // exchange data when at least one endpoint is connectable.
 //
-// Every transferred byte lands in the shared TransferLedger — the sole
-// signal BarterCast (and hence the experience function) consumes.
+// Every transferred byte lands in the shared ledger (via its LedgerSink
+// write half) — the sole signal BarterCast (and hence the experience
+// function) consumes.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +27,8 @@
 #include "bt/bandwidth.hpp"
 #include "bt/bitfield.hpp"
 #include "bt/choker.hpp"
+#include "bt/ledger.hpp"
 #include "bt/piece_picker.hpp"
-#include "bt/transfer_ledger.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -40,7 +41,7 @@ class Swarm {
  public:
   /// `peers` must outlive the swarm (owned by the scenario runner).
   Swarm(const trace::SwarmSpec& spec,
-        std::span<const trace::PeerProfile> peers, TransferLedger& ledger,
+        std::span<const trace::PeerProfile> peers, LedgerSink& ledger,
         BandwidthAllocator& bandwidth, util::Rng rng);
 
   Swarm(const Swarm&) = delete;
@@ -103,7 +104,7 @@ class Swarm {
 
   trace::SwarmSpec spec_;
   std::span<const trace::PeerProfile> peers_;
-  TransferLedger* ledger_;
+  LedgerSink* ledger_;
   BandwidthAllocator* bandwidth_;
   util::Rng rng_;
   double piece_bytes_;

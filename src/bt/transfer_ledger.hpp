@@ -1,62 +1,40 @@
-// Global record of pairwise data transfer.
+// Dense pair-map ledger backend (the default; see bt/ledger.hpp for the API).
 //
-// Every byte moved by the swarm engine is accounted here. Each peer's *own*
-// row/column of this matrix is exactly what a real BitTorrent client can
-// observe locally; BarterCast reads only those direct views, never the whole
-// matrix (the whole matrix also feeds evaluation metrics, which are allowed
-// global knowledge per the paper's footnote 8).
+// Sparse row storage: row[from] maps to -> bytes, mirrored by an incoming
+// index so a peer's direct view is O(degree). Right-sized for the paper's
+// 100–1000-peer populations with tens of counterparts each; at millions of
+// peers prefer ShardedLogLedger (sharded_log_ledger.hpp).
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "bt/ledger.hpp"
 #include "util/ids.hpp"
 
 namespace tribvote::bt {
 
-/// One direct-transfer record as a peer would report it: "a uploaded
-/// `mb` megabytes to b".
-struct TransferRecord {
-  PeerId from = kInvalidPeer;
-  PeerId to = kInvalidPeer;
-  double mb = 0;
-};
-
-class TransferLedger {
+class MapLedger final : public Ledger {
  public:
-  explicit TransferLedger(std::size_t n_peers);
+  explicit MapLedger(std::size_t n_peers);
 
-  /// Record `bytes` uploaded by `from` to `to`.
-  void add_transfer(PeerId from, PeerId to, double bytes);
+  void add_transfer(PeerId from, PeerId to, double bytes) override;
 
-  /// Megabytes uploaded by `from` to `to` so far.
-  [[nodiscard]] double uploaded_mb(PeerId from, PeerId to) const;
+  [[nodiscard]] double uploaded_mb(PeerId from, PeerId to) const override;
+  [[nodiscard]] double total_uploaded_mb(PeerId peer) const override;
+  [[nodiscard]] double total_downloaded_mb(PeerId peer) const override;
+  [[nodiscard]] std::vector<TransferRecord> direct_view(
+      PeerId p) const override;
 
-  /// Total megabytes uploaded by a peer to everyone.
-  [[nodiscard]] double total_uploaded_mb(PeerId peer) const;
-
-  /// Total megabytes downloaded by a peer from everyone.
-  [[nodiscard]] double total_downloaded_mb(PeerId peer) const;
-
-  /// The direct records peer `p` can truthfully report: every counterpart it
-  /// exchanged data with, both directions. This is the local view BarterCast
-  /// gossips.
-  [[nodiscard]] std::vector<TransferRecord> direct_view(PeerId p) const;
-
-  [[nodiscard]] std::size_t peer_count() const noexcept { return n_; }
-
-  /// Monotone counter bumped whenever a transfer touches `peer` (either
-  /// direction). Lets BarterCast agents skip re-syncing an unchanged direct
-  /// view — the dominant cost in long runs.
-  [[nodiscard]] std::uint64_t version(PeerId peer) const {
+  [[nodiscard]] std::size_t peer_count() const noexcept override {
+    return n_;
+  }
+  [[nodiscard]] std::uint64_t version(PeerId peer) const override {
     return version_[peer];
   }
 
  private:
-  // Sparse row storage: row[from] maps to -> bytes, mirrored by an
-  // incoming index so a peer's direct view is O(degree). 100-1000 peers
-  // with tens of counterparts each; unordered_map per row is compact.
   std::size_t n_;
   std::vector<std::unordered_map<PeerId, double>> up_bytes_;
   std::vector<std::unordered_map<PeerId, double>> down_bytes_;
@@ -64,5 +42,9 @@ class TransferLedger {
   std::vector<double> total_down_;
   std::vector<std::uint64_t> version_;
 };
+
+/// Historical name of the pair-map backend, kept for call sites that want
+/// "the concrete default ledger" without caring about the API split.
+using TransferLedger = MapLedger;
 
 }  // namespace tribvote::bt

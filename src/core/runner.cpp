@@ -20,7 +20,9 @@ ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
     : trace_(std::move(trace)),
       config_(config),
       rng_(seed),
-      ledger_(trace_.peers.size() + config.attack.crowd_size),
+      ledger_(bt::make_ledger(
+          config.ledger, trace_.peers.size() + config.attack.crowd_size,
+          std::max<std::size_t>(1, config.shards))),
       online_(trace_.peers.size() + config.attack.crowd_size),
       scripted_votes_(trace_.peers.size() + config.attack.crowd_size) {
   build_population(seed);
@@ -117,7 +119,7 @@ void ScenarioRunner::cast_vote_now(PeerId voter, ModeratorId moderator,
 }
 
 void ScenarioRunner::preseed_transfer(PeerId from, PeerId to, double mb) {
-  ledger_.add_transfer(from, to, mb * 1024.0 * 1024.0);
+  ledger_->add_transfer(from, to, mb * 1024.0 * 1024.0);
 }
 
 void ScenarioRunner::preload_ballot(PeerId owner, PeerId voter,
@@ -265,7 +267,7 @@ void ScenarioRunner::peer_offline(PeerId id) {
 
 void ScenarioRunner::swarm_created(const trace::SwarmSpec& spec) {
   auto swarm = std::make_unique<bt::Swarm>(
-      spec, std::span<const trace::PeerProfile>(trace_.peers), ledger_,
+      spec, std::span<const trace::PeerProfile>(trace_.peers), *ledger_,
       *bandwidth_, rng_.derive(0x7377 ^ spec.id));
   swarm->on_complete = [this, sid = spec.id](PeerId peer) {
     ++stats_.downloads_completed;
@@ -294,9 +296,14 @@ void ScenarioRunner::swarm_join(const trace::SwarmJoin& join) {
 
 void ScenarioRunner::bt_round() {
   // Swarm ticks write the shared ledger and bandwidth allocator, so the BT
-  // loop stays serial (ROADMAP: ledger sharding is a separate item).
+  // loop stays serial (the append-log backend's per-lane sinks exist for a
+  // future sharded swarm tick). The flush publishes any buffered appends —
+  // a no-op on the map backend, a shard-log compaction on the append-log
+  // backend — so the concurrent read-only gossip rounds that follow see
+  // compacted rows.
   const double dt = static_cast<double>(config_.periods.bt_round);
   for (auto& [sid, swarm] : swarms_) swarm->tick(dt);
+  ledger_->flush();
 }
 
 std::vector<sim::Encounter> ScenarioRunner::pair_round() {
@@ -393,10 +400,10 @@ void ScenarioRunner::barter_round() {
       pair_round(), [this, now](const sim::Encounter& e, std::size_t lane) {
         bartercast::BarterAgent& bi = nodes_[e.initiator]->barter();
         bartercast::BarterAgent& bj = nodes_[e.responder]->barter();
-        bi.sync_direct(ledger_, now);
-        bj.sync_direct(ledger_, now);
-        bj.receive(e.initiator, bi.outgoing_records(ledger_, now));
-        bi.receive(e.responder, bj.outgoing_records(ledger_, now));
+        bi.sync_direct(*ledger_, now);
+        bj.sync_direct(*ledger_, now);
+        bj.receive(e.initiator, bi.outgoing_records(*ledger_, now));
+        bi.receive(e.responder, bj.outgoing_records(*ledger_, now));
         ++lane_stats_[lane].barter_exchanges;
       });
   merge_lane_stats();

@@ -23,8 +23,8 @@
 #include <vector>
 
 #include "bt/bandwidth.hpp"
+#include "bt/ledger.hpp"
 #include "bt/swarm.hpp"
-#include "bt/transfer_ledger.hpp"
 #include "core/config.hpp"
 #include "core/node.hpp"
 #include "pss/newscast.hpp"
@@ -136,8 +136,10 @@ class ScenarioRunner {
   }
   /// Has this identity appeared yet (trace arrival / attack start)?
   [[nodiscard]] bool has_arrived(PeerId id, Time t) const;
-  [[nodiscard]] const bt::TransferLedger& ledger() const noexcept {
-    return ledger_;
+  /// Read-only view of the contribution ledger (backend per
+  /// ScenarioConfig::ledger).
+  [[nodiscard]] const bt::LedgerView& ledger() const noexcept {
+    return *ledger_;
   }
   /// Node id's current moderator ranking (ballot box or VoxPopuli merge).
   [[nodiscard]] vote::RankedList ranking_of(PeerId id) const {
@@ -194,7 +196,7 @@ class ScenarioRunner {
   std::unique_ptr<util::ThreadPool> shard_pool_;
   std::unique_ptr<sim::ShardKernel> kernel_;
   std::vector<RunStats> lane_stats_;
-  bt::TransferLedger ledger_;
+  std::unique_ptr<bt::Ledger> ledger_;
   std::unique_ptr<bt::BandwidthAllocator> bandwidth_;
   pss::OnlineDirectory online_;
   std::unique_ptr<pss::OraclePss> oracle_pss_;

@@ -1,0 +1,43 @@
+#include "sim/options.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tribvote::sim::options {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+std::uint64_t seed() {
+  const char* v = std::getenv("TRIBVOTE_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 20090525ULL;
+}
+
+std::size_t replicas() { return env_size("TRIBVOTE_REPLICAS", 10); }
+
+std::size_t ablation_replicas() {
+  // Ablations compare configurations against each other, where 4 replicas
+  // already separate the curves.
+  return env_size("TRIBVOTE_ABL_REPLICAS",
+                  std::min<std::size_t>(4, replicas()));
+}
+
+std::size_t shards() { return env_size("TRIBVOTE_SHARDS", 1); }
+
+bt::LedgerBackend ledger_backend() {
+  const char* v = std::getenv("TRIBVOTE_LEDGER");
+  if (v == nullptr) return bt::LedgerBackend::kMap;
+  if (const auto backend = bt::parse_ledger_backend(v)) return *backend;
+  std::fprintf(stderr,
+               "warning: TRIBVOTE_LEDGER=%s is not a ledger backend "
+               "(map | sharded_log); using map\n",
+               v);
+  return bt::LedgerBackend::kMap;
+}
+
+}  // namespace tribvote::sim::options

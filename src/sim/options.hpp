@@ -1,0 +1,38 @@
+// Shared TRIBVOTE_* environment-variable options.
+//
+// Every harness binary (the fig/abl benches via bench/bench_common.hpp and
+// examples/scenario_cli.cpp) honours the same environment knobs; this is
+// the one place they are named, parsed and defaulted, so a new knob is
+// added once and shows up everywhere.
+//
+//   TRIBVOTE_REPLICAS      trace replicas per experiment (default 10, the
+//                          paper's count; set lower for a quick pass)
+//   TRIBVOTE_ABL_REPLICAS  replicas for ablations (default min(4, replicas))
+//   TRIBVOTE_SEED          base seed for the trace dataset (default
+//                          20090525, the IPPS 2009 conference date)
+//   TRIBVOTE_SHARDS        worker shards per ScenarioRunner (default 1);
+//                          results are bit-identical for any value
+//   TRIBVOTE_LEDGER        contribution-ledger backend: "map" (default,
+//                          the goldens' backend) or "sharded_log"
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bt/ledger.hpp"
+
+namespace tribvote::sim::options {
+
+/// TRIBVOTE_<name> as a positive size, or `fallback` when unset/invalid.
+[[nodiscard]] std::size_t env_size(const char* name, std::size_t fallback);
+
+[[nodiscard]] std::uint64_t seed();
+[[nodiscard]] std::size_t replicas();
+[[nodiscard]] std::size_t ablation_replicas();
+[[nodiscard]] std::size_t shards();
+
+/// TRIBVOTE_LEDGER; unknown values fall back to the map backend with a
+/// warning on stderr (a silently ignored knob would taint measurements).
+[[nodiscard]] bt::LedgerBackend ledger_backend();
+
+}  // namespace tribvote::sim::options

@@ -2,6 +2,7 @@
 
 #include "attack/colluder.hpp"
 #include "attack/front_peer.hpp"
+#include "bt/transfer_ledger.hpp"
 #include "vote/agent.hpp"
 
 namespace tribvote::attack {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bt/transfer_ledger.hpp"
+
 #include <vector>
 
 namespace tribvote::bt {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "bt/transfer_ledger.hpp"
 #include "metrics/cev.hpp"
 #include "metrics/ordering.hpp"
 #include "metrics/timeseries.hpp"

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "bt/swarm.hpp"
+#include "bt/transfer_ledger.hpp"
 
 namespace tribvote::bt {
 namespace {
