@@ -1,0 +1,199 @@
+// A11 — protocol robustness under lossy transport (fault-plane sweep).
+//
+// The paper's experiments assume perfect message delivery; a deployed
+// gossip stack sees loss, delay, crashes and damaged payloads. This sweep
+// replays the Fig. 6 moderation-ranking scenario (every non-moderator node
+// votes on receipt, so VoxPopuli bootstrap is observable population-wide)
+// through the deterministic fault plane at increasing loss levels, with the
+// companion fault rates scaled from the loss axis:
+//
+//   loss      in {0, 0.05, 0.1, 0.3, 0.5}   per message leg
+//   delay     loss/2, up to 120 s           reply via the event queue
+//   corrupt   loss/5                        truncation/bit damage
+//   crash     loss/30                       mid-encounter responder crash
+//
+// Reported per loss level: the final correct-ordering fraction, the
+// fraction of *exposed* honest nodes (>= 12 h cumulative online time by the
+// sample — Fig. 6's bootstrap takes ~12 h even fault-free, so a rare peer
+// with a 5 % duty cycle measures its own absence, not transport) that
+// completed VoxPopuli bootstrap (reached B_min distinct voters — the
+// robustness acceptance bar is >= 95 % at 30 % loss), the hours until 95 %
+// of them had, and the fault plane's degradation counters
+// (metrics/degradation.hpp). At loss 0 every fault rate is 0, the plane is
+// inert, and the row is the golden baseline.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "metrics/degradation.hpp"
+#include "metrics/ordering.hpp"
+#include "trace/analyzer.hpp"
+
+using namespace tribvote;
+
+namespace {
+
+constexpr std::array<double, 5> kLossLevels{0.0, 0.05, 0.1, 0.3, 0.5};
+
+/// Minimum cumulative online time before a peer counts toward the bootstrap
+/// fraction: the paper's bootstrap pipeline needs ~12 h of presence even
+/// with perfect delivery (Fig. 6), so peers below this measure their own
+/// duty cycle rather than the transport.
+constexpr Duration kMinExposure = 12 * kHour;
+
+/// Cumulative online seconds of each peer up to time `t`.
+std::vector<Duration> exposure_by(const trace::Trace& tr, Time t) {
+  std::vector<Duration> online(tr.peers.size(), 0);
+  for (const auto& s : tr.sessions) {
+    if (s.start >= t) break;  // sessions are sorted by start time
+    online[s.peer] += std::min(s.end, t) - s.start;
+  }
+  return online;
+}
+
+sim::FaultConfig faults_for(double loss) {
+  sim::FaultConfig f = bench::fault_config();  // retry knobs from the env
+  f.loss = loss;
+  f.delay_rate = loss / 2;
+  f.max_delay = 120;
+  f.corrupt_rate = loss / 5;
+  f.crash_rate = loss / 30;
+  return f;
+}
+
+core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
+                                double loss) {
+  core::ScenarioConfig config;  // paper defaults
+  config.shards = bench::shard_count();
+  config.ledger = bench::ledger_backend();
+  config.faults = faults_for(loss);
+  core::ScenarioRunner runner(tr, config, 0xFA7 + index);
+
+  const auto firsts = trace::earliest_arrivals(tr, 3);
+  const ModeratorId m1 = firsts[0], m2 = firsts[1], m3 = firsts[2];
+  runner.publish_moderation(m1, 10 * kMinute, "well-described release");
+  runner.publish_moderation(m2, 10 * kMinute, "plain release");
+  runner.publish_moderation(m3, 10 * kMinute, "misleading spam");
+
+  // Unlike Fig. 6's 20 % voter sample, every non-moderator votes on
+  // receipt: the voter pool is then far above B_min, so the bootstrap
+  // metric measures transport robustness, not voter scarcity.
+  for (PeerId voter = 0; voter < tr.peers.size(); ++voter) {
+    if (voter == m1 || voter == m2 || voter == m3) continue;
+    if (voter % 2 == 0) {
+      runner.script_vote_on_receipt(voter, m1, Opinion::kPositive);
+    } else {
+      runner.script_vote_on_receipt(voter, m3, Opinion::kNegative);
+    }
+  }
+
+  const std::vector<ModeratorId> expected{m1, m2, m3};
+  metrics::TimeSeries correct, bootstrap;
+  runner.sample_every(2 * kHour, [&](Time t) {
+    std::vector<vote::RankedList> rankings;
+    std::size_t exposed = 0, bootstrapped = 0;
+    const auto online = exposure_by(tr, t);
+    for (PeerId p = 0; p < tr.peers.size(); ++p) {
+      if (p == m1 || p == m2 || p == m3) continue;
+      rankings.push_back(runner.ranking_of(p));
+      if (online[p] < kMinExposure) continue;
+      ++exposed;
+      if (!runner.node(p).vote().bootstrapping()) ++bootstrapped;
+    }
+    correct.add(t, metrics::correct_ordering_fraction(
+                       rankings, std::span<const ModeratorId>(expected)));
+    bootstrap.add(t, exposed == 0 ? 0.0
+                                  : static_cast<double>(bootstrapped) /
+                                        static_cast<double>(exposed));
+  });
+  runner.run_until(tr.duration);
+
+  core::ReplicaResult result;
+  result.series["correct"] = std::move(correct);
+  result.series["bootstrap"] = std::move(bootstrap);
+  // Degradation counters as single-point series so the replica machinery
+  // aggregates them like everything else.
+  for (const auto& [name, value] :
+       metrics::degradation_columns(runner.fault_stats())) {
+    metrics::TimeSeries s;
+    s.add(tr.duration, static_cast<double>(value));
+    result.series[name] = std::move(s);
+  }
+  return result;
+}
+
+/// First time the aggregated mean reaches `level` (-1 if never).
+double hours_to_reach(const metrics::AggregateSeries& agg, double level) {
+  for (std::size_t i = 0; i < agg.times.size(); ++i) {
+    if (agg.mean[i] >= level) return to_hours(agg.times[i]);
+  }
+  return -1.0;
+}
+
+double final_mean(const metrics::AggregateSeries& agg) {
+  return agg.mean.empty() ? 0.0 : agg.mean.back();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("abl_fault_sweep",
+                "A11 — Fig. 6 scenario under transport faults: ranking "
+                "quality and VoxPopuli bootstrap vs message loss");
+  const std::size_t replicas = bench::ablation_replica_count();
+  const auto traces = bench::paper_dataset(replicas);
+
+  const auto counter_names = [] {
+    std::vector<std::string> names;
+    for (const auto& [name, value] :
+         metrics::degradation_columns(sim::FaultStats{})) {
+      names.push_back(name);
+    }
+    return names;
+  }();
+
+  util::CsvWriter csv("abl_fault_sweep.csv");
+  std::vector<std::string> header{"loss", "final_correct",
+                                  "final_correct_stderr", "bootstrap",
+                                  "bootstrap_stderr", "h_to_95pct_bootstrap"};
+  for (const auto& name : counter_names) header.push_back(name);
+  csv.write_row(header);
+
+  std::printf("\n%6s  %14s  %10s  %12s  %12s  %10s\n", "loss", "final_correct",
+              "bootstrap", "h_to_95%", "drops(rq+rp)", "rejected");
+  for (const double loss : kLossLevels) {
+    const auto results = core::run_replicas(
+        traces, [loss](const trace::Trace& tr, std::size_t index) {
+          return run_replica(tr, index, loss);
+        });
+    const auto correct = core::aggregate_named(results, "correct");
+    const auto bootstrap = core::aggregate_named(results, "bootstrap");
+
+    csv.field(util::format_double(loss, 3));
+    csv.field(final_mean(correct));
+    csv.field(correct.mean.empty() ? 0.0 : correct.stderr_mean.back());
+    csv.field(final_mean(bootstrap));
+    csv.field(bootstrap.mean.empty() ? 0.0 : bootstrap.stderr_mean.back());
+    csv.field(util::format_double(hours_to_reach(bootstrap, 0.95), 1));
+    double drops = 0.0, rejected = 0.0;
+    for (const auto& name : counter_names) {
+      const double mean = final_mean(core::aggregate_named(results, name));
+      csv.field(mean);
+      if (name == "dropped_requests" || name == "dropped_replies") {
+        drops += mean;
+      }
+      if (name == "rejected") rejected = mean;
+    }
+    csv.end_row();
+    std::printf("%6g  %14.3f  %10.3f  %12.1f  %12.0f  %10.0f\n", loss,
+                final_mean(correct), final_mean(bootstrap),
+                hours_to_reach(bootstrap, 0.95), drops, rejected);
+  }
+  std::printf("\n(-1 = level not reached within the 7-day trace; counters "
+              "are per-replica means)\ncsv written: abl_fault_sweep.csv\n");
+  return 0;
+}

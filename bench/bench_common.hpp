@@ -42,6 +42,11 @@ inline bt::LedgerBackend ledger_backend() {
   return sim::options::ledger_backend();
 }
 
+/// Network fault plane (ScenarioConfig::faults, via TRIBVOTE_FAULTS).
+/// Goldens are recorded with faults off; a faulty run is still
+/// shard-count invariant but produces its own (deterministic) numbers.
+inline sim::FaultConfig fault_config() { return sim::options::faults(); }
+
 /// The standard dataset: `n` synthetic 7-day/100-peer traces calibrated to
 /// the filelist.org statistics (DESIGN.md §2).
 inline std::vector<trace::Trace> paper_dataset(std::size_t n) {
@@ -53,9 +58,10 @@ inline void banner(const char* experiment, const char* paper_ref) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("replicas=%zu seed=%llu shards=%zu ledger=%s\n",
+  std::printf("replicas=%zu seed=%llu shards=%zu ledger=%s faults=%s\n",
               replica_count(), static_cast<unsigned long long>(env_seed()),
-              shard_count(), bt::ledger_backend_name(ledger_backend()));
+              shard_count(), bt::ledger_backend_name(ledger_backend()),
+              sim::describe(fault_config()).c_str());
   std::printf("================================================================\n");
 }
 

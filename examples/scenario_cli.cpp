@@ -20,10 +20,16 @@
 //     --ledger NAME        ledger backend map|sharded_log (default TRIBVOTE_LEDGER or map)
 //     --sample HOURS       sampling period                (default 2)
 //     --csv FILE           output CSV                     (default scenario_cli.csv)
+//     --loss P             per-message-leg drop probability    (default TRIBVOTE_FAULTS or 0)
+//     --delay-rate P       reply delay probability             (")
+//     --max-delay S        delay bound in seconds              (")
+//     --crash-rate P       mid-encounter responder crash prob. (")
+//     --corrupt-rate P     payload truncation/corruption prob. (")
 //
 // The TRIBVOTE_* environment knobs (src/sim/options.hpp) provide the
 // defaults where noted, so scripted sweeps can steer the CLI the same way
 // they steer the figure benches.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -55,6 +61,7 @@ struct Options {
   bt::LedgerBackend ledger = sim::options::ledger_backend();
   Duration sample = 2 * kHour;
   std::string csv = "scenario_cli.csv";
+  sim::FaultConfig faults = sim::options::faults();
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -63,7 +70,9 @@ struct Options {
                "[--threshold MB]\n"
                "          [--adaptive] [--newscast] [--crowd N] [--core N] "
                "[--shards N] [--ledger map|sharded_log]\n"
-               "          [--sample HOURS] [--csv FILE]\n",
+               "          [--sample HOURS] [--csv FILE]\n"
+               "          [--loss P] [--delay-rate P] [--max-delay S] "
+               "[--crash-rate P] [--corrupt-rate P]\n",
                argv0);
   std::exit(2);
 }
@@ -105,6 +114,22 @@ Options parse(int argc, char** argv) {
         usage(argv[0]);
       }
       opt.ledger = *backend;
+    } else if (!std::strcmp(arg, "--loss") ||
+               !std::strcmp(arg, "--delay-rate") ||
+               !std::strcmp(arg, "--max-delay") ||
+               !std::strcmp(arg, "--crash-rate") ||
+               !std::strcmp(arg, "--corrupt-rate")) {
+      // Reuse the TRIBVOTE_FAULTS spec parser so the flags and the env
+      // knob validate identically.
+      std::string spec(arg + 2);
+      std::replace(spec.begin(), spec.end(), '-', '_');
+      spec += '=';
+      spec += need_value(i);
+      std::string error;
+      if (!sim::parse_fault_spec(spec, opt.faults, &error)) {
+        std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
+        usage(argv[0]);
+      }
     } else if (!std::strcmp(arg, "--sample")) {
       opt.sample = static_cast<Duration>(
           std::atof(need_value(i)) * static_cast<double>(kHour));
@@ -155,15 +180,18 @@ int main(int argc, char** argv) {
   config.attack.crowd_size = opt.crowd;
   config.shards = opt.shards;
   config.ledger = opt.ledger;
+  config.faults = opt.faults;
   core::ScenarioRunner runner(tr, config, opt.seed ^ 0xC11);
-  // Everything needed to reproduce this run from its console output alone.
+  // Everything needed to reproduce this run from its console output alone,
+  // including the effective fault configuration.
   std::printf("run: seed=%llu scenario-seed=%llu shards=%zu ledger=%s "
-              "threshold=%g pss=%s%s\n",
+              "threshold=%g pss=%s%s faults=%s\n",
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.seed ^ 0xC11),
               runner.shard_count(), bt::ledger_backend_name(opt.ledger),
               opt.threshold_mb, opt.newscast ? "newscast" : "oracle",
-              opt.adaptive ? " adaptive" : "");
+              opt.adaptive ? " adaptive" : "",
+              sim::describe(opt.faults).c_str());
 
   // Standard script: three moderators, 20% voters; optional attack core.
   const auto firsts = trace::earliest_arrivals(tr, 3);

@@ -35,8 +35,9 @@ void BarterAgent::sync_direct(const bt::LedgerView& ledger, Time now) {
   }
 }
 
-void BarterAgent::receive(PeerId sender,
-                          const std::vector<BarterRecord>& records) {
+std::size_t BarterAgent::receive(PeerId sender,
+                                 const std::vector<BarterRecord>& records) {
+  std::size_t merged = 0;
   for (const auto& r : records) {
     // A peer may only report transfers it participated in; anything else
     // would not verify against its signature and is discarded.
@@ -46,7 +47,9 @@ void BarterAgent::receive(PeerId sender,
     // edges), so a fabricated "I uploaded X MB to you" carries no weight.
     if (r.from == self_ || r.to == self_) continue;
     graph_.merge_gossip(r);
+    ++merged;
   }
+  return merged;
 }
 
 double BarterAgent::contribution_of(PeerId j) const {

@@ -64,9 +64,13 @@ class BarterAgent {
   void sync_direct(const bt::LedgerView& ledger, Time now);
 
   /// Merge a counterpart's gossip message. Records not adjacent to the
-  /// claimed sender are dropped (a node may only report about transfers it
-  /// took part in — enforceable because messages are signed).
-  void receive(PeerId sender, const std::vector<BarterRecord>& records);
+  /// claimed sender are dropped record-wise (a node may only report about
+  /// transfers it took part in — enforceable because messages are signed),
+  /// so a damaged record in a batch never blocks its intact siblings.
+  /// Returns the number of records actually merged; one-sided exchanges
+  /// (only one direction delivered) are well-formed by construction, as
+  /// each direction is an independent merge.
+  std::size_t receive(PeerId sender, const std::vector<BarterRecord>& records);
 
   /// Contribution f_{j→self}: hop-bounded max-flow from j to self.
   /// Memoized on (j, graph version); see the file comment.

@@ -10,6 +10,7 @@
 #include "bt/ledger.hpp"
 #include "moderation/moderationcast.hpp"
 #include "pss/newscast.hpp"
+#include "sim/fault_plane.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 #include "vote/agent.hpp"
@@ -74,6 +75,12 @@ struct ScenarioConfig {
   /// append-log backend for very large populations. Both produce
   /// bit-identical per-pair accounting, so metrics agree either way.
   bt::LedgerBackend ledger = bt::LedgerBackend::kMap;
+
+  /// Deterministic network fault plane (sim/fault_plane.hpp). Defaults to
+  /// no faults — the perfect-transport setting every golden CSV was
+  /// recorded under; with faults disabled the plane is inert and runs are
+  /// byte-identical to pre-fault-plane builds.
+  sim::FaultConfig faults;
 
   ProtocolPeriods periods;
   PssKind pss = PssKind::kOracle;

@@ -13,6 +13,82 @@ namespace {
 /// negligible uplink (they contribute nothing).
 constexpr double kColluderUploadKbps = 1.0;
 constexpr double kColluderDownloadKbps = 1024.0;
+
+/// Fold a receive verdict into the run counters exactly as the fault-free
+/// inline code did: kAccepted is the old `accepted`, and kInexperienced is
+/// the only other verdict a non-empty message produces in a fault-free run
+/// (pairing never bounces a message back to its signer, and every agent —
+/// colluders included — signs with its own key).
+void note_vote_receive(RunStats& st, vote::ReceiveResult r) {
+  if (r == vote::ReceiveResult::kAccepted) {
+    ++st.votes_accepted;
+  } else if (r == vote::ReceiveResult::kInexperienced) {
+    ++st.votes_rejected_inexperienced;
+  }
+}
+
+/// In-flight damage to a vote-list message. One signature covers the list,
+/// so any damage — a lost tail or a flipped bit — makes the receiver
+/// reject the message wholesale as kBadSignature; the box is never
+/// poisoned with half a list.
+void corrupt_vote_message(vote::VoteListMessage& m, sim::PayloadFault fault,
+                          std::uint64_t salt) {
+  switch (fault) {
+    case sim::PayloadFault::kNone:
+      return;
+    case sim::PayloadFault::kTruncated:
+      if (m.votes.empty()) {
+        m.signature.s ^= 1;  // nothing to truncate; damage the envelope
+      } else {
+        m.votes.resize(m.votes.size() / 2);  // stales the list signature
+      }
+      return;
+    case sim::PayloadFault::kCorrupted:
+      m.signature.s ^= std::uint64_t{1} << (salt & 63);
+      return;
+  }
+}
+
+/// In-flight damage to a moderation batch. Items are individually signed,
+/// so truncation loses the tail and corruption damages exactly one item —
+/// the receiver's per-item verification drops it and merges the rest.
+void corrupt_moderation_batch(std::vector<moderation::Moderation>& items,
+                              sim::PayloadFault fault, std::uint64_t salt) {
+  if (items.empty()) return;
+  switch (fault) {
+    case sim::PayloadFault::kNone:
+      return;
+    case sim::PayloadFault::kTruncated:
+      items.resize((items.size() + 1) / 2);
+      return;
+    case sim::PayloadFault::kCorrupted:
+      items[salt % items.size()].signature.s ^= std::uint64_t{1} << (salt & 63);
+      return;
+  }
+}
+
+/// In-flight damage to a BarterCast batch; returns how many records the
+/// receiver is guaranteed to reject. A corrupted record no longer parses
+/// as adjacent to its sender, which is exactly the record-wise check
+/// BarterAgent::receive applies; truncation just loses the tail.
+std::size_t corrupt_barter_batch(std::vector<bartercast::BarterRecord>& records,
+                                 sim::PayloadFault fault, std::uint64_t salt) {
+  if (records.empty()) return 0;
+  switch (fault) {
+    case sim::PayloadFault::kNone:
+      return 0;
+    case sim::PayloadFault::kTruncated:
+      records.resize((records.size() + 1) / 2);
+      return 0;
+    case sim::PayloadFault::kCorrupted: {
+      bartercast::BarterRecord& r = records[salt % records.size()];
+      r.from = kInvalidPeer;
+      r.to = kInvalidPeer;
+      return 1;
+    }
+  }
+  return 0;
+}
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
@@ -31,6 +107,10 @@ ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
   kernel_ = std::make_unique<sim::ShardKernel>(nodes_.size(), shards,
                                                shard_pool_.get());
   lane_stats_.assign(shards, RunStats{});
+  // "fault". Deriving is a pure read of rng_'s state, so a disabled plane
+  // perturbs nothing.
+  fault_plane_ = std::make_unique<sim::FaultPlane>(
+      config_.faults, rng_.derive(0x6661756c74), shards);
 }
 
 void ScenarioRunner::build_population(std::uint64_t seed) {
@@ -180,8 +260,16 @@ void ScenarioRunner::schedule_everything() {
   add_loop(pp.barter_exchange, pp.barter_exchange / 3 + 1,
            [this] { barter_round(); });
   if (newscast_pss_) {
-    add_loop(pp.newscast_gossip, 1,
-             [this] { newscast_pss_->gossip_round(sim_.now()); });
+    if (config_.faults.enabled() && config_.faults.loss > 0.0) {
+      add_loop(pp.newscast_gossip, 1, [this] {
+        newscast_pss_->gossip_round(
+            sim_.now(), config_.faults.loss,
+            &fault_plane_->serial_stats().newscast.dropped_requests);
+      });
+    } else {
+      add_loop(pp.newscast_gossip, 1,
+               [this] { newscast_pss_->gossip_round(sim_.now()); });
+    }
   }
   if (config_.adaptive_threshold) {
     add_loop(pp.adaptive_update, pp.adaptive_update, [this] {
@@ -342,71 +430,324 @@ void ScenarioRunner::merge_lane_stats() {
 void ScenarioRunner::vote_round() {
   // One BallotBox (+ conditional VoxPopuli) exchange per pair (Fig. 3
   // active thread), fanned out across the shard kernel. The exchange body
-  // touches only the two endpoint nodes and its lane's counter block.
+  // touches only the two endpoint nodes, its lane's counter block and the
+  // fault plane's lane-local buffers. With faults off the legacy body runs
+  // verbatim and the plane is never consulted.
   const Time now = sim_.now();
+  const std::vector<sim::Encounter> encounters = pair_round();
+  if (!fault_plane_->enabled()) {
+    kernel_->run_round(
+        encounters, [this, now](const sim::Encounter& e, std::size_t lane) {
+          RunStats& st = lane_stats_[lane];
+          Node& ni = *nodes_[e.initiator];
+          Node& nj = *nodes_[e.responder];
+
+          // BallotBox leg, instrumented (vote_exchange() is the
+          // uninstrumented library entry point; the runner inlines it to
+          // keep counters).
+          vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
+          vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+          note_vote_receive(st, nj.vote().receive_votes(from_i, now));
+          note_vote_receive(st, ni.vote().receive_votes(from_j, now));
+
+          // VoxPopuli leg.
+          if (ni.vote().bootstrapping()) {
+            vote::RankedList topk = nj.vote().answer_topk();
+            if (topk.empty()) {
+              ++st.vp_requests_null;
+            } else {
+              ++st.vp_requests_answered;
+              ni.vote().receive_topk(std::move(topk));
+            }
+          }
+          ++st.vote_exchanges;
+        });
+    merge_lane_stats();
+    return;
+  }
+
+  const std::vector<sim::EncounterFaults>& faults =
+      fault_plane_->draw_round(sim::Protocol::kVote, encounters);
   kernel_->run_round(
-      pair_round(), [this, now](const sim::Encounter& e, std::size_t lane) {
+      encounters,
+      [this, now, &faults](const sim::Encounter& e, std::size_t lane) {
         RunStats& st = lane_stats_[lane];
+        sim::FaultStats& fs = fault_plane_->lane_stats(lane);
+        const sim::EncounterFaults& f = faults[e.seq];
+        if (f.unreachable) return;  // endpoint crashed earlier this round
         Node& ni = *nodes_[e.initiator];
         Node& nj = *nodes_[e.responder];
 
-        // BallotBox leg, instrumented (vote_exchange() is the
-        // uninstrumented library entry point; the runner inlines it to
-        // keep counters).
         vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
-        vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
-        const bool accepted_ij = nj.vote().receive_votes(from_i, now);
-        const bool accepted_ji = ni.vote().receive_votes(from_j, now);
-        st.votes_accepted += static_cast<std::uint64_t>(accepted_ij) +
-                             static_cast<std::uint64_t>(accepted_ji);
-        if (!accepted_ij && !from_i.votes.empty()) {
-          ++st.votes_rejected_inexperienced;
+        if (f.drop_request) {
+          // The responder never learns of the encounter. A bootstrapping
+          // initiator's VP request rode the same dial and timed out with
+          // it; the retry chain takes over after the round.
+          if (ni.vote().bootstrapping()) {
+            ++fs.vox.timeouts;
+            fault_plane_->record_vp_failure(lane, e.seq, e.initiator);
+          }
+          return;
         }
-        if (!accepted_ji && !from_j.votes.empty()) {
-          ++st.votes_rejected_inexperienced;
+        corrupt_vote_message(from_i, f.request_payload, f.payload_salt);
+        const vote::ReceiveResult r_ij = nj.vote().receive_votes(from_i, now);
+        note_vote_receive(st, r_ij);
+        if (f.request_payload != sim::PayloadFault::kNone &&
+            r_ij == vote::ReceiveResult::kBadSignature) {
+          ++fs.vote.rejected;
         }
 
-        // VoxPopuli leg.
-        if (ni.vote().bootstrapping()) {
-          vote::RankedList topk = nj.vote().answer_topk();
-          if (topk.empty()) {
-            ++st.vp_requests_null;
+        if (!f.reply_lost()) {
+          vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+          corrupt_vote_message(from_j, f.reply_payload, f.payload_salt + 1);
+          if (f.delay_reply > 0) {
+            fault_plane_->defer(
+                lane, e.seq, f.delay_reply,
+                [this, from_j = std::move(from_j), i = e.initiator,
+                 damaged = f.reply_payload != sim::PayloadFault::kNone] {
+                  sim::FaultStats& serial = fault_plane_->serial_stats();
+                  if (!online_.is_online(i)) {
+                    ++serial.vote.late_drops;
+                    return;
+                  }
+                  const vote::ReceiveResult r =
+                      nodes_[i]->vote().receive_votes(from_j, sim_.now());
+                  note_vote_receive(stats_, r);
+                  if (damaged && r == vote::ReceiveResult::kBadSignature) {
+                    ++serial.vote.rejected;
+                  }
+                });
           } else {
-            ++st.vp_requests_answered;
-            ni.vote().receive_topk(std::move(topk));
+            const vote::ReceiveResult r_ji =
+                ni.vote().receive_votes(from_j, now);
+            note_vote_receive(st, r_ji);
+            if (f.reply_payload != sim::PayloadFault::kNone &&
+                r_ji == vote::ReceiveResult::kBadSignature) {
+              ++fs.vote.rejected;
+            }
+          }
+        }
+
+        // VoxPopuli leg: the top-K answer shares the reply's fate.
+        if (ni.vote().bootstrapping()) {
+          if (f.reply_lost()) {
+            ++fs.vox.timeouts;
+            fault_plane_->record_vp_failure(lane, e.seq, e.initiator);
+          } else {
+            vote::RankedList topk = nj.vote().answer_topk();
+            if (topk.empty()) {
+              ++st.vp_requests_null;
+            } else {
+              ++st.vp_requests_answered;
+              if (f.delay_reply > 0) {
+                fault_plane_->defer(
+                    lane, e.seq, f.delay_reply,
+                    [this, topk = std::move(topk), i = e.initiator]() mutable {
+                      if (!online_.is_online(i)) {
+                        ++fault_plane_->serial_stats().vox.late_drops;
+                        return;
+                      }
+                      nodes_[i]->vote().receive_topk(std::move(topk));
+                    });
+              } else {
+                ni.vote().receive_topk(std::move(topk));
+              }
+            }
           }
         }
         ++st.vote_exchanges;
       });
   merge_lane_stats();
+  flush_round_faults();
 }
 
 void ScenarioRunner::moderation_round() {
   const Time now = sim_.now();
+  const std::vector<sim::Encounter> encounters = pair_round();
+  if (!fault_plane_->enabled()) {
+    kernel_->run_round(
+        encounters, [this, now](const sim::Encounter& e, std::size_t lane) {
+          moderation::exchange(nodes_[e.initiator]->mod(),
+                               nodes_[e.responder]->mod(), now);
+          ++lane_stats_[lane].moderation_exchanges;
+        });
+    merge_lane_stats();
+    return;
+  }
+
+  const std::vector<sim::EncounterFaults>& faults =
+      fault_plane_->draw_round(sim::Protocol::kModeration, encounters);
   kernel_->run_round(
-      pair_round(), [this, now](const sim::Encounter& e, std::size_t lane) {
-        moderation::exchange(nodes_[e.initiator]->mod(),
-                             nodes_[e.responder]->mod(), now);
+      encounters,
+      [this, now, &faults](const sim::Encounter& e, std::size_t lane) {
+        const sim::EncounterFaults& f = faults[e.seq];
+        if (f.unreachable) return;
+        sim::FaultStats& fs = fault_plane_->lane_stats(lane);
+        moderation::ModerationCastAgent& mi = nodes_[e.initiator]->mod();
+        moderation::ModerationCastAgent& mj = nodes_[e.responder]->mod();
+
+        std::vector<moderation::Moderation> from_i = mi.outgoing();
+        if (f.drop_request) {
+          // The sender learns of the loss (no ack) and queues the batch
+          // for re-offer on its next encounter.
+          fs.moderation.reoffers += mi.note_undelivered(from_i);
+          return;
+        }
+        // Fig. 1 order: the responder extracts before merging. Queue the
+        // re-offer from the *pristine* batch before any in-flight damage.
+        std::vector<moderation::Moderation> from_j = mj.outgoing();
+        if (f.reply_lost()) {
+          fs.moderation.reoffers += mj.note_undelivered(from_j);
+        }
+        corrupt_moderation_batch(from_i, f.request_payload, f.payload_salt);
+        const moderation::ModerationCastAgent::ReceiveStats rs_j =
+            mj.receive(from_i, now);
+        fs.moderation.rejected += rs_j.bad_signature;
+        if (!f.reply_lost()) {
+          corrupt_moderation_batch(from_j, f.reply_payload,
+                                   f.payload_salt + 1);
+          if (f.delay_reply > 0) {
+            fault_plane_->defer(
+                lane, e.seq, f.delay_reply,
+                [this, from_j = std::move(from_j), i = e.initiator] {
+                  sim::FaultStats& serial = fault_plane_->serial_stats();
+                  if (!online_.is_online(i)) {
+                    ++serial.moderation.late_drops;
+                    return;
+                  }
+                  serial.moderation.rejected +=
+                      nodes_[i]->mod().receive(from_j, sim_.now())
+                          .bad_signature;
+                });
+          } else {
+            fs.moderation.rejected += mi.receive(from_j, now).bad_signature;
+          }
+        }
         ++lane_stats_[lane].moderation_exchanges;
       });
   merge_lane_stats();
+  flush_round_faults();
 }
 
 void ScenarioRunner::barter_round() {
   // The ledger is read-only during a barter round (transfers land in
   // bt_round), so concurrent direct-view reads are safe.
   const Time now = sim_.now();
+  const std::vector<sim::Encounter> encounters = pair_round();
+  if (!fault_plane_->enabled()) {
+    kernel_->run_round(
+        encounters, [this, now](const sim::Encounter& e, std::size_t lane) {
+          bartercast::BarterAgent& bi = nodes_[e.initiator]->barter();
+          bartercast::BarterAgent& bj = nodes_[e.responder]->barter();
+          bi.sync_direct(*ledger_, now);
+          bj.sync_direct(*ledger_, now);
+          bj.receive(e.initiator, bi.outgoing_records(*ledger_, now));
+          bi.receive(e.responder, bj.outgoing_records(*ledger_, now));
+          ++lane_stats_[lane].barter_exchanges;
+        });
+    merge_lane_stats();
+    return;
+  }
+
+  const std::vector<sim::EncounterFaults>& faults =
+      fault_plane_->draw_round(sim::Protocol::kBarter, encounters);
   kernel_->run_round(
-      pair_round(), [this, now](const sim::Encounter& e, std::size_t lane) {
+      encounters,
+      [this, now, &faults](const sim::Encounter& e, std::size_t lane) {
+        const sim::EncounterFaults& f = faults[e.seq];
+        if (f.unreachable) return;
+        sim::FaultStats& fs = fault_plane_->lane_stats(lane);
         bartercast::BarterAgent& bi = nodes_[e.initiator]->barter();
         bartercast::BarterAgent& bj = nodes_[e.responder]->barter();
         bi.sync_direct(*ledger_, now);
+        if (f.drop_request) return;  // records are unsolicited; no re-offer
         bj.sync_direct(*ledger_, now);
-        bj.receive(e.initiator, bi.outgoing_records(*ledger_, now));
-        bi.receive(e.responder, bj.outgoing_records(*ledger_, now));
+
+        std::vector<bartercast::BarterRecord> recs_i =
+            bi.outgoing_records(*ledger_, now);
+        fs.barter.rejected +=
+            corrupt_barter_batch(recs_i, f.request_payload, f.payload_salt);
+        bj.receive(e.initiator, recs_i);
+
+        if (!f.reply_lost()) {
+          std::vector<bartercast::BarterRecord> recs_j =
+              bj.outgoing_records(*ledger_, now);
+          const std::size_t damaged = corrupt_barter_batch(
+              recs_j, f.reply_payload, f.payload_salt + 1);
+          if (f.delay_reply > 0) {
+            fault_plane_->defer(
+                lane, e.seq, f.delay_reply,
+                [this, recs_j = std::move(recs_j), i = e.initiator,
+                 j = e.responder, damaged] {
+                  sim::FaultStats& serial = fault_plane_->serial_stats();
+                  if (!online_.is_online(i)) {
+                    ++serial.barter.late_drops;
+                    return;
+                  }
+                  nodes_[i]->barter().receive(j, recs_j);
+                  serial.barter.rejected += damaged;
+                });
+          } else {
+            bi.receive(e.responder, recs_j);
+            fs.barter.rejected += damaged;
+          }
+        }
         ++lane_stats_[lane].barter_exchanges;
       });
   merge_lane_stats();
+  flush_round_faults();
+}
+
+void ScenarioRunner::flush_round_faults() {
+  sim::RoundOutcome out = fault_plane_->finish_round();
+  for (sim::DeferredDelivery& d : out.deferred) {
+    sim_.schedule_in(d.delay, std::move(d.deliver));
+  }
+  for (const PeerId p : out.crashed) {
+    // A mid-encounter crash leaves through the regular offline path; the
+    // identity returns at its next trace session start (or churn flip).
+    peer_offline(p);
+  }
+  for (sim::VpFailure& vf : out.vp_failures) {
+    schedule_vp_retry(vf.initiator, 1, vf.retry_rng);
+  }
+}
+
+void ScenarioRunner::schedule_vp_retry(PeerId initiator, std::size_t attempt,
+                                       util::Rng rng) {
+  const sim::FaultConfig& fc = config_.faults;
+  if (attempt > fc.vp_retry_budget) return;  // budget exhausted — give up
+  const Duration delay = fc.vp_retry_base << (attempt - 1);
+  sim_.schedule_in(delay, [this, initiator, attempt, rng]() mutable {
+    if (!online_.is_online(initiator)) return;
+    Node& ni = *nodes_[initiator];
+    // Regular gossip may have finished the bootstrap meanwhile.
+    if (!ni.vote().bootstrapping()) return;
+    sim::FaultStats& fs = fault_plane_->serial_stats();
+    ++fs.vox.retries;
+    const PeerId j = sample_peer(initiator);
+    if (j == kInvalidPeer || !online_.is_online(j)) {
+      schedule_vp_retry(initiator, attempt + 1, rng.derive(attempt));
+      return;
+    }
+    // The retry is its own dial: both legs face the configured loss,
+    // drawn from the failure's dedicated stream.
+    const double loss = config_.faults.loss;
+    if (loss > 0.0 && (rng.next_bool(loss) || rng.next_bool(loss))) {
+      ++fs.vox.timeouts;
+      schedule_vp_retry(initiator, attempt + 1, rng.derive(attempt));
+      return;
+    }
+    vote::RankedList topk = nodes_[j]->vote().answer_topk();
+    if (topk.empty()) {
+      ++stats_.vp_requests_null;
+      schedule_vp_retry(initiator, attempt + 1, rng.derive(attempt));
+      return;
+    }
+    ++stats_.vp_requests_answered;
+    ++fs.vox.retry_successes;
+    ni.vote().receive_topk(std::move(topk));
+  });
 }
 
 void ScenarioRunner::launch_attack() {

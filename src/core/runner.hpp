@@ -125,6 +125,18 @@ class ScenarioRunner {
   [[nodiscard]] const sim::ShardKernelStats& kernel_stats() const noexcept {
     return kernel_->stats();
   }
+  /// Cross-shard mailbox backlog of the kernel. Always zero between rounds
+  /// — including after a mid-round crash takes an endpoint offline (the
+  /// fault tests assert on this).
+  [[nodiscard]] std::size_t pending_mail() const noexcept {
+    return kernel_->pending_mail();
+  }
+
+  /// Degradation counters of the fault plane, per protocol (all zero when
+  /// ScenarioConfig::faults is disabled).
+  [[nodiscard]] const sim::FaultStats& fault_stats() const noexcept {
+    return fault_plane_->stats();
+  }
 
   // ---- queries for metrics --------------------------------------------------
 
@@ -172,6 +184,14 @@ class ScenarioRunner {
   void vote_round();
   void moderation_round();
   void barter_round();
+  /// Serial post-round fault application: schedule the round's deferred
+  /// deliveries, take crashed responders offline, spawn VoxPopuli retries.
+  void flush_round_faults();
+  /// Backoff retry of a failed VoxPopuli top-K request. `attempt` is
+  /// 1-based; the chain stops at the configured budget or the moment the
+  /// node leaves its bootstrap phase.
+  void schedule_vp_retry(PeerId initiator, std::size_t attempt,
+                         util::Rng rng);
   void launch_attack();
   void schedule_colluder_churn(PeerId colluder, bool currently_online);
   [[nodiscard]] PeerId sample_peer(PeerId self);
@@ -196,6 +216,11 @@ class ScenarioRunner {
   std::unique_ptr<util::ThreadPool> shard_pool_;
   std::unique_ptr<sim::ShardKernel> kernel_;
   std::vector<RunStats> lane_stats_;
+  // Network fault plane (tentpole of the robustness PR). Constructed
+  // unconditionally from a derived RNG stream — deriving is a pure function
+  // of the parent seed, so a disabled plane leaves the fault-free RNG
+  // sequence untouched and output byte-identical to pre-fault builds.
+  std::unique_ptr<sim::FaultPlane> fault_plane_;
   std::unique_ptr<bt::Ledger> ledger_;
   std::unique_ptr<bt::BandwidthAllocator> bandwidth_;
   pss::OnlineDirectory online_;

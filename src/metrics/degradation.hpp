@@ -1,0 +1,41 @@
+// Degradation reporting: flatten the fault plane's per-protocol counters
+// into named (column, value) pairs for CSV output and bench tables
+// (EXPERIMENTS.md "Fault sweep"). Column names are stable — they are part
+// of the abl_fault_sweep.csv golden schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/fault_plane.hpp"
+
+namespace tribvote::metrics {
+
+/// The headline degradation columns of one run: totals over every protocol
+/// plus the counters that only one protocol owns (VoxPopuli retries,
+/// ModerationCast re-offers). Order is the CSV column order.
+[[nodiscard]] inline std::vector<std::pair<std::string, std::uint64_t>>
+degradation_columns(const sim::FaultStats& stats) {
+  const sim::FaultCounters t = stats.total();
+  return {
+      {"encounters_hit", t.encounters_hit},
+      {"dropped_requests", t.dropped_requests},
+      {"dropped_replies", t.dropped_replies},
+      {"delayed", t.delayed},
+      {"late_drops", t.late_drops},
+      {"crashes", t.crashes},
+      {"unreachable", t.unreachable},
+      {"corrupted", t.corrupted},
+      {"rejected", t.rejected},
+      {"one_sided", t.one_sided},
+      {"vp_timeouts", stats.vox.timeouts},
+      {"vp_retries", stats.vox.retries},
+      {"vp_retry_successes", stats.vox.retry_successes},
+      {"mod_reoffers", stats.moderation.reoffers},
+      {"pss_drops", stats.newscast.dropped_requests},
+  };
+}
+
+}  // namespace tribvote::metrics

@@ -1,5 +1,6 @@
 #include "moderation/moderationcast.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tribvote::moderation {
@@ -25,19 +26,71 @@ const Moderation& ModerationCastAgent::publish(std::uint64_t infohash,
 }
 
 std::vector<Moderation> ModerationCastAgent::outgoing() {
-  return db_.extract(config_.max_items_per_message, rng_);
-}
-
-void ModerationCastAgent::receive(const std::vector<Moderation>& items,
-                                  Time now) {
-  for (const Moderation& m : items) {
-    const auto result = db_.merge(m, now);
-    if ((result == ModerationDb::MergeResult::kInserted ||
-         result == ModerationDb::MergeResult::kEvictedOthers) &&
-        on_new_moderation) {
-      on_new_moderation(m);
+  if (pending_reoffer_.empty()) {
+    return db_.extract(config_.max_items_per_message, rng_);
+  }
+  // Undelivered items first (skipping any evicted/purged since), then the
+  // regular extraction fills the remaining budget, deduplicated by id.
+  std::vector<Moderation> out;
+  std::vector<ModerationId> out_ids;
+  for (Moderation& m : pending_reoffer_) {
+    if (out.size() >= config_.max_items_per_message) break;
+    const ModerationId id = m.digest();
+    if (!db_.contains(id)) continue;
+    out.push_back(std::move(m));
+    out_ids.push_back(id);
+  }
+  pending_reoffer_.clear();
+  if (out.size() < config_.max_items_per_message) {
+    for (Moderation& m :
+         db_.extract(config_.max_items_per_message - out.size(), rng_)) {
+      if (std::find(out_ids.begin(), out_ids.end(), m.digest()) !=
+          out_ids.end()) {
+        continue;
+      }
+      out.push_back(std::move(m));
     }
   }
+  return out;
+}
+
+ModerationCastAgent::ReceiveStats ModerationCastAgent::receive(
+    const std::vector<Moderation>& items, Time now) {
+  ReceiveStats stats;
+  for (const Moderation& m : items) {
+    const auto result = db_.merge(m, now);
+    switch (result) {
+      case ModerationDb::MergeResult::kInserted:
+      case ModerationDb::MergeResult::kEvictedOthers:
+        ++stats.inserted;
+        if (on_new_moderation) on_new_moderation(m);
+        break;
+      case ModerationDb::MergeResult::kDuplicate:
+        ++stats.duplicates;
+        break;
+      case ModerationDb::MergeResult::kBadSignature:
+        ++stats.bad_signature;
+        break;
+      case ModerationDb::MergeResult::kDisapprovedModerator:
+        ++stats.disapproved;
+        break;
+    }
+  }
+  return stats;
+}
+
+std::size_t ModerationCastAgent::note_undelivered(
+    const std::vector<Moderation>& items) {
+  // Bounded at one message's worth; overflow is dropped (those items keep
+  // circulating via regular extraction anyway — re-offering is an
+  // acceleration, not a delivery guarantee).
+  std::size_t queued = 0;
+  for (const Moderation& m : items) {
+    if (pending_reoffer_.size() >= config_.max_items_per_message) break;
+    pending_reoffer_.push_back(m);
+    ++queued;
+  }
+  return queued;
 }
 
 void ModerationCastAgent::handle_disapproval(ModeratorId moderator) {

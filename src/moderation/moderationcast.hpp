@@ -38,11 +38,35 @@ class ModerationCastAgent {
   const Moderation& publish(std::uint64_t infohash, std::string description,
                             Time now);
 
-  /// Build the moderation list for an outgoing push/pull message.
+  /// Per-batch receive outcome (item-wise: one damaged item in a batch is
+  /// rejected alone — every other item still merges).
+  struct ReceiveStats {
+    std::size_t inserted = 0;       ///< new items merged (incl. evicting)
+    std::size_t duplicates = 0;     ///< already stored
+    std::size_t bad_signature = 0;  ///< corrupted/forged, rejected item-wise
+    std::size_t disapproved = 0;    ///< refused per §IV
+  };
+
+  /// Build the moderation list for an outgoing push/pull message. Items
+  /// queued by note_undelivered go first (capped at the message limit);
+  /// the remainder is the regular Extract(). Without pending re-offers
+  /// this is exactly the legacy Extract() path, RNG draws included.
   [[nodiscard]] std::vector<Moderation> outgoing();
 
   /// Merge a received moderation list; fires on_new_moderation per insert.
-  void receive(const std::vector<Moderation>& items, Time now);
+  ReceiveStats receive(const std::vector<Moderation>& items, Time now);
+
+  /// Transport feedback: the items of our last push never reached the
+  /// counterpart (lost encounter, no reply). They are queued and re-offered
+  /// ahead of the regular extraction on the next outgoing() — at-least-once
+  /// dissemination; duplicates dedup on merge. Items evicted or purged in
+  /// the meantime are silently skipped at re-offer time. Returns the
+  /// number of items queued.
+  std::size_t note_undelivered(const std::vector<Moderation>& items);
+
+  [[nodiscard]] std::size_t pending_reoffers() const noexcept {
+    return pending_reoffer_.size();
+  }
 
   /// The user disapproved a moderator: purge and block its items (§IV).
   void handle_disapproval(ModeratorId moderator);
@@ -58,6 +82,7 @@ class ModerationCastAgent {
   ModerationDb db_;
   util::Rng rng_;
   std::vector<Moderation> own_;  ///< stable storage for publish() returns
+  std::vector<Moderation> pending_reoffer_;  ///< undelivered, retry next push
 };
 
 /// One full push/pull exchange between two online agents (both directions),

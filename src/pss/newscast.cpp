@@ -80,7 +80,8 @@ void NewscastPss::merge_views(PeerId a, PeerId b, Time now) {
   assign_view(b);
 }
 
-void NewscastPss::gossip_round(Time now) {
+void NewscastPss::gossip_round(Time now, double loss,
+                               std::uint64_t* dropped) {
   // Snapshot the online set; iteration order randomized for fairness.
   std::vector<PeerId> online = directory_->online_ids();
   std::sort(online.begin(), online.end());
@@ -96,6 +97,12 @@ void NewscastPss::gossip_round(Time now) {
     if (!directory_->is_online(target.peer)) {
       // Dead entry: age it out by removal so the view self-heals.
       std::erase_if(view, [&](const Entry& e) { return e.peer == target.peer; });
+      continue;
+    }
+    if (loss > 0.0 && rng_.next_bool(loss)) {
+      // Transport loss: the dial never completes. The entry stays — the
+      // peer is fine — so the view keeps healing on later rounds.
+      if (dropped != nullptr) ++*dropped;
       continue;
     }
     merge_views(node, target.peer, now);

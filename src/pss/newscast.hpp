@@ -44,8 +44,15 @@ class NewscastPss final : public PeerSampler {
   void on_peer_offline(PeerId peer);
 
   /// One gossip round for all online nodes at time `now` (runner calls this
-  /// on a fixed period, e.g. every 60 s).
-  void gossip_round(Time now);
+  /// on a fixed period, e.g. every 60 s). `loss` is a per-dial drop
+  /// probability (the fault plane's message loss as seen by the PSS): a
+  /// dropped dial merges nothing on either side but, unlike a dead entry,
+  /// leaves the target in the view — the peer is alive, the network ate
+  /// the exchange. With loss = 0 no extra randomness is drawn and the
+  /// round is byte-identical to the loss-free implementation. Each dropped
+  /// dial increments *dropped when given.
+  void gossip_round(Time now, double loss = 0.0,
+                    std::uint64_t* dropped = nullptr);
 
   /// Random live view entry of `self`; falls back across stale entries.
   [[nodiscard]] PeerId sample(PeerId self) override;

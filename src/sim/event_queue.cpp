@@ -1,18 +1,36 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace tribvote::sim {
 
 EventHandle EventQueue::schedule(Time at, Callback cb) {
+  compact_if_needed();
   auto alive = std::make_shared<bool>(true);
-  heap_.push(Entry{at, next_seq_++, alive, std::move(cb)});
-  return EventHandle{std::move(alive)};
+  heap_.push_back(Entry{at, next_seq_++, alive, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end());
+  return EventHandle{std::move(alive), dead_pending_};
+}
+
+void EventQueue::compact_if_needed() {
+  if (heap_.size() < kCompactMinSize || *dead_pending_ * 2 <= heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [](const Entry& e) { return !*e.alive; });
+  std::make_heap(heap_.begin(), heap_.end());
+  *dead_pending_ = 0;
+  ++compactions_;
 }
 
 void EventQueue::purge() const {
-  while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+  while (!heap_.empty() && !*heap_.front().alive) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    assert(*dead_pending_ > 0);
+    --*dead_pending_;
+  }
 }
 
 bool EventQueue::empty() const noexcept {
@@ -23,17 +41,20 @@ bool EventQueue::empty() const noexcept {
 Time EventQueue::next_time() const {
   purge();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 std::pair<Time, EventQueue::Callback> EventQueue::pop() {
   purge();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry is about to be popped, so the
-  // move is safe — no other reference to it can exist.
-  Entry& top = const_cast<Entry&>(heap_.top());
+  Entry& top = heap_.front();
   std::pair<Time, Callback> result{top.at, std::move(top.cb)};
-  heap_.pop();
+  // The event is leaving the queue to fire: clear the shared flag so a
+  // later cancel() through a surviving handle is a no-op (and does not
+  // inflate the dead count) and pending() reads false.
+  *top.alive = false;
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.pop_back();
   return result;
 }
 

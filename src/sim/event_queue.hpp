@@ -2,14 +2,19 @@
 //
 // A binary heap keyed on (time, sequence) gives deterministic FIFO ordering
 // among simultaneous events — essential for reproducible runs. Cancellation
-// is lazy: cancelled events stay in the heap, marked dead, and are skipped
-// on pop (O(1) cancel, no heap surgery).
+// is lazy: a cancelled event stays in the heap, marked dead, and is skipped
+// on pop (O(1) cancel, no heap surgery). To keep lazy cancellation from
+// growing the heap without bound (schedule/cancel cycles that never pop,
+// e.g. periodic tasks being restarted), the queue tracks how many dead
+// entries are pending and compacts the heap — one erase_if + make_heap —
+// once dead entries outnumber live ones. Compaction costs O(n) and removes
+// >= n/2 entries, so its amortized cost per schedule() is O(1) and heap
+// memory stays proportional to the number of *live* events.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/time.hpp"
@@ -17,28 +22,37 @@
 namespace tribvote::sim {
 
 /// Handle to a scheduled event; lets the owner cancel it before it fires.
-/// Copyable; all copies refer to the same pending event.
+/// Copyable; all copies refer to the same pending event. Handles may
+/// outlive the queue (the shared flag and counter keep their storage).
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancel the event if it has not fired yet. Idempotent; safe on a
-  /// default-constructed handle.
+  /// default-constructed handle and after the event fired.
   void cancel() noexcept {
-    if (alive_) *alive_ = false;
+    if (alive_ && *alive_) {
+      *alive_ = false;
+      if (dead_pending_) ++*dead_pending_;
+    }
   }
 
-  /// True while the event is still pending (scheduled and not cancelled).
+  /// True while the event is still pending (scheduled, not cancelled, and
+  /// not yet fired).
   [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive)
-      : alive_(std::move(alive)) {}
+  EventHandle(std::shared_ptr<bool> alive,
+              std::shared_ptr<std::uint64_t> dead_pending)
+      : alive_(std::move(alive)), dead_pending_(std::move(dead_pending)) {}
   std::shared_ptr<bool> alive_;
+  /// The owning queue's count of cancelled-but-unpurged entries.
+  std::shared_ptr<std::uint64_t> dead_pending_;
 };
 
-/// Min-heap of timed callbacks with stable ordering and lazy cancellation.
+/// Min-heap of timed callbacks with stable ordering, lazy cancellation and
+/// dead-entry compaction.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -60,24 +74,40 @@ class EventQueue {
   /// Number of events in the heap, including not-yet-purged dead ones.
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
+  /// Compaction passes performed so far (regression-test observability).
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;
     std::shared_ptr<bool> alive;
     Callback cb;
-    // Min-heap via std::priority_queue (max-heap) with reversed comparison.
+    // Min-heap via the std heap algorithms (max-heap on operator<) with
+    // reversed comparison.
     [[nodiscard]] bool operator<(const Entry& other) const noexcept {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
     }
   };
 
+  /// Heap size below which compaction is never attempted (not worth it).
+  static constexpr std::size_t kCompactMinSize = 64;
+
   /// Drop dead entries from the top of the heap.
   void purge() const;
+  /// Sweep every dead entry out of the heap once they dominate it.
+  void compact_if_needed();
 
-  mutable std::priority_queue<Entry> heap_;
+  mutable std::vector<Entry> heap_;
+  /// Cancelled entries still in the heap. Shared with handles (which may
+  /// outlive the queue); purge/compact decrement it as dead entries leave.
+  std::shared_ptr<std::uint64_t> dead_pending_ =
+      std::make_shared<std::uint64_t>(0);
   std::uint64_t next_seq_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace tribvote::sim

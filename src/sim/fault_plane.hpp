@@ -1,0 +1,257 @@
+// Deterministic network fault plane (DESIGN.md "Fault model").
+//
+// Sits between the serial pairing phase and the sharded exchange execution
+// of every gossip protocol round. For each encounter the plane pre-draws a
+// complete fault verdict — message loss, bounded delivery delay, a
+// mid-encounter responder crash, payload truncation/corruption — from an
+// RNG stream that is a pure function of (scenario seed, protocol, round,
+// encounter seq). The draw happens *serially*, before any worker lane runs,
+// so:
+//
+//   * the verdict table is immutable while lanes execute (no RNG and no
+//     shared mutable state inside exchange bodies — the PR 2 shard-count
+//     invariance argument extends to faulty runs unchanged);
+//   * crash propagation within a round (a peer that crashed at seq k is
+//     unreachable for every later encounter touching it) is computed in
+//     one deterministic pass.
+//
+// Lanes report execution-dependent outcomes (receiver-side rejections,
+// VoxPopuli timeouts, deferred deliveries) into per-lane buffers; after the
+// round's barriers the runner calls finish_round(), which merges the
+// buffers in encounter-seq order and returns everything that must be
+// applied serially: delayed deliveries to schedule on the event queue,
+// crashed peers to take offline, and failed VoxPopuli requests to retry
+// with exponential backoff.
+//
+// With every probability at zero the plane is inert: enabled() is false,
+// draw_round is never consulted, and no code path draws an extra random
+// number — runs are byte-identical to a build without the plane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/shard_kernel.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace tribvote::sim {
+
+/// Transport-fault knobs (ScenarioConfig::faults / TRIBVOTE_FAULTS).
+struct FaultConfig {
+  /// Per-message drop probability, applied independently to the request
+  /// and the reply leg of an encounter.
+  double loss = 0.0;
+  /// Probability that a (non-lost) reply is delayed instead of landing
+  /// within the encounter.
+  double delay_rate = 0.0;
+  /// Delay bound in simulated seconds; a delayed reply lands uniformly in
+  /// [1, max_delay] ticks via the event queue.
+  Duration max_delay = 30;
+  /// Probability the responder goes offline between request and reply
+  /// (it processes the request, the reply is lost, and the peer leaves
+  /// the online set through the regular peer_offline path).
+  double crash_rate = 0.0;
+  /// Per-message probability of payload truncation or corruption.
+  double corrupt_rate = 0.0;
+  /// VoxPopuli hardening: retry budget per failed top-K request and the
+  /// base backoff (attempt n fires after vp_retry_base * 2^(n-1) s).
+  std::size_t vp_retry_budget = 4;
+  Duration vp_retry_base = 15;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return loss > 0.0 || delay_rate > 0.0 || crash_rate > 0.0 ||
+           corrupt_rate > 0.0;
+  }
+};
+
+/// Parse a "loss=0.3,delay=0.1,max_delay=120,crash=0.01,corrupt=0.05,
+/// retries=4,retry_base=15" spec into `out` (starting from defaults).
+/// Returns false and fills *error (if given) on an unknown key or an
+/// out-of-range value.
+[[nodiscard]] bool parse_fault_spec(const std::string& spec, FaultConfig& out,
+                                    std::string* error = nullptr);
+
+/// One-line human-readable form for banners ("off" when disabled).
+[[nodiscard]] std::string describe(const FaultConfig& config);
+
+/// What happens to a message body in flight.
+enum class PayloadFault : std::uint8_t {
+  kNone,
+  kTruncated,  ///< partial payload arrives (tail of the batch lost)
+  kCorrupted,  ///< bit damage: a Schnorr signature no longer verifies
+};
+
+/// The pre-drawn fault verdict for one encounter. All-false (the default)
+/// means the encounter executes exactly as in a fault-free run.
+struct EncounterFaults {
+  /// An endpoint crashed at a lower seq this round; the dial fails
+  /// outright and nothing else applies.
+  bool unreachable = false;
+  /// The initiator's request is lost; the responder never learns of the
+  /// encounter (implies no reply, no crash, no payload faults).
+  bool drop_request = false;
+  /// The responder's reply is lost after it processed the request.
+  bool drop_reply = false;
+  /// The responder processes the request, then goes offline; the reply is
+  /// lost and the peer leaves the online set after the round.
+  bool crash_responder = false;
+  /// Non-zero: the reply lands this many ticks later via the event queue.
+  Duration delay_reply = 0;
+  PayloadFault request_payload = PayloadFault::kNone;
+  PayloadFault reply_payload = PayloadFault::kNone;
+  /// Deterministic per-encounter salt for corruption helpers (which bit
+  /// to flip, which item of a batch to damage).
+  std::uint64_t payload_salt = 0;
+
+  /// The initiator hears nothing back (crash or reply loss).
+  [[nodiscard]] bool reply_lost() const noexcept {
+    return drop_reply || crash_responder;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return unreachable || drop_request || drop_reply || crash_responder ||
+           delay_reply != 0 || request_payload != PayloadFault::kNone ||
+           reply_payload != PayloadFault::kNone;
+  }
+};
+
+/// Degradation counters, tracked per protocol (CSV columns of
+/// bench/abl_fault_sweep and assertions in the fault tests).
+struct FaultCounters {
+  std::uint64_t encounters_hit = 0;    ///< encounters with >= 1 fault drawn
+  std::uint64_t dropped_requests = 0;  ///< request legs lost in flight
+  std::uint64_t dropped_replies = 0;   ///< reply legs lost in flight
+  std::uint64_t delayed = 0;           ///< replies routed via the queue
+  std::uint64_t late_drops = 0;  ///< delayed replies to a peer gone offline
+  std::uint64_t crashes = 0;     ///< mid-encounter responder crashes
+  std::uint64_t unreachable = 0;  ///< encounters voided by an earlier crash
+  std::uint64_t corrupted = 0;    ///< payloads truncated/corrupted in flight
+  std::uint64_t rejected = 0;     ///< damaged items rejected by the receiver
+  std::uint64_t one_sided = 0;    ///< exchanges completing half-duplex
+  std::uint64_t timeouts = 0;     ///< requests that got no answer in time
+  std::uint64_t retries = 0;      ///< retry attempts issued (VoxPopuli)
+  std::uint64_t retry_successes = 0;  ///< retries that produced an answer
+  std::uint64_t reoffers = 0;  ///< moderation items queued for re-offer
+
+  FaultCounters& operator+=(const FaultCounters& o) noexcept;
+};
+
+/// Protocols the plane arbitrates; each keeps its own round counter so the
+/// per-encounter streams never collide across protocols.
+enum class Protocol : std::uint8_t {
+  kVote = 0,
+  kVoxPopuli,
+  kModeration,
+  kBarter,
+  kNewscast,
+};
+inline constexpr std::size_t kProtocolCount = 5;
+
+struct FaultStats {
+  FaultCounters vote;
+  FaultCounters vox;
+  FaultCounters moderation;
+  FaultCounters barter;
+  FaultCounters newscast;
+
+  [[nodiscard]] FaultCounters& of(Protocol p) noexcept;
+  [[nodiscard]] const FaultCounters& of(Protocol p) const noexcept;
+  /// Sum over every protocol (headline degradation numbers).
+  [[nodiscard]] FaultCounters total() const noexcept;
+  FaultStats& operator+=(const FaultStats& o) noexcept;
+};
+
+/// A reply held in flight: the runner schedules `deliver` on the simulator
+/// `delay` ticks after the round.
+struct DeferredDelivery {
+  std::uint32_t seq = 0;
+  Duration delay = 0;
+  std::function<void()> deliver;
+};
+
+/// A failed VoxPopuli top-K request; the runner schedules a backoff retry
+/// driven by `retry_rng` (a pure function of (seed, round, seq), so the
+/// retry chain is as deterministic as the encounter that spawned it).
+struct VpFailure {
+  std::uint32_t seq = 0;
+  PeerId initiator = kInvalidPeer;
+  util::Rng retry_rng;
+};
+
+/// Everything a round leaves behind for serial post-round application, in
+/// encounter-seq order.
+struct RoundOutcome {
+  std::vector<DeferredDelivery> deferred;
+  std::vector<PeerId> crashed;
+  std::vector<VpFailure> vp_failures;
+};
+
+class FaultPlane {
+ public:
+  /// `stream` is the dedicated fault RNG (derive it from the scenario
+  /// seed); `lanes` matches the shard kernel's lane count.
+  FaultPlane(FaultConfig config, util::Rng stream, std::size_t lanes);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled(); }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Serial (pairing phase): draw the fault table for this round, indexed
+  /// by encounter seq. Advances the protocol's round counter. The returned
+  /// reference is valid until the next draw_round call; the table is
+  /// read-only while lanes execute.
+  const std::vector<EncounterFaults>& draw_round(
+      Protocol proto, const std::vector<Encounter>& encounters);
+
+  // ---- lane-safe recorders (callable from exchange bodies) -----------------
+
+  /// This lane's counter block (merged into stats() by finish_round).
+  [[nodiscard]] FaultStats& lane_stats(std::size_t lane) noexcept {
+    return lane_stats_[lane];
+  }
+  /// Hold a reply in flight; delivered (in seq order) after the round.
+  void defer(std::size_t lane, std::uint32_t seq, Duration delay,
+             std::function<void()> deliver);
+  /// Record a VoxPopuli top-K request that got no answer.
+  void record_vp_failure(std::size_t lane, std::uint32_t seq,
+                         PeerId initiator);
+
+  // ---- serial post-round ---------------------------------------------------
+
+  /// Merge lane buffers/counters and hand back the round's deferred
+  /// deliveries, crashes and VP failures, each sorted by encounter seq
+  /// (ties keep lane insertion order, which is per-encounter order — the
+  /// whole outcome is therefore shard-count invariant).
+  [[nodiscard]] RoundOutcome finish_round();
+
+  /// Counter block for code running serially on the simulator thread
+  /// (deferred deliveries, retry events, the Newscast loop).
+  [[nodiscard]] FaultStats& serial_stats() noexcept { return stats_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] util::Rng encounter_stream(Protocol proto,
+                                           std::uint64_t round,
+                                           std::uint32_t seq) const;
+
+  FaultConfig config_;
+  util::Rng stream_;
+  std::uint64_t round_counter_[kProtocolCount] = {};
+  // Round currently being executed (set by draw_round, read by
+  // finish_round to key retry streams).
+  Protocol current_proto_ = Protocol::kVote;
+  std::uint64_t current_round_ = 0;
+
+  std::vector<EncounterFaults> table_;
+  std::vector<PeerId> crashed_round_;  ///< crash order == seq order
+  std::vector<PeerId> crashed_set_;    ///< sorted ids crashed this round
+
+  std::vector<FaultStats> lane_stats_;
+  std::vector<std::vector<DeferredDelivery>> lane_deferred_;
+  std::vector<std::vector<VpFailure>> lane_vp_failures_;
+  FaultStats stats_;
+};
+
+}  // namespace tribvote::sim

@@ -40,4 +40,19 @@ bt::LedgerBackend ledger_backend() {
   return bt::LedgerBackend::kMap;
 }
 
+FaultConfig faults() {
+  FaultConfig config;
+  const char* v = std::getenv("TRIBVOTE_FAULTS");
+  if (v == nullptr) return config;
+  std::string error;
+  if (!parse_fault_spec(v, config, &error)) {
+    std::fprintf(stderr,
+                 "warning: TRIBVOTE_FAULTS=%s is not a fault spec (%s); "
+                 "running fault-free\n",
+                 v, error.c_str());
+    return FaultConfig{};
+  }
+  return config;
+}
+
 }  // namespace tribvote::sim::options

@@ -14,12 +14,17 @@
 //                          results are bit-identical for any value
 //   TRIBVOTE_LEDGER        contribution-ledger backend: "map" (default,
 //                          the goldens' backend) or "sharded_log"
+//   TRIBVOTE_FAULTS        network fault spec, e.g.
+//                          "loss=0.3,delay=0.1,max_delay=120,crash=0.01,
+//                          corrupt=0.05,retries=4,retry_base=15"
+//                          (default: no faults — the goldens' setting)
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
 #include "bt/ledger.hpp"
+#include "sim/fault_plane.hpp"
 
 namespace tribvote::sim::options {
 
@@ -34,5 +39,9 @@ namespace tribvote::sim::options {
 /// TRIBVOTE_LEDGER; unknown values fall back to the map backend with a
 /// warning on stderr (a silently ignored knob would taint measurements).
 [[nodiscard]] bt::LedgerBackend ledger_backend();
+
+/// TRIBVOTE_FAULTS parsed via sim::parse_fault_spec; a malformed spec
+/// falls back to no faults with a warning on stderr.
+[[nodiscard]] FaultConfig faults();
 
 }  // namespace tribvote::sim::options

@@ -94,6 +94,18 @@ class ShardKernel {
     return stats_;
   }
 
+  /// Encounters still sitting in cross-shard mailboxes. Zero outside
+  /// run_round: phase B drains and clears every inbox before the round
+  /// returns, even when an exchange body declines to act (e.g. a fault
+  /// plane marking an endpoint unreachable). Tests assert on this.
+  [[nodiscard]] std::size_t pending_mail() const noexcept {
+    std::size_t n = 0;
+    for (const auto& row : mail_) {
+      for (const auto& box : row) n += box.size();
+    }
+    return n;
+  }
+
  private:
   std::size_t population_;
   std::size_t shards_;

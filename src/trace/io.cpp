@@ -52,18 +52,40 @@ Trace read_trace(std::istream& in) {
   bool saw_header = false;
   std::string line;
   std::size_t line_no = 0;
+  // Line numbers of records whose references can only be validated once
+  // the whole file is read (errors must still name the offending line).
+  std::vector<std::size_t> session_lines, join_lines, swarm_lines;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string kind;
     ls >> kind;
+    // Every record after parsing must have consumed the whole line —
+    // trailing tokens mean a malformed or truncated-and-rejoined file,
+    // and silently ignoring them would mask real corruption.
+    auto expect_end = [&] {
+      std::string extra;
+      if (ls >> extra) {
+        fail(line_no, "trailing garbage '" + extra + "' after " + kind +
+                          " record");
+      }
+    };
     if (kind == "trace") {
+      if (saw_header) fail(line_no, "duplicate 'trace' header record");
       if (!(ls >> tr.duration >> tr.seed) || tr.duration <= 0) {
         fail(line_no, "bad trace header");
       }
+      expect_end();
       saw_header = true;
-    } else if (kind == "peer") {
+      continue;
+    }
+    // Fail fast: the header carries the duration every other record is
+    // validated against, so it must come first.
+    if (!saw_header) {
+      fail(line_no, "record before the 'trace' header");
+    }
+    if (kind == "peer") {
       PeerProfile peer;
       int connectable = 0;
       char behavior = 'A';
@@ -71,9 +93,23 @@ Trace read_trace(std::istream& in) {
             peer.download_kbps >> peer.arrival)) {
         fail(line_no, "bad peer record");
       }
+      expect_end();
       if (behavior != 'A' && behavior != 'F') {
         fail(line_no, "behavior must be A or F");
       }
+      // Peer ids index dense per-peer arrays downstream (population build,
+      // capacity tables); a gap or permutation would be undefined behaviour
+      // there, so it is a parse error here.
+      if (peer.id != tr.peers.size()) {
+        std::ostringstream what;
+        what << "peer id " << peer.id << " out of order (expected "
+             << tr.peers.size() << "; ids must be dense and ascending)";
+        fail(line_no, what.str());
+      }
+      if (peer.upload_kbps < 0 || peer.download_kbps < 0) {
+        fail(line_no, "peer capacities must be non-negative");
+      }
+      if (peer.arrival < 0) fail(line_no, "peer arrival must be >= 0");
       peer.connectable = connectable != 0;
       peer.behavior =
           behavior == 'F' ? Behavior::kFreeRider : Behavior::kAltruist;
@@ -85,39 +121,60 @@ Trace read_trace(std::istream& in) {
           spec.size_mb <= 0 || spec.piece_kb <= 0) {
         fail(line_no, "bad swarm record");
       }
+      expect_end();
+      if (spec.id != tr.swarms.size()) {
+        std::ostringstream what;
+        what << "swarm id " << spec.id << " out of order (expected "
+             << tr.swarms.size() << "; ids must be dense and ascending)";
+        fail(line_no, what.str());
+      }
+      if (spec.created < 0) fail(line_no, "swarm creation must be >= 0");
       tr.swarms.push_back(spec);
+      swarm_lines.push_back(line_no);
     } else if (kind == "session") {
       Session session;
       if (!(ls >> session.peer >> session.start >> session.end) ||
           session.start >= session.end) {
         fail(line_no, "bad session record");
       }
+      expect_end();
+      if (session.start < 0) fail(line_no, "session start must be >= 0");
       tr.sessions.push_back(session);
+      session_lines.push_back(line_no);
     } else if (kind == "join") {
       SwarmJoin join;
       if (!(ls >> join.peer >> join.swarm >> join.at)) {
         fail(line_no, "bad join record");
       }
+      expect_end();
+      if (join.at < 0) fail(line_no, "join time must be >= 0");
       tr.joins.push_back(join);
+      join_lines.push_back(line_no);
     } else {
       fail(line_no, "unknown record kind '" + kind + "'");
     }
   }
   if (!saw_header) fail(line_no, "missing 'trace' header record");
 
-  // Referential integrity.
+  // Referential integrity, reported against the referring record's line.
   const auto n_peers = static_cast<PeerId>(tr.peers.size());
   const auto n_swarms = static_cast<SwarmId>(tr.swarms.size());
-  for (const auto& s : tr.sessions) {
-    if (s.peer >= n_peers) fail(0, "session refers to unknown peer");
+  for (std::size_t i = 0; i < tr.sessions.size(); ++i) {
+    if (tr.sessions[i].peer >= n_peers) {
+      fail(session_lines[i], "session refers to unknown peer");
+    }
   }
-  for (const auto& j : tr.joins) {
-    if (j.peer >= n_peers) fail(0, "join refers to unknown peer");
-    if (j.swarm >= n_swarms) fail(0, "join refers to unknown swarm");
+  for (std::size_t i = 0; i < tr.joins.size(); ++i) {
+    if (tr.joins[i].peer >= n_peers) {
+      fail(join_lines[i], "join refers to unknown peer");
+    }
+    if (tr.joins[i].swarm >= n_swarms) {
+      fail(join_lines[i], "join refers to unknown swarm");
+    }
   }
-  for (const auto& sw : tr.swarms) {
-    if (sw.initial_seeder >= n_peers) {
-      fail(0, "swarm refers to unknown seeder");
+  for (std::size_t i = 0; i < tr.swarms.size(); ++i) {
+    if (tr.swarms[i].initial_seeder >= n_peers) {
+      fail(swarm_lines[i], "swarm refers to unknown seeder");
     }
   }
 

@@ -49,18 +49,21 @@ VoteListMessage VoteAgent::outgoing_votes(Time now) {
   return msg;
 }
 
-bool VoteAgent::receive_votes(const VoteListMessage& message, Time now) {
-  if (message.voter == self_) return false;
+ReceiveResult VoteAgent::receive_votes(const VoteListMessage& message,
+                                       Time now) {
+  if (message.voter == self_) return ReceiveResult::kSelfMessage;
   if (!crypto::verify(message.key, message.digest(), message.signature)) {
-    return false;  // forged or corrupted
+    return ReceiveResult::kBadSignature;  // forged or corrupted
   }
-  if (message.votes.empty()) return false;
+  if (message.votes.empty()) return ReceiveResult::kEmpty;
   // Every authentic message feeds the observed-dispersion signal, even
   // when the experience function rejects its votes.
   observed_.merge(message.voter, message.votes, now);
-  if (!experienced_(message.voter)) return false;  // E_i(j) = false
+  if (!experienced_(message.voter)) {
+    return ReceiveResult::kInexperienced;  // E_i(j) = false
+  }
   box_.merge(message.voter, message.votes, now);
-  return true;
+  return ReceiveResult::kAccepted;
 }
 
 std::map<ModeratorId, Tally> VoteAgent::augmented_tally() const {

@@ -44,6 +44,18 @@ struct VoteListMessage {
   [[nodiscard]] std::uint64_t digest() const;
 };
 
+/// Why a vote-list message was (not) merged. Callers that only care about
+/// success test for kAccepted; the fault-degradation counters need the
+/// reason (a corrupted message rejects as kBadSignature, an inexperienced
+/// sender as kInexperienced — only the latter is a protocol-level verdict).
+enum class ReceiveResult : std::uint8_t {
+  kAccepted,        ///< verified and merged into the ballot box
+  kSelfMessage,     ///< own message bounced back — ignored
+  kBadSignature,    ///< forged or corrupted in transit — ignored wholesale
+  kEmpty,           ///< authentic but carries no votes
+  kInexperienced,   ///< authentic but E_self(voter) = false — not merged
+};
+
 class VoteAgent {
  public:
   /// `experienced(j)` is the node's experience function E_self(j).
@@ -73,8 +85,10 @@ class VoteAgent {
 
   /// Handle a counterpart's vote-list message: verify the signature, apply
   /// the experience function, and merge into the local ballot box.
-  /// Returns true when the votes were accepted.
-  bool receive_votes(const VoteListMessage& message, Time now);
+  /// A message that fails verification is rejected wholesale (one signature
+  /// covers the list, so a truncated or bit-damaged list cannot poison the
+  /// box); the result says why.
+  ReceiveResult receive_votes(const VoteListMessage& message, Time now);
 
   // ---- protocol: VoxPopuli ------------------------------------------------
 

@@ -68,7 +68,8 @@ TEST_F(ColluderTest, HonestReceiverStillAppliesExperience) {
   const crypto::KeyPair hk = keys_for(3);
   vote::VoteAgent honest(0, hk, vote::VoteConfig{},
                          [](PeerId) { return false; }, util::Rng(4));
-  EXPECT_FALSE(honest.receive_votes(colluder_.outgoing_votes(60), 60));
+  EXPECT_EQ(honest.receive_votes(colluder_.outgoing_votes(60), 60),
+            vote::ReceiveResult::kInexperienced);
   EXPECT_EQ(honest.ballot_box().unique_voters(), 0u);
 }
 

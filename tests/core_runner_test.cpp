@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "metrics/degradation.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/generator.hpp"
 
@@ -262,6 +263,15 @@ std::string metrics_csv(const trace::Trace& tr, ScenarioConfig config,
                     runner.stats().moderation_exchanges),
                 runner.ledger().total_uploaded_mb(0));
   csv += tail;
+  // Degradation counters close the CSV: in a fault-free run they are all
+  // zero, in a faulted run any shard-count divergence shows up here even
+  // when the protocol metrics happen to agree.
+  csv += "faults";
+  for (const auto& [name, value] :
+       metrics::degradation_columns(runner.fault_stats())) {
+    csv += ',' + std::to_string(value);
+  }
+  csv += '\n';
   return csv;
 }
 
@@ -324,6 +334,101 @@ TEST(Runner, ShardStressCrossShardMailboxes) {
 
   // And the full-fidelity comparison via the CSV harness.
   EXPECT_EQ(serial, metrics_csv(tr, config, 4));
+}
+
+/// Transport faults for the robustness tests: lossy enough that every
+/// fault class fires on a 1-day / 20-peer trace.
+ScenarioConfig faulty_config() {
+  ScenarioConfig config;
+  config.faults.loss = 0.25;
+  config.faults.delay_rate = 0.15;
+  config.faults.max_delay = 90;
+  config.faults.crash_rate = 0.02;
+  config.faults.corrupt_rate = 0.1;
+  return config;
+}
+
+TEST(Runner, FaultedRunsAreDeterministic) {
+  const trace::Trace tr = small_trace();
+  const ScenarioConfig config = faulty_config();
+  EXPECT_EQ(metrics_csv(tr, config, 1), metrics_csv(tr, config, 1));
+}
+
+TEST(Runner, FaultedShardCountInvariance) {
+  // Acceptance bar for the fault plane: with faults ON, output (protocol
+  // metrics AND degradation counters) is byte-identical for shards
+  // ∈ {1, 4, 8} — every fault verdict is drawn serially at pairing time.
+  const trace::Trace tr = small_trace();
+  const ScenarioConfig config = faulty_config();
+  const std::string serial = metrics_csv(tr, config, 1);
+  EXPECT_EQ(serial, metrics_csv(tr, config, 4));
+  EXPECT_EQ(serial, metrics_csv(tr, config, 8));
+}
+
+TEST(Runner, FaultedRunDegradesGracefully) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config = faulty_config();
+  ScenarioRunner runner(tr, config, 7);
+  const auto firsts = trace::earliest_arrivals(tr, 1);
+  runner.publish_moderation(firsts[0], kMinute, "metadata");
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p != firsts[0]) {
+      runner.script_vote_on_receipt(p, firsts[0], Opinion::kPositive);
+    }
+  }
+  runner.run_until(tr.duration);
+  // The protocols kept making progress under 25 % loss...
+  EXPECT_GT(runner.stats().vote_exchanges, 0u);
+  EXPECT_GT(runner.stats().votes_accepted, 0u);
+  EXPECT_GT(runner.stats().downloads_completed, 0u);
+  // ...and the plane accounted for the damage it dealt.
+  const sim::FaultCounters total = runner.fault_stats().total();
+  EXPECT_GT(total.encounters_hit, 0u);
+  EXPECT_GT(total.dropped_requests, 0u);
+  EXPECT_GT(total.dropped_replies, 0u);
+  EXPECT_GT(total.delayed, 0u);
+  EXPECT_GT(total.corrupted, 0u);
+  EXPECT_GT(total.one_sided, 0u);
+}
+
+TEST(Runner, CrashRoundsLeaveNoDanglingMailboxes) {
+  // Satellite: peer_offline mid-round (fault-plane crashes) must leave the
+  // shard kernel's cross-shard mailboxes fully drained after every round.
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config = faulty_config();
+  config.faults.crash_rate = 0.1;  // crash hard and often
+  config.shards = 4;
+  ScenarioRunner runner(tr, config, 11);
+  for (Time t = kHour; t <= tr.duration; t += kHour) {
+    runner.run_until(t);
+    EXPECT_EQ(runner.pending_mail(), 0u) << "at t=" << t;
+  }
+  EXPECT_GT(runner.fault_stats().total().crashes, 0u);
+  EXPECT_GT(runner.fault_stats().total().unreachable, 0u);
+}
+
+TEST(Runner, VoxPopuliRetriesRecoverLostRequests) {
+  const trace::Trace tr = small_trace();
+  ScenarioConfig config;
+  config.faults.loss = 0.3;  // bootstrap requests fail often enough
+  ScenarioRunner runner(tr, config, 3);
+  // Populate the vote space so top-K answers are non-empty: a retry can
+  // only "succeed" when there is something to learn.
+  const auto firsts = trace::earliest_arrivals(tr, 1);
+  runner.publish_moderation(firsts[0], kMinute, "metadata");
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p != firsts[0]) {
+      runner.script_vote_on_receipt(p, firsts[0], Opinion::kPositive);
+    }
+  }
+  runner.run_until(tr.duration);
+  const sim::FaultCounters total = runner.fault_stats().total();
+  EXPECT_GT(total.timeouts, 0u);
+  EXPECT_GT(total.retries, 0u);
+  EXPECT_GT(total.retry_successes, 0u);
+  // The budget bounds the chain: attempts never exceed budget per timeout.
+  EXPECT_LE(total.retries,
+            total.timeouts * config.faults.vp_retry_budget);
 }
 
 TEST(Experiment, RunReplicasAggregates) {

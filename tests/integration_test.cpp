@@ -156,6 +156,85 @@ TEST(Integration, FlashCrowdPollutesThenRecoveryHolds) {
   EXPECT_LT(new_node_pollution.back(), peak * 0.7);
 }
 
+TEST(Integration, BootstrapCompletesUnderThirtyPercentLoss) {
+  // Robustness acceptance bar: with 30 % message loss (plus the scaled
+  // companion faults the A11 sweep uses at that level), at least 95 % of
+  // honest arrived nodes still complete VoxPopuli bootstrap — retries,
+  // re-offers and one-sided exchanges keep the sampling liveness intact.
+  const trace::Trace tr = mini_trace(21, 30, 3 * kDay);
+  ScenarioConfig config;
+  config.faults.loss = 0.3;
+  config.faults.delay_rate = 0.15;
+  config.faults.max_delay = 120;
+  config.faults.corrupt_rate = 0.06;
+  config.faults.crash_rate = 0.01;
+  ScenarioRunner runner(tr, config, 7);
+
+  const auto firsts = trace::earliest_arrivals(tr, 3);
+  const ModeratorId m1 = firsts[0], m2 = firsts[1], m3 = firsts[2];
+  runner.publish_moderation(m1, 10 * kMinute, "good");
+  runner.publish_moderation(m2, 10 * kMinute, "neutral");
+  runner.publish_moderation(m3, 10 * kMinute, "bad");
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p == m1 || p == m2 || p == m3) continue;
+    runner.script_vote_on_receipt(p, p % 2 == 0 ? m1 : m3,
+                                  p % 2 == 0 ? Opinion::kPositive
+                                             : Opinion::kNegative);
+  }
+  runner.run_until(tr.duration);
+
+  std::size_t arrived = 0, bootstrapped = 0;
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p == m1 || p == m2 || p == m3) continue;
+    if (!runner.has_arrived(p, tr.duration)) continue;
+    ++arrived;
+    if (!runner.node(p).vote().bootstrapping()) ++bootstrapped;
+  }
+  ASSERT_GT(arrived, 0u);
+  EXPECT_GE(static_cast<double>(bootstrapped),
+            0.95 * static_cast<double>(arrived))
+      << bootstrapped << " of " << arrived << " bootstrapped";
+  // The transport was genuinely hostile while it happened.
+  EXPECT_GT(runner.fault_stats().total().dropped_requests, 0u);
+  EXPECT_GT(runner.fault_stats().total().retries, 0u);
+}
+
+TEST(Integration, ChaosTransportNeverCrashesNorPoisons) {
+  // Worst-case fuzz: every fault class at an extreme rate, on the sharded
+  // kernel, with an attack running. The assertions are survival (the run
+  // completes), drained mailboxes, and damage that is *accounted* —
+  // corrupted payloads were rejected by signature checks, never merged.
+  const trace::Trace tr = mini_trace(22, 30, kDay);
+  ScenarioConfig config;
+  config.shards = 4;
+  config.faults.loss = 0.5;
+  config.faults.delay_rate = 0.4;
+  config.faults.max_delay = 300;
+  config.faults.crash_rate = 0.1;
+  config.faults.corrupt_rate = 0.5;
+  config.attack.crowd_size = 10;
+  config.attack.start = kHour;
+  ScenarioRunner runner(tr, config, 8);
+  const auto firsts = trace::earliest_arrivals(tr, 1);
+  runner.publish_moderation(firsts[0], kMinute, "survives chaos");
+  for (PeerId p = 0; p < tr.peers.size(); ++p) {
+    if (p != firsts[0]) {
+      runner.script_vote_on_receipt(p, firsts[0], Opinion::kPositive);
+    }
+  }
+  runner.run_until(tr.duration);
+
+  EXPECT_EQ(runner.pending_mail(), 0u);
+  const sim::FaultCounters total = runner.fault_stats().total();
+  EXPECT_GT(total.corrupted, 0u);
+  EXPECT_GT(total.rejected, 0u);
+  EXPECT_GT(total.crashes, 0u);
+  EXPECT_GT(total.one_sided, 0u);
+  // Progress under fire: the protocols did not deadlock or wedge.
+  EXPECT_GT(runner.stats().vote_exchanges, 0u);
+  EXPECT_GT(runner.stats().votes_accepted, 0u);
+}
+
 TEST(Integration, NoAttackMeansNoPollution) {
   const trace::Trace tr = mini_trace(15, 30, kDay);
   ScenarioConfig config;

@@ -239,6 +239,64 @@ TEST_F(CastTest, OnNewModerationFiresOncePerItem) {
   EXPECT_EQ(fires, 1);
 }
 
+TEST_F(CastTest, CorruptedItemIsRejectedItemWise) {
+  // In-flight bit damage as the fault plane deals it: each moderation
+  // carries its own signature, so one damaged item is dropped alone and
+  // the rest of the batch still merges.
+  Peer alice(0), bob(1);
+  alice.agent.publish(0x1, "first", 5);
+  alice.agent.publish(0x2, "second", 6);
+  std::vector<Moderation> batch = alice.agent.outgoing();
+  ASSERT_EQ(batch.size(), 2u);
+  batch[0].signature.s ^= 1ull << 9;
+  const auto rs = bob.agent.receive(batch, 10);
+  EXPECT_EQ(rs.bad_signature, 1u);
+  EXPECT_EQ(rs.inserted, 1u);
+  EXPECT_EQ(bob.agent.db().count_from(0), 1u);
+  // The db is not poisoned: the pristine item still merges later.
+  const auto again = bob.agent.receive(alice.agent.outgoing(), 20);
+  EXPECT_EQ(again.inserted, 1u);
+  EXPECT_EQ(bob.agent.db().count_from(0), 2u);
+}
+
+TEST_F(CastTest, TruncatedBatchMergesTheRemainder) {
+  Peer alice(0), bob(1);
+  alice.agent.publish(0x1, "first", 5);
+  alice.agent.publish(0x2, "second", 6);
+  std::vector<Moderation> batch = alice.agent.outgoing();
+  ASSERT_EQ(batch.size(), 2u);
+  batch.resize(1);  // tail lost in flight
+  const auto rs = bob.agent.receive(batch, 10);
+  EXPECT_EQ(rs.bad_signature, 0u);
+  EXPECT_EQ(rs.inserted, 1u);
+}
+
+TEST_F(CastTest, UndeliveredItemsAreReofferedFirst) {
+  Peer alice(0);
+  alice.agent.publish(0x1, "lost in transit", 5);
+  const std::vector<Moderation> push = alice.agent.outgoing();
+  ASSERT_EQ(push.size(), 1u);
+  EXPECT_EQ(alice.agent.note_undelivered(push), 1u);
+  EXPECT_EQ(alice.agent.pending_reoffers(), 1u);
+  // The next push leads with the undelivered item and clears the queue.
+  const std::vector<Moderation> retry = alice.agent.outgoing();
+  ASSERT_FALSE(retry.empty());
+  EXPECT_EQ(retry.front().infohash, 0x1u);
+  EXPECT_EQ(alice.agent.pending_reoffers(), 0u);
+}
+
+TEST_F(CastTest, ReofferedDuplicatesDedupOnMerge) {
+  Peer alice(0), bob(1);
+  alice.agent.publish(0x1, "at least once", 5);
+  const std::vector<Moderation> push = alice.agent.outgoing();
+  (void)bob.agent.receive(push, 10);  // delivered, but alice never learns
+  (void)alice.agent.note_undelivered(push);
+  const auto rs = bob.agent.receive(alice.agent.outgoing(), 20);
+  EXPECT_EQ(rs.inserted, 0u);
+  EXPECT_EQ(rs.duplicates, 1u);
+  EXPECT_EQ(bob.agent.db().count_from(0), 1u);
+}
+
 TEST_F(CastTest, ExchangeIsBidirectional) {
   Peer alice(0), bob(1);
   alice.agent.publish(0x1, "from alice", 5);

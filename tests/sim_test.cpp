@@ -81,6 +81,60 @@ TEST(EventQueue, NextTimeReflectsEarliestLive) {
   EXPECT_EQ(q.next_time(), 9);
 }
 
+TEST(EventQueue, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  int runs = 0;
+  EventHandle h = q.schedule(1, [&] { ++runs; });
+  q.pop().second();
+  EXPECT_FALSE(h.pending());  // fired events are no longer pending
+  h.cancel();                 // must not corrupt the dead-entry accounting
+  q.schedule(2, [] {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueue, MassCancelDoesNotGrowTheHeap) {
+  // Regression: lazily-cancelled entries used to stay in the heap until
+  // their deadline, so schedule/cancel churn (PeriodicTask re-arms, fault
+  // retries) grew memory without bound. Compaction must keep the live set
+  // plus a bounded slack.
+  EventQueue q;
+  constexpr int kChurn = 1'000'000;
+  int fired = 0;
+  q.schedule(kChurn + 10, [&] { ++fired; });
+  for (int i = 0; i < kChurn; ++i) {
+    EventHandle h = q.schedule(i + 5, [&] { ++fired; });
+    h.cancel();
+    EXPECT_LE(q.size(), 256u) << "heap grew without bound at i=" << i;
+  }
+  EXPECT_GT(q.compactions(), 0u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);  // only the keeper survived
+}
+
+TEST(EventQueue, OrderingSurvivesCompaction) {
+  // Interleave live and cancelled events so several compactions happen
+  // while live entries are in flight; the live firing order must be
+  // untouched.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 999; i >= 0; --i) {
+    q.schedule(i, [&order, i] { order.push_back(i); });
+    for (int k = 0; k < 20; ++k) {
+      doomed.push_back(q.schedule(i, [] { FAIL() << "cancelled event ran"; }));
+    }
+    for (int k = 0; k < 20; ++k) {
+      doomed.back().cancel();
+      doomed.pop_back();
+    }
+  }
+  EXPECT_GT(q.compactions(), 0u);
+  while (!q.empty()) q.pop().second();
+  ASSERT_EQ(order.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
 TEST(Simulator, ClockAdvancesToEventTimes) {
   Simulator sim;
   std::vector<Time> stamps;
@@ -287,6 +341,24 @@ TEST(ShardKernel, CrossShardEncountersGoThroughMailboxes) {
   EXPECT_EQ(kernel.stats().mailed, cross);
   EXPECT_EQ(kernel.stats().local + kernel.stats().mailed, encounters.size());
   EXPECT_GT(kernel.stats().levels, 0u);
+}
+
+TEST(ShardKernel, MailboxesDrainEvenWhenExchangesDeclineToAct) {
+  // Fault-plane contract: an exchange body that does nothing (unreachable
+  // endpoint, crashed responder) must still leave every cross-shard mailbox
+  // empty after the round — mail is drained by the kernel, not by the body.
+  util::Rng rng(13);
+  util::ThreadPool pool(4);
+  ShardKernel kernel(64, 4, &pool);
+  for (int round = 0; round < 10; ++round) {
+    const auto encounters = random_round(64, rng);
+    // Decline every other encounter, mimicking a fault verdict table.
+    kernel.run_round(encounters, [](const Encounter& e, std::size_t) {
+      if (e.seq % 2 == 0) return;  // "unreachable": no-op exchange
+    });
+    EXPECT_EQ(kernel.pending_mail(), 0u) << "round " << round;
+  }
+  EXPECT_GT(kernel.stats().mailed, 0u);  // the contract was actually tested
 }
 
 TEST(ShardKernel, ForEachNodeCoversPopulationOncePerNode) {

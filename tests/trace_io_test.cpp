@@ -140,5 +140,107 @@ TEST(TraceIo, UnreadableFileThrows) {
                TraceFormatError);
 }
 
+// ---- hardening: one test per malformed-line class -------------------------
+
+TEST(TraceIo, TrailingGarbageThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0 EXTRA\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("EXTRA"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIo, TrailingGarbageOnHeaderThrows) {
+  std::stringstream in("trace 1000 0 junk\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, DuplicateHeaderThrows) {
+  std::stringstream in("trace 1000 0\ntrace 2000 1\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RecordBeforeHeaderThrows) {
+  std::stringstream in("peer 0 1 A 100 800 0\ntrace 1000 0\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, SparsePeerIdsThrow) {
+  // Peer ids index dense arrays downstream; a gap must be rejected at
+  // parse time, not crash the population build later.
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\n"
+                       "peer 7 1 A 100 800 0\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("dense"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIo, OutOfOrderPeerIdsThrow) {
+  std::stringstream in("trace 1000 0\npeer 1 1 A 100 800 0\n"
+                       "peer 0 1 A 100 800 0\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, SparseSwarmIdsThrow) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\n"
+                       "swarm 3 100 1024 0 0\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, NegativePeerCapacityThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A -5 800 0\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, NegativeArrivalThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 -1\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, NegativeSessionStartThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\n"
+                       "session 0 -10 20\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, NegativeJoinTimeThrows) {
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\n"
+                       "swarm 0 100 1024 0 0\njoin 0 0 -3\n");
+  EXPECT_THROW((void)read_trace(in), TraceFormatError);
+}
+
+TEST(TraceIo, ReferentialErrorNamesReferringLine) {
+  // The dangling reference is only detectable at end-of-file, but the
+  // error must still point at the session line, not "line 0".
+  std::stringstream in("trace 1000 0\npeer 0 1 A 100 800 0\n"
+                       "session 5 1 2\n");
+  try {
+    (void)read_trace(in);
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace tribvote::trace

@@ -291,7 +291,8 @@ TEST_F(VoteAgentTest, OutgoingVotesAreSigned) {
 TEST_F(VoteAgentTest, ReceiveAcceptsExperiencedVoter) {
   Peer alice(0), bob(1);
   bob.agent.cast_vote(3, Opinion::kPositive, 5);
-  EXPECT_TRUE(alice.agent.receive_votes(bob.agent.outgoing_votes(10), 10));
+  EXPECT_EQ(alice.agent.receive_votes(bob.agent.outgoing_votes(10), 10),
+            ReceiveResult::kAccepted);
   EXPECT_EQ(alice.agent.ballot_box().unique_voters(), 1u);
 }
 
@@ -299,7 +300,8 @@ TEST_F(VoteAgentTest, ReceiveRejectsInexperiencedVoter) {
   Peer alice(0, /*experienced_result=*/false);
   Peer bob(1);
   bob.agent.cast_vote(3, Opinion::kPositive, 5);
-  EXPECT_FALSE(alice.agent.receive_votes(bob.agent.outgoing_votes(10), 10));
+  EXPECT_EQ(alice.agent.receive_votes(bob.agent.outgoing_votes(10), 10),
+            ReceiveResult::kInexperienced);
   EXPECT_EQ(alice.agent.ballot_box().unique_voters(), 0u);
 }
 
@@ -309,7 +311,8 @@ TEST_F(VoteAgentTest, ReceiveRejectsForgedMessage) {
   VoteListMessage msg = bob.agent.outgoing_votes(10);
   // Mallory alters the votes.
   msg.votes[0].opinion = Opinion::kNegative;
-  EXPECT_FALSE(alice.agent.receive_votes(msg, 10));
+  EXPECT_EQ(alice.agent.receive_votes(msg, 10),
+            ReceiveResult::kBadSignature);
   // Mallory re-signs with her own key but claims bob's id.
   VoteListMessage forged = msg;
   forged.key = mallory.keys.pub;
@@ -324,12 +327,38 @@ TEST_F(VoteAgentTest, ReceiveRejectsForgedMessage) {
   EXPECT_TRUE(crypto::verify(forged.key, forged.digest(), forged.signature));
 }
 
+TEST_F(VoteAgentTest, TruncatedOrBitDamagedMessageNeverPoisonsTheBox) {
+  // In-flight damage as the fault plane deals it: truncation (tail of the
+  // vote list lost) or a flipped signature bit. One Schnorr signature
+  // covers the whole list, so either way verification fails wholesale and
+  // the ballot box is untouched — a damaged message can never smuggle a
+  // partial or altered vote set past the signature.
+  Peer alice(0), bob(1);
+  bob.agent.cast_vote(3, Opinion::kPositive, 5);
+  bob.agent.cast_vote(4, Opinion::kNegative, 6);
+  VoteListMessage truncated = bob.agent.outgoing_votes(10);
+  ASSERT_EQ(truncated.votes.size(), 2u);
+  truncated.votes.resize(1);
+  EXPECT_EQ(alice.agent.receive_votes(truncated, 10),
+            ReceiveResult::kBadSignature);
+  VoteListMessage damaged = bob.agent.outgoing_votes(10);
+  damaged.signature.s ^= 1ull << 17;
+  EXPECT_EQ(alice.agent.receive_votes(damaged, 10),
+            ReceiveResult::kBadSignature);
+  EXPECT_EQ(alice.agent.ballot_box().unique_voters(), 0u);
+  // Rejection is stateless: the pristine message still lands afterwards.
+  EXPECT_EQ(alice.agent.receive_votes(bob.agent.outgoing_votes(10), 10),
+            ReceiveResult::kAccepted);
+  EXPECT_EQ(alice.agent.ballot_box().unique_voters(), 1u);
+}
+
 TEST_F(VoteAgentTest, ReceiveIgnoresSelfAndEmpty) {
   Peer alice(0);
-  EXPECT_FALSE(alice.agent.receive_votes(alice.agent.outgoing_votes(5), 5));
+  EXPECT_EQ(alice.agent.receive_votes(alice.agent.outgoing_votes(5), 5),
+            ReceiveResult::kSelfMessage);
   Peer bob(1);
-  EXPECT_FALSE(
-      alice.agent.receive_votes(bob.agent.outgoing_votes(5), 5));  // empty
+  EXPECT_EQ(alice.agent.receive_votes(bob.agent.outgoing_votes(5), 5),
+            ReceiveResult::kEmpty);
 }
 
 TEST_F(VoteAgentTest, BootstrappingThreshold) {
@@ -392,7 +421,8 @@ TEST_F(VoteAgentTest, ObservedDispersionSeesRejectedVotes) {
   carol.agent.cast_vote(9, Opinion::kPositive, 1);
   dave.agent.cast_vote(9, Opinion::kNegative, 1);
   for (auto* peer : {&bob, &carol, &dave}) {
-    EXPECT_FALSE(alice.agent.receive_votes(peer->agent.outgoing_votes(5), 5));
+    EXPECT_EQ(alice.agent.receive_votes(peer->agent.outgoing_votes(5), 5),
+              ReceiveResult::kInexperienced);
   }
   EXPECT_EQ(alice.agent.ballot_box().size(), 0u);
   EXPECT_NEAR(alice.agent.observed_dispersion(), 1.0 - 1.0 / 3.0, 1e-12);
@@ -410,7 +440,8 @@ TEST_F(VoteAgentTest, RefilterBallotDropsNowInexperienced) {
                   util::Rng(901));
   Peer bob(1);
   bob.agent.cast_vote(9, Opinion::kPositive, 1);
-  ASSERT_TRUE(agent.receive_votes(bob.agent.outgoing_votes(5), 5));
+  ASSERT_EQ(agent.receive_votes(bob.agent.outgoing_votes(5), 5),
+            ReceiveResult::kAccepted);
   ASSERT_EQ(agent.ballot_box().size(), 1u);
   experienced = false;
   EXPECT_EQ(agent.refilter_ballot(), 1u);
