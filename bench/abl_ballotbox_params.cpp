@@ -37,6 +37,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.shards = bench::shard_count();
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
+  config.telemetry = bench::telemetry_config();
   config.vote.b_min = cfg.b_min;
   config.vote.b_max = cfg.b_max;
   core::ScenarioRunner runner(tr, config, 0xA2 + index);

@@ -71,6 +71,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.shards = bench::shard_count();
   config.ledger = bench::ledger_backend();
   config.faults = faults_for(loss);
+  config.telemetry = bench::telemetry_config();
   core::ScenarioRunner runner(tr, config, 0xFA7 + index);
 
   const auto firsts = trace::earliest_arrivals(tr, 3);

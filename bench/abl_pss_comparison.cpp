@@ -26,6 +26,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.shards = bench::shard_count();
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
+  config.telemetry = bench::telemetry_config();
   config.pss = pss;
   core::ScenarioRunner runner(tr, config, 0xA4 + index);
 

@@ -38,6 +38,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.shards = bench::shard_count();
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
+  config.telemetry = bench::telemetry_config();
   config.vote.v_max = cfg.v_max;
   config.vote.k = cfg.k;
   config.attack.crowd_size = kCoreSize;

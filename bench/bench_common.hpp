@@ -47,6 +47,14 @@ inline bt::LedgerBackend ledger_backend() {
 /// shard-count invariant but produces its own (deterministic) numbers.
 inline sim::FaultConfig fault_config() { return sim::options::faults(); }
 
+/// Telemetry plane (ScenarioConfig::telemetry, via TRIBVOTE_TELEMETRY).
+/// Goldens are recorded with telemetry off AND are byte-identical with it
+/// on — counters never perturb the simulation. Replicas run in parallel,
+/// each owning a private registry; the benches never export trace files.
+inline telemetry::TelemetryConfig telemetry_config() {
+  return sim::options::telemetry();
+}
+
 /// The standard dataset: `n` synthetic 7-day/100-peer traces calibrated to
 /// the filelist.org statistics (DESIGN.md §2).
 inline std::vector<trace::Trace> paper_dataset(std::size_t n) {
@@ -58,10 +66,12 @@ inline void banner(const char* experiment, const char* paper_ref) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("replicas=%zu seed=%llu shards=%zu ledger=%s faults=%s\n",
-              replica_count(), static_cast<unsigned long long>(env_seed()),
-              shard_count(), bt::ledger_backend_name(ledger_backend()),
-              sim::describe(fault_config()).c_str());
+  std::printf(
+      "replicas=%zu seed=%llu shards=%zu ledger=%s faults=%s telemetry=%s\n",
+      replica_count(), static_cast<unsigned long long>(env_seed()),
+      shard_count(), bt::ledger_backend_name(ledger_backend()),
+      sim::describe(fault_config()).c_str(),
+      telemetry::describe(telemetry_config()).c_str());
   std::printf("================================================================\n");
 }
 

@@ -33,6 +33,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.shards = bench::shard_count();
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
+  config.telemetry = bench::telemetry_config();
   config.attack.crowd_size = crowd_size;
   config.attack.start = 0;
   config.attack.duty = 0.5;  // trace-like churn

@@ -21,6 +21,7 @@
 #include "metrics/cev.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/shard_kernel.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "vote/agent.hpp"
@@ -479,6 +480,47 @@ BENCHMARK(BM_LedgerThroughput)
     ->Args({1'000'000, 0, 1})
     ->Args({1'000'000, 1, 1})
     ->Unit(benchmark::kMillisecond);
+
+/// Cost of the telemetry hot path per instrumented operation, at each mode:
+/// arg 0 = off (null handles — the price every run pays), 1 = counters
+/// (lane-local adds + a histogram observe), 2 = trace (adds plus a scoped
+/// span recording into the trace buffer). One "op" is a representative
+/// protocol step: one counter add, one histogram observe, one span.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const auto mode = static_cast<telemetry::TelemetryMode>(state.range(0));
+  telemetry::TelemetryConfig config;
+  config.mode = mode;
+  std::unique_ptr<telemetry::Telemetry> tel;
+  telemetry::Counter counter;
+  telemetry::Histogram histogram;
+  if (config.enabled()) {
+    tel = std::make_unique<telemetry::Telemetry>(config, /*lanes=*/1);
+    const auto cid = tel->registry().counter("bench.ops");
+    const auto hid =
+        tel->registry().histogram("bench.size", {1.0, 2.0, 5.0, 10.0});
+    counter = telemetry::Counter(&tel->registry(), cid);
+    histogram = telemetry::Histogram(&tel->registry(), hid);
+  }
+  telemetry::Telemetry* handle = tel.get();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    {
+      telemetry::Span span(handle, "bench.op");
+      counter.add();
+      histogram.observe(static_cast<double>(n % 12));
+      span.set_arg(n);
+    }
+    ++n;
+    if (handle != nullptr && handle->tracing() &&
+        handle->trace().size() >= (1u << 16)) {
+      state.PauseTiming();
+      handle->trace().clear();  // keep the buffer from growing unboundedly
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

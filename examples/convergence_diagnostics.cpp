@@ -26,6 +26,11 @@ int main() {
   const trace::Trace tr =
       trace::generate_trace(trace::GeneratorParams{}, kTraceSeed);
   core::ScenarioConfig config;
+  // The diagnostics read the "votes cast" and "nodes reached" stages
+  // straight off the telemetry registry instead of re-deriving them from
+  // per-node state. Counters never perturb the simulation, so the other
+  // columns are unchanged by this.
+  config.telemetry.mode = telemetry::TelemetryMode::kCounters;
   core::ScenarioRunner runner(tr, config, kScenarioSeed);
   // Everything needed to reproduce this run from its console output alone.
   std::printf("run: trace-seed=%llu scenario-seed=%llu shards=%zu "
@@ -57,19 +62,19 @@ int main() {
   std::printf(
       " t(h)  voted  mod-reach  accept/box  >=Bmin  CEV@T   correct\n");
   runner.sample_every(3 * kHour, [&](Time t) {
-    std::size_t voted = 0;
-    for (const PeerId v : voters) {
-      if (runner.node(v).vote().vote_list().size() > 0) ++voted;
-    }
-    // How many nodes hold at least one of the three moderations?
-    std::size_t reached = 0;
+    // First two stages come from the registry: votes cast (the scripted
+    // voters fire exactly one vote each) and nodes reached by any
+    // moderation (the exactly-once "mod.nodes_reached" counter).
+    const telemetry::Registry& reg = runner.telemetry()->registry();
+    const std::uint64_t voted = reg.total_by_name("vote.cast_positive") +
+                                reg.total_by_name("vote.cast_negative");
+    const std::uint64_t reached = reg.total_by_name("mod.nodes_reached");
     double unique_sum = 0;
     std::size_t past_bmin = 0;
     const std::size_t n = runner.trace_peer_count();
     std::vector<vote::RankedList> rankings;
     for (PeerId p = 0; p < n; ++p) {
       const auto& node = runner.node(p);
-      if (!node.mod().db().known_moderators().empty()) ++reached;
       const std::size_t u = node.vote().ballot_box().unique_voters();
       unique_sum += static_cast<double>(u);
       if (u >= config.vote.b_min) ++past_bmin;
@@ -81,8 +86,9 @@ int main() {
         runner.collective_experience(config.experience_threshold_mb);
     const double correct = metrics::correct_ordering_fraction(
         rankings, std::span<const ModeratorId>(expected));
-    std::printf("%5.0f  %5zu  %9zu  %10.2f  %6zu  %5.3f  %7.2f\n",
-                to_hours(t), voted, reached,
+    std::printf("%5.0f  %5llu  %9llu  %10.2f  %6zu  %5.3f  %7.2f\n",
+                to_hours(t), static_cast<unsigned long long>(voted),
+                static_cast<unsigned long long>(reached),
                 unique_sum / static_cast<double>(n), past_bmin, cev,
                 correct);
   });

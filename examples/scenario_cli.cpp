@@ -25,6 +25,9 @@
 //     --max-delay S        delay bound in seconds              (")
 //     --crash-rate P       mid-encounter responder crash prob. (")
 //     --corrupt-rate P     payload truncation/corruption prob. (")
+//     --telemetry MODE     off|counters|trace        (default TRIBVOTE_TELEMETRY or off)
+//     --trace-out FILE     Chrome-trace JSON output  (default scenario_trace.json when tracing)
+//     --telemetry-csv FILE per-round counter CSV     (default: not written)
 //
 // The TRIBVOTE_* environment knobs (src/sim/options.hpp) provide the
 // defaults where noted, so scripted sweeps can steer the CLI the same way
@@ -62,6 +65,7 @@ struct Options {
   Duration sample = 2 * kHour;
   std::string csv = "scenario_cli.csv";
   sim::FaultConfig faults = sim::options::faults();
+  telemetry::TelemetryConfig telemetry = sim::options::telemetry();
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -72,7 +76,9 @@ struct Options {
                "[--shards N] [--ledger map|sharded_log]\n"
                "          [--sample HOURS] [--csv FILE]\n"
                "          [--loss P] [--delay-rate P] [--max-delay S] "
-               "[--crash-rate P] [--corrupt-rate P]\n",
+               "[--crash-rate P] [--corrupt-rate P]\n"
+               "          [--telemetry off|counters|trace] [--trace-out FILE] "
+               "[--telemetry-csv FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -130,6 +136,19 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
         usage(argv[0]);
       }
+    } else if (!std::strcmp(arg, "--telemetry")) {
+      // Reuse the TRIBVOTE_TELEMETRY spec parser; the flag accepts the
+      // full spec grammar, so "--telemetry trace,csv=rounds.csv" works.
+      std::string error;
+      if (!telemetry::parse_telemetry_spec(need_value(i), opt.telemetry,
+                                           &error)) {
+        std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
+        usage(argv[0]);
+      }
+    } else if (!std::strcmp(arg, "--trace-out")) {
+      opt.telemetry.trace_out = need_value(i);
+    } else if (!std::strcmp(arg, "--telemetry-csv")) {
+      opt.telemetry.csv_out = need_value(i);
     } else if (!std::strcmp(arg, "--sample")) {
       opt.sample = static_cast<Duration>(
           std::atof(need_value(i)) * static_cast<double>(kHour));
@@ -181,17 +200,22 @@ int main(int argc, char** argv) {
   config.shards = opt.shards;
   config.ledger = opt.ledger;
   config.faults = opt.faults;
+  config.telemetry = opt.telemetry;
+  if (config.telemetry.tracing() && config.telemetry.trace_out.empty()) {
+    config.telemetry.trace_out = "scenario_trace.json";
+  }
   core::ScenarioRunner runner(tr, config, opt.seed ^ 0xC11);
   // Everything needed to reproduce this run from its console output alone,
-  // including the effective fault configuration.
+  // including the effective fault and telemetry configuration.
   std::printf("run: seed=%llu scenario-seed=%llu shards=%zu ledger=%s "
-              "threshold=%g pss=%s%s faults=%s\n",
+              "threshold=%g pss=%s%s faults=%s telemetry=%s\n",
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.seed ^ 0xC11),
               runner.shard_count(), bt::ledger_backend_name(opt.ledger),
               opt.threshold_mb, opt.newscast ? "newscast" : "oracle",
               opt.adaptive ? " adaptive" : "",
-              sim::describe(opt.faults).c_str());
+              sim::describe(opt.faults).c_str(),
+              telemetry::describe(config.telemetry).c_str());
 
   // Standard script: three moderators, 20% voters; optional attack core.
   const auto firsts = trace::earliest_arrivals(tr, 3);
@@ -257,5 +281,37 @@ int main(int argc, char** argv) {
 
   runner.run_until(tr.duration);
   std::printf("\ncsv written: %s\n", opt.csv.c_str());
+
+  // Telemetry exports — the harness writes files, never the runner.
+  if (telemetry::Telemetry* tel = runner.telemetry()) {
+    if (tel->tracing() && !tel->config().trace_out.empty()) {
+      if (tel->write_chrome_trace(tel->config().trace_out)) {
+        std::printf("trace written: %s (%zu spans)\n",
+                    tel->config().trace_out.c_str(), tel->trace().size());
+      } else {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     tel->config().trace_out.c_str());
+        return 1;
+      }
+    }
+    if (!tel->config().csv_out.empty()) {
+      if (tel->write_round_csv(tel->config().csv_out)) {
+        std::printf("telemetry csv written: %s (%zu rounds)\n",
+                    tel->config().csv_out.c_str(), tel->round_samples());
+      } else {
+        std::fprintf(stderr, "error: could not write %s\n",
+                     tel->config().csv_out.c_str());
+        return 1;
+      }
+    }
+    std::printf("telemetry: vote.exchanges=%llu mod.deliveries=%llu "
+                "bt.pieces_completed=%llu\n",
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("vote.exchanges")),
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("mod.deliveries")),
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("bt.pieces_completed")));
+  }
   return 0;
 }

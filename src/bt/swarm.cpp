@@ -125,6 +125,7 @@ void Swarm::complete_piece(PeerId peer, Member& m, std::size_t piece) {
   m.have.set(piece);
   m.in_flight[piece] = false;
   picker_.add_have(piece);  // member is active by construction here
+  probes.pieces_completed.add();
   if (m.have.all() && !m.completed) {
     m.completed = true;
     clear_own_links(m);
@@ -134,6 +135,8 @@ void Swarm::complete_piece(PeerId peer, Member& m, std::size_t piece) {
 
 void Swarm::tick(double dt) {
   if (active_count_ < 2) return;
+  probes.ticks.add();
+  probes.active_members.observe(static_cast<double>(active_count_));
 
   // Decay reciprocation windows once per round.
   for (auto& [id, m] : members_) {

@@ -29,6 +29,7 @@
 #include "bt/choker.hpp"
 #include "bt/ledger.hpp"
 #include "bt/piece_picker.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -36,6 +37,15 @@ namespace tribvote::bt {
 
 /// Default rechoke period (seconds), per the BitTorrent spec.
 inline constexpr double kUnchokeRoundSeconds = 10.0;
+
+/// Telemetry probes a swarm reports into. Null (default) handles are
+/// inert; the runner shares one probe set across every swarm so the
+/// counters aggregate system-wide.
+struct SwarmProbes {
+  telemetry::Counter ticks;
+  telemetry::Counter pieces_completed;
+  telemetry::Histogram active_members;  ///< observed once per tick
+};
 
 class Swarm {
  public:
@@ -50,6 +60,9 @@ class Swarm {
   /// Fired when a member completes its download (before any free-rider
   /// departure logic the caller applies).
   std::function<void(PeerId peer)> on_complete;
+
+  /// Telemetry probes (assign after construction, like on_complete).
+  SwarmProbes probes;
 
   /// A peer joins for the first time. `as_seed` marks the initial seeder.
   /// The member starts active.

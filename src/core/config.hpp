@@ -11,6 +11,7 @@
 #include "moderation/moderationcast.hpp"
 #include "pss/newscast.hpp"
 #include "sim/fault_plane.hpp"
+#include "telemetry/config.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 #include "vote/agent.hpp"
@@ -81,6 +82,13 @@ struct ScenarioConfig {
   /// recorded under; with faults disabled the plane is inert and runs are
   /// byte-identical to pre-fault-plane builds.
   sim::FaultConfig faults;
+
+  /// Telemetry plane (src/telemetry/, DESIGN.md §11). Off by default — the
+  /// goldens' setting; the runner then never constructs a registry or
+  /// trace buffer and every probe is an inert null handle. Counter and
+  /// histogram totals are bit-identical at any shard count; span timing
+  /// (mode = trace) is wall-clock and therefore not.
+  telemetry::TelemetryConfig telemetry;
 
   ProtocolPeriods periods;
   PssKind pss = PssKind::kOracle;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "metrics/cev.hpp"
+#include "metrics/degradation.hpp"
 #include "moderation/moderation.hpp"
 
 namespace tribvote::core {
@@ -111,6 +112,95 @@ ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
   // perturbs nothing.
   fault_plane_ = std::make_unique<sim::FaultPlane>(
       config_.faults, rng_.derive(0x6661756c74), shards);
+  init_telemetry();
+}
+
+void ScenarioRunner::init_telemetry() {
+  if (!config_.telemetry.enabled()) return;
+  telemetry_ =
+      std::make_unique<telemetry::Telemetry>(config_.telemetry,
+                                             kernel_->shards());
+  kernel_->set_telemetry(telemetry_.get());
+  telemetry::Registry& reg = telemetry_->registry();
+
+  // Serial mirrors of RunStats / kernel stats. Registration order is the
+  // per-round CSV column order. The kernel.* counters describe the
+  // *schedule* (levels, mailbox traffic) and are the only columns that
+  // legitimately vary with the shard count.
+  mirrors_.vote_exchanges = reg.counter("vote.exchanges");
+  mirrors_.votes_accepted = reg.counter("vote.accepted");
+  mirrors_.votes_rejected = reg.counter("vote.rejected_inexperienced");
+  mirrors_.vox_answered = reg.counter("vox.answered");
+  mirrors_.vox_null = reg.counter("vox.null");
+  mirrors_.mod_exchanges = reg.counter("mod.exchanges");
+  mirrors_.barter_exchanges = reg.counter("barter.exchanges");
+  mirrors_.bt_completed = reg.counter("bt.downloads_completed");
+  mirrors_.kernel_levels = reg.counter("kernel.levels");
+  mirrors_.kernel_local = reg.counter("kernel.local");
+  mirrors_.kernel_mailed = reg.counter("kernel.mailed");
+
+  // Lane-local event counters (written from exchange bodies and scripted
+  // callbacks; folded at the barrier in lane order).
+  probes_.votes_cast_positive =
+      telemetry::Counter(&reg, reg.counter("vote.cast_positive"));
+  probes_.votes_cast_negative =
+      telemetry::Counter(&reg, reg.counter("vote.cast_negative"));
+  probes_.mod_published =
+      telemetry::Counter(&reg, reg.counter("mod.published"));
+  probes_.mod_deliveries =
+      telemetry::Counter(&reg, reg.counter("mod.deliveries"));
+  probes_.mod_nodes_reached =
+      telemetry::Counter(&reg, reg.counter("mod.nodes_reached"));
+
+  // BT swarm probes (serial: bt_round ticks swarms on the simulator
+  // thread) and the PSS view-exchange probe.
+  swarm_probes_.ticks = telemetry::Counter(&reg, reg.counter("bt.ticks"));
+  swarm_probes_.pieces_completed =
+      telemetry::Counter(&reg, reg.counter("bt.pieces_completed"));
+  swarm_probes_.active_members = telemetry::Histogram(
+      &reg, reg.histogram("bt.active_members", {1, 2, 5, 10, 20, 50, 100}));
+  if (newscast_pss_) {
+    newscast_pss_->set_exchange_probe(
+        telemetry::Counter(&reg, reg.counter("pss.exchanges")));
+  }
+
+  // Message-size histograms (observed inside exchange bodies, pre-damage).
+  probes_.vote_list_size = telemetry::Histogram(
+      &reg, reg.histogram("vote.list_size", {0, 1, 2, 5, 10, 20, 50}));
+  probes_.vox_topk_size = telemetry::Histogram(
+      &reg, reg.histogram("vox.topk_size", {0, 1, 2, 3, 5}));
+  probes_.mod_batch_size = telemetry::Histogram(
+      &reg, reg.histogram("mod.batch_size", {0, 1, 2, 5, 10, 25}));
+  probes_.barter_batch_size = telemetry::Histogram(
+      &reg, reg.histogram("barter.batch_size", {0, 1, 2, 5, 10, 20, 50}));
+
+  // Fault-plane degradation port: the abl_fault_sweep columns, prefixed
+  // "fault.", mirrored from FaultStats each round.
+  fault_counter_ids_ = metrics::register_degradation(reg);
+
+  mod_reached_.assign(nodes_.size(), 0);
+}
+
+void ScenarioRunner::telemetry_round_sample() {
+  if (!telemetry_) return;
+  telemetry::Registry& reg = telemetry_->registry();
+  reg.set_total(mirrors_.vote_exchanges, stats_.vote_exchanges);
+  reg.set_total(mirrors_.votes_accepted, stats_.votes_accepted);
+  reg.set_total(mirrors_.votes_rejected,
+                stats_.votes_rejected_inexperienced);
+  reg.set_total(mirrors_.vox_answered, stats_.vp_requests_answered);
+  reg.set_total(mirrors_.vox_null, stats_.vp_requests_null);
+  reg.set_total(mirrors_.mod_exchanges, stats_.moderation_exchanges);
+  reg.set_total(mirrors_.barter_exchanges, stats_.barter_exchanges);
+  reg.set_total(mirrors_.bt_completed, stats_.downloads_completed);
+  const sim::ShardKernelStats& ks = kernel_->stats();
+  reg.set_total(mirrors_.kernel_levels, ks.levels);
+  reg.set_total(mirrors_.kernel_local, ks.local);
+  reg.set_total(mirrors_.kernel_mailed, ks.mailed);
+  metrics::update_degradation(reg, fault_counter_ids_, fault_plane_->stats());
+  reg.merge_lanes();
+  telemetry_->sample_round(telemetry_round_++,
+                           static_cast<double>(sim_.now()) / kHour);
 }
 
 void ScenarioRunner::build_population(std::uint64_t seed) {
@@ -153,10 +243,22 @@ void ScenarioRunner::build_population(std::uint64_t seed) {
     Node* node = nodes_.back().get();
     node->mod().on_new_moderation =
         [this, node](const moderation::Moderation& m) {
+          // Telemetry: every insert is a delivery; the first ever insert
+          // marks the node reached. The flag is per node and a node's
+          // encounters are kernel-serialized, so the exactly-once count
+          // is shard-count invariant. mod_reached_ is empty (size 0) when
+          // telemetry is off.
+          probes_.mod_deliveries.add();
+          if (node->id() < mod_reached_.size() &&
+              mod_reached_[node->id()] == 0) {
+            mod_reached_[node->id()] = 1;
+            probes_.mod_nodes_reached.add();
+          }
           auto& script = scripted_votes_[node->id()];
           const auto it = script.find(m.moderator);
           if (it == script.end()) return;
           node->user_vote(m.moderator, it->second, sim_.now());
+          note_vote_cast(it->second);
           script.erase(it);
         };
   }
@@ -194,6 +296,7 @@ void ScenarioRunner::script_vote_on_receipt(PeerId voter,
 void ScenarioRunner::cast_vote_now(PeerId voter, ModeratorId moderator,
                                    Opinion opinion) {
   nodes_.at(voter)->user_vote(moderator, opinion, sim_.now());
+  note_vote_cast(opinion);
   // A vote consumes any matching script entry.
   scripted_votes_[voter].erase(moderator);
 }
@@ -240,6 +343,7 @@ void ScenarioRunner::schedule_everything() {
       Node& moderator = *nodes_.at(pm.moderator);
       util::Rng ih = rng_.derive(0x696e666f ^ pm.moderator);
       moderator.mod().publish(ih(), pm.description, sim_.now());
+      note_moderation_published(pm.moderator);
     });
   }
   pending_moderations_.clear();
@@ -262,13 +366,16 @@ void ScenarioRunner::schedule_everything() {
   if (newscast_pss_) {
     if (config_.faults.enabled() && config_.faults.loss > 0.0) {
       add_loop(pp.newscast_gossip, 1, [this] {
+        telemetry::Span span(telemetry_.get(), "pss.gossip");
         newscast_pss_->gossip_round(
             sim_.now(), config_.faults.loss,
             &fault_plane_->serial_stats().newscast.dropped_requests);
       });
     } else {
-      add_loop(pp.newscast_gossip, 1,
-               [this] { newscast_pss_->gossip_round(sim_.now()); });
+      add_loop(pp.newscast_gossip, 1, [this] {
+        telemetry::Span span(telemetry_.get(), "pss.gossip");
+        newscast_pss_->gossip_round(sim_.now());
+      });
     }
   }
   if (config_.adaptive_threshold) {
@@ -357,6 +464,7 @@ void ScenarioRunner::swarm_created(const trace::SwarmSpec& spec) {
   auto swarm = std::make_unique<bt::Swarm>(
       spec, std::span<const trace::PeerProfile>(trace_.peers), *ledger_,
       *bandwidth_, rng_.derive(0x7377 ^ spec.id));
+  swarm->probes = swarm_probes_;
   swarm->on_complete = [this, sid = spec.id](PeerId peer) {
     ++stats_.downloads_completed;
     if (trace_.peers[peer].behavior == trace::Behavior::kFreeRider) {
@@ -389,6 +497,7 @@ void ScenarioRunner::bt_round() {
   // a no-op on the map backend, a shard-log compaction on the append-log
   // backend — so the concurrent read-only gossip rounds that follow see
   // compacted rows.
+  telemetry::Span span(telemetry_.get(), "bt.round");
   const double dt = static_cast<double>(config_.periods.bt_round);
   for (auto& [sid, swarm] : swarms_) swarm->tick(dt);
   ledger_->flush();
@@ -399,6 +508,7 @@ std::vector<sim::Encounter> ScenarioRunner::pair_round() {
   // Iteration order is shuffled each round for fairness. Pairing runs
   // serially whatever the shard count: it is the only part of a gossip
   // round that draws from the global RNG and the PSS.
+  telemetry::Span span(telemetry_.get(), "pair");
   std::vector<PeerId> order = online_.online_ids();
   std::sort(order.begin(), order.end());
   rng_.shuffle(order);
@@ -434,6 +544,7 @@ void ScenarioRunner::vote_round() {
   // fault plane's lane-local buffers. With faults off the legacy body runs
   // verbatim and the plane is never consulted.
   const Time now = sim_.now();
+  telemetry::Span span(telemetry_.get(), "vote.round");
   const std::vector<sim::Encounter> encounters = pair_round();
   if (!fault_plane_->enabled()) {
     kernel_->run_round(
@@ -447,6 +558,10 @@ void ScenarioRunner::vote_round() {
           // keep counters).
           vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
           vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+          probes_.vote_list_size.observe(
+              static_cast<double>(from_i.votes.size()));
+          probes_.vote_list_size.observe(
+              static_cast<double>(from_j.votes.size()));
           note_vote_receive(st, nj.vote().receive_votes(from_i, now));
           note_vote_receive(st, ni.vote().receive_votes(from_j, now));
 
@@ -457,12 +572,14 @@ void ScenarioRunner::vote_round() {
               ++st.vp_requests_null;
             } else {
               ++st.vp_requests_answered;
+              probes_.vox_topk_size.observe(static_cast<double>(topk.size()));
               ni.vote().receive_topk(std::move(topk));
             }
           }
           ++st.vote_exchanges;
         });
     merge_lane_stats();
+    telemetry_round_sample();
     return;
   }
 
@@ -479,6 +596,8 @@ void ScenarioRunner::vote_round() {
         Node& nj = *nodes_[e.responder];
 
         vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
+        probes_.vote_list_size.observe(
+            static_cast<double>(from_i.votes.size()));
         if (f.drop_request) {
           // The responder never learns of the encounter. A bootstrapping
           // initiator's VP request rode the same dial and timed out with
@@ -499,6 +618,8 @@ void ScenarioRunner::vote_round() {
 
         if (!f.reply_lost()) {
           vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+          probes_.vote_list_size.observe(
+              static_cast<double>(from_j.votes.size()));
           corrupt_vote_message(from_j, f.reply_payload, f.payload_salt + 1);
           if (f.delay_reply > 0) {
             fault_plane_->defer(
@@ -539,6 +660,7 @@ void ScenarioRunner::vote_round() {
               ++st.vp_requests_null;
             } else {
               ++st.vp_requests_answered;
+              probes_.vox_topk_size.observe(static_cast<double>(topk.size()));
               if (f.delay_reply > 0) {
                 fault_plane_->defer(
                     lane, e.seq, f.delay_reply,
@@ -559,16 +681,22 @@ void ScenarioRunner::vote_round() {
       });
   merge_lane_stats();
   flush_round_faults();
+  telemetry_round_sample();
 }
 
 void ScenarioRunner::moderation_round() {
   const Time now = sim_.now();
+  telemetry::Span span(telemetry_.get(), "moderation.round");
   const std::vector<sim::Encounter> encounters = pair_round();
   if (!fault_plane_->enabled()) {
     kernel_->run_round(
         encounters, [this, now](const sim::Encounter& e, std::size_t lane) {
-          moderation::exchange(nodes_[e.initiator]->mod(),
-                               nodes_[e.responder]->mod(), now);
+          const moderation::ExchangeStats xs = moderation::exchange(
+              nodes_[e.initiator]->mod(), nodes_[e.responder]->mod(), now);
+          probes_.mod_batch_size.observe(
+              static_cast<double>(xs.sent_initiator));
+          probes_.mod_batch_size.observe(
+              static_cast<double>(xs.sent_responder));
           ++lane_stats_[lane].moderation_exchanges;
         });
     merge_lane_stats();
@@ -587,6 +715,7 @@ void ScenarioRunner::moderation_round() {
         moderation::ModerationCastAgent& mj = nodes_[e.responder]->mod();
 
         std::vector<moderation::Moderation> from_i = mi.outgoing();
+        probes_.mod_batch_size.observe(static_cast<double>(from_i.size()));
         if (f.drop_request) {
           // The sender learns of the loss (no ack) and queues the batch
           // for re-offer on its next encounter.
@@ -596,6 +725,7 @@ void ScenarioRunner::moderation_round() {
         // Fig. 1 order: the responder extracts before merging. Queue the
         // re-offer from the *pristine* batch before any in-flight damage.
         std::vector<moderation::Moderation> from_j = mj.outgoing();
+        probes_.mod_batch_size.observe(static_cast<double>(from_j.size()));
         if (f.reply_lost()) {
           fs.moderation.reoffers += mj.note_undelivered(from_j);
         }
@@ -633,6 +763,7 @@ void ScenarioRunner::barter_round() {
   // The ledger is read-only during a barter round (transfers land in
   // bt_round), so concurrent direct-view reads are safe.
   const Time now = sim_.now();
+  telemetry::Span span(telemetry_.get(), "barter.round");
   const std::vector<sim::Encounter> encounters = pair_round();
   if (!fault_plane_->enabled()) {
     kernel_->run_round(
@@ -641,8 +772,18 @@ void ScenarioRunner::barter_round() {
           bartercast::BarterAgent& bj = nodes_[e.responder]->barter();
           bi.sync_direct(*ledger_, now);
           bj.sync_direct(*ledger_, now);
-          bj.receive(e.initiator, bi.outgoing_records(*ledger_, now));
-          bi.receive(e.responder, bj.outgoing_records(*ledger_, now));
+          // Same evaluation order as the historical one-liners: bj's
+          // outgoing batch is built only after it received bi's.
+          const std::vector<bartercast::BarterRecord> recs_i =
+              bi.outgoing_records(*ledger_, now);
+          probes_.barter_batch_size.observe(
+              static_cast<double>(recs_i.size()));
+          bj.receive(e.initiator, recs_i);
+          const std::vector<bartercast::BarterRecord> recs_j =
+              bj.outgoing_records(*ledger_, now);
+          probes_.barter_batch_size.observe(
+              static_cast<double>(recs_j.size()));
+          bi.receive(e.responder, recs_j);
           ++lane_stats_[lane].barter_exchanges;
         });
     merge_lane_stats();
@@ -665,6 +806,7 @@ void ScenarioRunner::barter_round() {
 
         std::vector<bartercast::BarterRecord> recs_i =
             bi.outgoing_records(*ledger_, now);
+        probes_.barter_batch_size.observe(static_cast<double>(recs_i.size()));
         fs.barter.rejected +=
             corrupt_barter_batch(recs_i, f.request_payload, f.payload_salt);
         bj.receive(e.initiator, recs_i);
@@ -672,6 +814,8 @@ void ScenarioRunner::barter_round() {
         if (!f.reply_lost()) {
           std::vector<bartercast::BarterRecord> recs_j =
               bj.outgoing_records(*ledger_, now);
+          probes_.barter_batch_size.observe(
+              static_cast<double>(recs_j.size()));
           const std::size_t damaged = corrupt_barter_batch(
               recs_j, f.reply_payload, f.payload_salt + 1);
           if (f.delay_reply > 0) {
@@ -699,6 +843,7 @@ void ScenarioRunner::barter_round() {
 }
 
 void ScenarioRunner::flush_round_faults() {
+  telemetry::Span span(telemetry_.get(), "fault.flush");
   sim::RoundOutcome out = fault_plane_->finish_round();
   for (sim::DeferredDelivery& d : out.deferred) {
     sim_.schedule_in(d.delay, std::move(d.deliver));
@@ -771,8 +916,10 @@ void ScenarioRunner::launch_attack() {
   Node& spammer = *nodes_.at(m0);
   util::Rng ih = rng_.derive(0x7370616d);
   spammer.mod().publish(ih(), "FREE MOVIE (spam)", sim_.now());
+  note_moderation_published(m0);
   for (const PeerId c : colluders_) {
     nodes_.at(c)->user_vote(m0, Opinion::kPositive, sim_.now());
+    note_vote_cast(Opinion::kPositive);
   }
 }
 

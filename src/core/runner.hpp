@@ -32,6 +32,7 @@
 #include "pss/oracle.hpp"
 #include "sim/shard_kernel.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -138,6 +139,18 @@ class ScenarioRunner {
     return fault_plane_->stats();
   }
 
+  /// Telemetry plane of this run, or nullptr when
+  /// ScenarioConfig::telemetry is off (DESIGN.md §11). Counter/histogram
+  /// totals are bit-identical at any shard count; span timing is
+  /// wall-clock. The harness owns exporting (Chrome trace / per-round CSV)
+  /// after the run.
+  [[nodiscard]] telemetry::Telemetry* telemetry() noexcept {
+    return telemetry_.get();
+  }
+  [[nodiscard]] const telemetry::Telemetry* telemetry() const noexcept {
+    return telemetry_.get();
+  }
+
   // ---- queries for metrics --------------------------------------------------
 
   [[nodiscard]] bool is_online(PeerId id) const {
@@ -205,6 +218,30 @@ class ScenarioRunner {
   /// stats_ (lane order; all fields are sums, so the fold is exact).
   void merge_lane_stats();
 
+  /// Construct the telemetry plane and register every counter/histogram
+  /// (no-op when ScenarioConfig::telemetry is off).
+  void init_telemetry();
+  /// Per-round telemetry barrier (end of each vote round): mirror the
+  /// serial counters (RunStats, kernel stats, fault degradation) onto the
+  /// registry, fold the lane blocks, snapshot a per-round CSV row.
+  void telemetry_round_sample();
+  /// Count a user vote being cast (lane-local; inert when telemetry off).
+  void note_vote_cast(Opinion opinion) {
+    (opinion == Opinion::kPositive ? probes_.votes_cast_positive
+                                   : probes_.votes_cast_negative)
+        .add();
+  }
+  /// Count a moderation being published. The publisher holds its own item,
+  /// so it counts as "reached" too (publish() fires no on_new_moderation —
+  /// that callback is receive-side only).
+  void note_moderation_published(PeerId moderator) {
+    probes_.mod_published.add();
+    if (moderator < mod_reached_.size() && mod_reached_[moderator] == 0) {
+      mod_reached_[moderator] = 1;
+      probes_.mod_nodes_reached.add();
+    }
+  }
+
   trace::Trace trace_;
   ScenarioConfig config_;
   util::Rng rng_;
@@ -245,6 +282,38 @@ class ScenarioRunner {
   std::vector<Sampler> samplers_;
   RunStats stats_;
   bool scheduled_ = false;
+
+  // ---- telemetry plane (null/inert when ScenarioConfig::telemetry is off) --
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  /// Lane-local event probes and histograms. Null handles when telemetry
+  /// is off, so instrumentation sites call them unconditionally.
+  struct Probes {
+    telemetry::Counter votes_cast_positive;
+    telemetry::Counter votes_cast_negative;
+    telemetry::Counter mod_published;
+    telemetry::Counter mod_deliveries;
+    telemetry::Counter mod_nodes_reached;
+    telemetry::Histogram vote_list_size;
+    telemetry::Histogram vox_topk_size;
+    telemetry::Histogram mod_batch_size;
+    telemetry::Histogram barter_batch_size;
+  };
+  Probes probes_;
+  /// Serial-mirror counter ids (set_total at the round barrier).
+  struct Mirrors {
+    telemetry::CounterId vote_exchanges, votes_accepted, votes_rejected;
+    telemetry::CounterId vox_answered, vox_null;
+    telemetry::CounterId mod_exchanges, barter_exchanges, bt_completed;
+    telemetry::CounterId kernel_levels, kernel_local, kernel_mailed;
+  };
+  Mirrors mirrors_{};
+  std::vector<telemetry::CounterId> fault_counter_ids_;
+  bt::SwarmProbes swarm_probes_;  ///< shared by every swarm
+  /// Per-node flag: has any moderation reached this node yet? Guards the
+  /// exactly-once "mod.nodes_reached" count; a node's encounters are
+  /// serialized by the kernel, so the flag needs no synchronization.
+  std::vector<std::uint8_t> mod_reached_;
+  std::uint64_t telemetry_round_ = 0;
 };
 
 }  // namespace tribvote::core

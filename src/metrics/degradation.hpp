@@ -4,38 +4,86 @@
 // of the abl_fault_sweep.csv golden schema.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/fault_plane.hpp"
+#include "telemetry/registry.hpp"
 
 namespace tribvote::metrics {
 
-/// The headline degradation columns of one run: totals over every protocol
-/// plus the counters that only one protocol owns (VoxPopuli retries,
-/// ModerationCast re-offers). Order is the CSV column order.
-[[nodiscard]] inline std::vector<std::pair<std::string, std::uint64_t>>
-degradation_columns(const sim::FaultStats& stats) {
+/// The degradation column names, in CSV column order. Part of the
+/// abl_fault_sweep.csv golden schema — append-only.
+inline constexpr std::array<const char*, 15> kDegradationColumnNames = {
+    "encounters_hit",  "dropped_requests", "dropped_replies",
+    "delayed",         "late_drops",       "crashes",
+    "unreachable",     "corrupted",        "rejected",
+    "one_sided",       "vp_timeouts",      "vp_retries",
+    "vp_retry_successes", "mod_reoffers",  "pss_drops",
+};
+
+/// The degradation values of one run, in kDegradationColumnNames order:
+/// totals over every protocol plus the counters that only one protocol
+/// owns (VoxPopuli retries, ModerationCast re-offers).
+[[nodiscard]] inline std::array<std::uint64_t, 15> degradation_values(
+    const sim::FaultStats& stats) {
   const sim::FaultCounters t = stats.total();
   return {
-      {"encounters_hit", t.encounters_hit},
-      {"dropped_requests", t.dropped_requests},
-      {"dropped_replies", t.dropped_replies},
-      {"delayed", t.delayed},
-      {"late_drops", t.late_drops},
-      {"crashes", t.crashes},
-      {"unreachable", t.unreachable},
-      {"corrupted", t.corrupted},
-      {"rejected", t.rejected},
-      {"one_sided", t.one_sided},
-      {"vp_timeouts", stats.vox.timeouts},
-      {"vp_retries", stats.vox.retries},
-      {"vp_retry_successes", stats.vox.retry_successes},
-      {"mod_reoffers", stats.moderation.reoffers},
-      {"pss_drops", stats.newscast.dropped_requests},
+      t.encounters_hit,
+      t.dropped_requests,
+      t.dropped_replies,
+      t.delayed,
+      t.late_drops,
+      t.crashes,
+      t.unreachable,
+      t.corrupted,
+      t.rejected,
+      t.one_sided,
+      stats.vox.timeouts,
+      stats.vox.retries,
+      stats.vox.retry_successes,
+      stats.moderation.reoffers,
+      stats.newscast.dropped_requests,
   };
+}
+
+/// The headline degradation columns of one run as (name, value) pairs for
+/// CSV output and bench tables.
+[[nodiscard]] inline std::vector<std::pair<std::string, std::uint64_t>>
+degradation_columns(const sim::FaultStats& stats) {
+  const std::array<std::uint64_t, 15> values = degradation_values(stats);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.emplace_back(kDegradationColumnNames[i], values[i]);
+  }
+  return out;
+}
+
+/// Register the degradation counters on a telemetry registry under the
+/// "fault." prefix, in column order. The runner mirrors the fault plane's
+/// stats onto them each round via update_degradation, so per-round CSVs
+/// and registry reads carry the same columns the fault sweep reports.
+[[nodiscard]] inline std::vector<telemetry::CounterId> register_degradation(
+    telemetry::Registry& registry) {
+  std::vector<telemetry::CounterId> ids;
+  ids.reserve(kDegradationColumnNames.size());
+  for (const char* name : kDegradationColumnNames) {
+    ids.push_back(registry.counter(std::string("fault.") + name));
+  }
+  return ids;
+}
+
+inline void update_degradation(telemetry::Registry& registry,
+                               const std::vector<telemetry::CounterId>& ids,
+                               const sim::FaultStats& stats) {
+  const std::array<std::uint64_t, 15> values = degradation_values(stats);
+  for (std::size_t i = 0; i < ids.size() && i < values.size(); ++i) {
+    registry.set_total(ids[i], values[i]);
+  }
 }
 
 }  // namespace tribvote::metrics

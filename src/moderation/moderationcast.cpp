@@ -97,15 +97,19 @@ void ModerationCastAgent::handle_disapproval(ModeratorId moderator) {
   db_.purge_moderator(moderator);
 }
 
-void exchange(ModerationCastAgent& initiator, ModerationCastAgent& responder,
-              Time now) {
+ExchangeStats exchange(ModerationCastAgent& initiator,
+                       ModerationCastAgent& responder, Time now) {
   // Push/pull: both sides extract before merging so the exchange is
   // symmetric within this encounter (matches Fig. 1's message order, where
   // ml_j is extracted before merging ml_i).
   std::vector<Moderation> from_initiator = initiator.outgoing();
   std::vector<Moderation> from_responder = responder.outgoing();
-  responder.receive(from_initiator, now);
-  initiator.receive(from_responder, now);
+  ExchangeStats stats;
+  stats.sent_initiator = from_initiator.size();
+  stats.sent_responder = from_responder.size();
+  stats.inserted += responder.receive(from_initiator, now).inserted;
+  stats.inserted += initiator.receive(from_responder, now).inserted;
+  return stats;
 }
 
 }  // namespace tribvote::moderation

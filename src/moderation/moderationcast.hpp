@@ -85,9 +85,17 @@ class ModerationCastAgent {
   std::vector<Moderation> pending_reoffer_;  ///< undelivered, retry next push
 };
 
+/// Aggregate outcome of one push/pull exchange, for telemetry. Callers
+/// that only want the side effects may ignore it.
+struct ExchangeStats {
+  std::size_t sent_initiator = 0;  ///< items in the initiator's push
+  std::size_t sent_responder = 0;  ///< items in the responder's reply
+  std::size_t inserted = 0;        ///< new items merged, both sides
+};
+
 /// One full push/pull exchange between two online agents (both directions),
 /// as performed by the active/passive thread pair in Fig. 1.
-void exchange(ModerationCastAgent& initiator, ModerationCastAgent& responder,
-              Time now);
+ExchangeStats exchange(ModerationCastAgent& initiator,
+                       ModerationCastAgent& responder, Time now);
 
 }  // namespace tribvote::moderation

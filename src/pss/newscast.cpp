@@ -106,6 +106,7 @@ void NewscastPss::gossip_round(Time now, double loss,
       continue;
     }
     merge_views(node, target.peer, now);
+    exchange_probe_.add();
   }
 }
 

@@ -18,6 +18,7 @@
 
 #include "pss/online_directory.hpp"
 #include "pss/peer_sampler.hpp"
+#include "telemetry/registry.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -57,6 +58,13 @@ class NewscastPss final : public PeerSampler {
   /// Random live view entry of `self`; falls back across stale entries.
   [[nodiscard]] PeerId sample(PeerId self) override;
 
+  /// Telemetry probe counting completed view exchanges (merges). A
+  /// default-constructed (null) probe is inert; counting never changes
+  /// protocol behaviour or RNG draws.
+  void set_exchange_probe(telemetry::Counter probe) noexcept {
+    exchange_probe_ = probe;
+  }
+
   /// Current view of a node (peer ids), for tests and diagnostics.
   [[nodiscard]] std::vector<PeerId> view_of(PeerId peer) const;
 
@@ -74,6 +82,7 @@ class NewscastPss final : public PeerSampler {
   NewscastConfig config_;
   util::Rng rng_;
   std::vector<std::vector<Entry>> views_;
+  telemetry::Counter exchange_probe_;
 };
 
 }  // namespace tribvote::pss

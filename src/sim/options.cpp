@@ -55,4 +55,19 @@ FaultConfig faults() {
   return config;
 }
 
+telemetry::TelemetryConfig telemetry() {
+  telemetry::TelemetryConfig config;
+  const char* v = std::getenv("TRIBVOTE_TELEMETRY");
+  if (v == nullptr) return config;
+  std::string error;
+  if (!telemetry::parse_telemetry_spec(v, config, &error)) {
+    std::fprintf(stderr,
+                 "warning: TRIBVOTE_TELEMETRY=%s is not a telemetry spec "
+                 "(%s); telemetry off\n",
+                 v, error.c_str());
+    return telemetry::TelemetryConfig{};
+  }
+  return config;
+}
+
 }  // namespace tribvote::sim::options

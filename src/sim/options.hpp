@@ -18,6 +18,9 @@
 //                          "loss=0.3,delay=0.1,max_delay=120,crash=0.01,
 //                          corrupt=0.05,retries=4,retry_base=15"
 //                          (default: no faults — the goldens' setting)
+//   TRIBVOTE_TELEMETRY     telemetry spec: "off" (default — the goldens'
+//                          setting), "counters", or "trace", optionally
+//                          with ",trace_out=FILE" / ",csv=FILE"
 #pragma once
 
 #include <cstddef>
@@ -25,6 +28,7 @@
 
 #include "bt/ledger.hpp"
 #include "sim/fault_plane.hpp"
+#include "telemetry/config.hpp"
 
 namespace tribvote::sim::options {
 
@@ -43,5 +47,9 @@ namespace tribvote::sim::options {
 /// TRIBVOTE_FAULTS parsed via sim::parse_fault_spec; a malformed spec
 /// falls back to no faults with a warning on stderr.
 [[nodiscard]] FaultConfig faults();
+
+/// TRIBVOTE_TELEMETRY parsed via telemetry::parse_telemetry_spec; a
+/// malformed spec falls back to telemetry off with a warning on stderr.
+[[nodiscard]] telemetry::TelemetryConfig telemetry();
 
 }  // namespace tribvote::sim::options

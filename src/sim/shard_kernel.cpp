@@ -17,16 +17,27 @@ ShardKernel::ShardKernel(std::size_t population, std::size_t shards,
 
 void ShardKernel::parallel_lanes(
     const std::function<void(std::size_t)>& task) {
+  // Bracket every lane task with the thread-local lane index so registry
+  // writes inside exchange bodies land in the executing lane's block. Reset
+  // to 0 afterwards: pool workers may later run tasks for other runners,
+  // and the inline path returns to simulator-thread (lane 0) semantics.
+  const auto run_lane = [&task](std::size_t s) {
+    telemetry::set_current_lane(s);
+    task(s);
+    telemetry::set_current_lane(0);
+  };
   if (pool_ == nullptr) {
-    for (std::size_t s = 0; s < shards_; ++s) task(s);
+    for (std::size_t s = 0; s < shards_; ++s) run_lane(s);
     return;
   }
-  pool_->parallel_for(shards_, task);
+  pool_->parallel_for(shards_, run_lane);
 }
 
 void ShardKernel::run_round(const std::vector<Encounter>& encounters,
                             const ExchangeFn& exchange) {
   ++stats_.rounds;
+  telemetry::Span round_span(telemetry_, "kernel.round");
+  round_span.set_arg(encounters.size());
   if (shards_ == 1) {
     // Serial fast path: the encounter list in sequence order *is* the
     // pre-shard runner's loop body. No pool, no levels, no mailboxes.
@@ -59,30 +70,37 @@ void ShardKernel::run_round(const std::vector<Encounter>& encounters,
   for (const auto& level : levels_) {
     if (level.empty()) continue;
     ++stats_.levels;
-    // Phase A: shard-local execution + mailbox posting, per initiator lane.
-    parallel_lanes([&](std::size_t s) {
-      for (const Encounter& e : level) {
-        if (shard_of(e.initiator) != s) continue;
-        const std::size_t dest = shard_of(e.responder);
-        if (dest == s) {
-          exchange(e, s);
-        } else {
-          mail_[s][dest].push_back(e);
+    {
+      // Phase A: shard-local execution + mailbox posting, per initiator
+      // lane. The span times the blocking phase from the simulator thread.
+      telemetry::Span span(telemetry_, "kernel.phaseA");
+      parallel_lanes([&](std::size_t s) {
+        for (const Encounter& e : level) {
+          if (shard_of(e.initiator) != s) continue;
+          const std::size_t dest = shard_of(e.responder);
+          if (dest == s) {
+            exchange(e, s);
+          } else {
+            mail_[s][dest].push_back(e);
+          }
         }
-      }
-    });
+      });
+    }
     // Barrier reached: mailboxes are published. Phase B: each lane drains
     // its inbox in (sender shard, sequence) order. Within the level the
     // endpoint sets are pairwise disjoint, so touching the remote initiator
     // is race-free and the drain order cannot affect results — it is fixed
     // anyway so the schedule itself is deterministic.
-    parallel_lanes([&](std::size_t s) {
-      for (std::size_t sender = 0; sender < shards_; ++sender) {
-        auto& inbox = mail_[sender][s];
-        for (const Encounter& e : inbox) exchange(e, s);
-        inbox.clear();
-      }
-    });
+    {
+      telemetry::Span span(telemetry_, "kernel.phaseB");
+      parallel_lanes([&](std::size_t s) {
+        for (std::size_t sender = 0; sender < shards_; ++sender) {
+          auto& inbox = mail_[sender][s];
+          for (const Encounter& e : inbox) exchange(e, s);
+          inbox.clear();
+        }
+      });
+    }
   }
 
   // Accounting (serial, after the barriers).

@@ -40,6 +40,7 @@
 #include <functional>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/ids.hpp"
 #include "util/thread_pool.hpp"
 
@@ -73,6 +74,15 @@ class ShardKernel {
   [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
   [[nodiscard]] std::size_t shard_of(PeerId id) const noexcept {
     return id % shards_;
+  }
+
+  /// Attach a telemetry plane (nullptr detaches). The kernel then records
+  /// "kernel.round" / "kernel.phaseA" / "kernel.phaseB" spans when tracing,
+  /// and maintains telemetry::current_lane() around its phase tasks so
+  /// lane-local counter writes inside exchange bodies land in the right
+  /// registry block.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
   }
 
   /// Execute one encounter per list entry. `exchange(e, lane)` may mutate
@@ -110,6 +120,7 @@ class ShardKernel {
   std::size_t population_;
   std::size_t shards_;
   util::ThreadPool* pool_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
   /// Invoke `task(s)` for every lane s, then barrier. Runs inline when no
   /// pool is attached.

@@ -1,0 +1,132 @@
+// Telemetry knobs (ScenarioConfig::telemetry / TRIBVOTE_TELEMETRY /
+// scenario_cli --telemetry). Header-only, like the ledger-backend enum, so
+// sim/options.cpp can parse the env knob without a library dependency.
+//
+// Spec grammar (comma-separated, first token may be a bare mode):
+//
+//   off | counters | trace [,trace_out=FILE] [,csv=FILE]
+//
+//   off       collect nothing — the goldens' setting; the runner never
+//             constructs a telemetry plane and every probe is a null
+//             handle (zero overhead beyond one predictable branch).
+//   counters  deterministic counter/histogram registry only.
+//   trace     counters plus wall-clock span timing for the Chrome-trace
+//             exporter.
+//
+// `trace_out`/`csv` name output files; the *harness* (scenario_cli) writes
+// them after the run — the runner itself never opens a file, so replicas
+// running in parallel with telemetry enabled cannot collide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tribvote::telemetry {
+
+enum class TelemetryMode : std::uint8_t {
+  kOff = 0,
+  kCounters,
+  kTrace,
+};
+
+struct TelemetryConfig {
+  TelemetryMode mode = TelemetryMode::kOff;
+  /// Chrome-trace JSON output path ("" = harness default when tracing).
+  std::string trace_out;
+  /// Per-round counter CSV output path ("" = not written).
+  std::string csv_out;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return mode != TelemetryMode::kOff;
+  }
+  [[nodiscard]] bool tracing() const noexcept {
+    return mode == TelemetryMode::kTrace;
+  }
+};
+
+[[nodiscard]] inline const char* telemetry_mode_name(TelemetryMode mode) {
+  switch (mode) {
+    case TelemetryMode::kOff:
+      return "off";
+    case TelemetryMode::kCounters:
+      return "counters";
+    case TelemetryMode::kTrace:
+      return "trace";
+  }
+  return "off";
+}
+
+[[nodiscard]] inline bool parse_telemetry_mode(const std::string& name,
+                                               TelemetryMode& out) {
+  if (name == "off") {
+    out = TelemetryMode::kOff;
+  } else if (name == "counters") {
+    out = TelemetryMode::kCounters;
+  } else if (name == "trace") {
+    out = TelemetryMode::kTrace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parse a telemetry spec into `out` (starting from its current values, so
+/// flags can layer over an env default). Returns false and fills *error
+/// (if given) on an unknown mode or key.
+[[nodiscard]] inline bool parse_telemetry_spec(const std::string& spec,
+                                               TelemetryConfig& out,
+                                               std::string* error = nullptr) {
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      if (first) break;  // empty spec = leave defaults
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (!parse_telemetry_mode(token, out.mode)) {
+        if (error != nullptr) *error = "unknown telemetry mode: " + token;
+        return false;
+      }
+    } else {
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "mode") {
+        if (!parse_telemetry_mode(value, out.mode)) {
+          if (error != nullptr) *error = "unknown telemetry mode: " + value;
+          return false;
+        }
+      } else if (key == "trace_out") {
+        out.trace_out = value;
+      } else if (key == "csv") {
+        out.csv_out = value;
+      } else {
+        if (error != nullptr) *error = "unknown telemetry key: " + key;
+        return false;
+      }
+    }
+    first = false;
+  }
+  return true;
+}
+
+/// One-line human-readable form for banners ("off" when disabled).
+[[nodiscard]] inline std::string describe(const TelemetryConfig& config) {
+  if (!config.enabled()) return "off";
+  std::string out = telemetry_mode_name(config.mode);
+  std::string detail;
+  if (!config.trace_out.empty()) detail += "trace_out=" + config.trace_out;
+  if (!config.csv_out.empty()) {
+    if (!detail.empty()) detail += ",";
+    detail += "csv=" + config.csv_out;
+  }
+  if (!detail.empty()) out += "(" + detail + ")";
+  return out;
+}
+
+}  // namespace tribvote::telemetry

@@ -1,0 +1,180 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tribvote::telemetry {
+
+namespace {
+thread_local std::size_t tl_lane = 0;
+}  // namespace
+
+std::size_t current_lane() noexcept { return tl_lane; }
+void set_current_lane(std::size_t lane) noexcept { tl_lane = lane; }
+
+Registry::Registry(std::size_t lanes) : lanes_(std::max<std::size_t>(1, lanes)) {
+  lane_counters_.resize(lanes_);
+  lane_buckets_.resize(lanes_);
+}
+
+CounterId Registry::counter(const std::string& name) {
+  const auto it =
+      std::find(counter_names_.begin(), counter_names_.end(), name);
+  if (it != counter_names_.end()) {
+    return CounterId{
+        static_cast<std::uint32_t>(it - counter_names_.begin())};
+  }
+  counter_names_.push_back(name);
+  counter_totals_.push_back(0);
+  for (auto& block : lane_counters_) block.push_back(0);
+  return CounterId{static_cast<std::uint32_t>(counter_names_.size() - 1)};
+}
+
+GaugeId Registry::gauge(const std::string& name) {
+  const auto it = std::find(gauge_names_.begin(), gauge_names_.end(), name);
+  if (it != gauge_names_.end()) {
+    return GaugeId{static_cast<std::uint32_t>(it - gauge_names_.begin())};
+  }
+  gauge_names_.push_back(name);
+  gauge_values_.push_back(0.0);
+  return GaugeId{static_cast<std::uint32_t>(gauge_names_.size() - 1)};
+}
+
+HistogramId Registry::histogram(const std::string& name,
+                                std::vector<double> upper_edges) {
+  assert(std::is_sorted(upper_edges.begin(), upper_edges.end()));
+  for (std::size_t h = 0; h < histograms_.size(); ++h) {
+    if (histograms_[h].name == name) {
+      assert(histograms_[h].edges == upper_edges);
+      return HistogramId{static_cast<std::uint32_t>(h)};
+    }
+  }
+  HistogramMeta meta;
+  meta.name = name;
+  meta.edges = std::move(upper_edges);
+  meta.offset = bucket_totals_.size();
+  const std::size_t n_buckets = meta.edges.size() + 1;  // + overflow
+  histograms_.push_back(std::move(meta));
+  bucket_totals_.resize(bucket_totals_.size() + n_buckets, 0);
+  for (auto& block : lane_buckets_) {
+    block.resize(bucket_totals_.size(), 0);
+  }
+  return HistogramId{static_cast<std::uint32_t>(histograms_.size() - 1)};
+}
+
+void Registry::add(CounterId id, std::uint64_t delta) {
+  lane_counters_[current_lane()][id.v] += delta;
+}
+
+void Registry::observe(HistogramId id, double value) {
+  const HistogramMeta& meta = histograms_[id.v];
+  // First edge >= value; everything above the last edge (and NaN, for
+  // which every comparison is false) lands in the overflow bucket.
+  std::size_t bucket = meta.edges.size();
+  for (std::size_t i = 0; i < meta.edges.size(); ++i) {
+    if (value <= meta.edges[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++lane_buckets_[current_lane()][meta.offset + bucket];
+}
+
+void Registry::set_total(CounterId id, std::uint64_t value) {
+  counter_totals_[id.v] = value;
+  for (auto& block : lane_counters_) block[id.v] = 0;
+}
+
+void Registry::set_gauge(GaugeId id, double value) {
+  gauge_values_[id.v] = value;
+}
+
+void Registry::merge_lanes() {
+  for (auto& block : lane_counters_) {
+    for (std::size_t c = 0; c < counter_totals_.size(); ++c) {
+      counter_totals_[c] += block[c];
+      block[c] = 0;
+    }
+  }
+  for (auto& block : lane_buckets_) {
+    for (std::size_t b = 0; b < bucket_totals_.size(); ++b) {
+      bucket_totals_[b] += block[b];
+      block[b] = 0;
+    }
+  }
+}
+
+std::uint64_t Registry::total(CounterId id) const {
+  std::uint64_t v = counter_totals_[id.v];
+  for (const auto& block : lane_counters_) v += block[id.v];
+  return v;
+}
+
+double Registry::gauge_value(GaugeId id) const { return gauge_values_[id.v]; }
+
+std::vector<std::uint64_t> Registry::buckets(HistogramId id) const {
+  const HistogramMeta& meta = histograms_[id.v];
+  const std::size_t n = meta.edges.size() + 1;
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    out[b] = bucket_totals_[meta.offset + b];
+    for (const auto& block : lane_buckets_) out[b] += block[meta.offset + b];
+  }
+  return out;
+}
+
+const std::vector<double>& Registry::edges(HistogramId id) const {
+  return histograms_[id.v].edges;
+}
+
+std::uint64_t Registry::total_by_name(const std::string& name) const {
+  const auto it =
+      std::find(counter_names_.begin(), counter_names_.end(), name);
+  if (it == counter_names_.end()) return 0;
+  return total(CounterId{
+      static_cast<std::uint32_t>(it - counter_names_.begin())});
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::columns() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counter_names_.size() + bucket_totals_.size());
+  for (std::size_t c = 0; c < counter_names_.size(); ++c) {
+    out.emplace_back(counter_names_[c],
+                     total(CounterId{static_cast<std::uint32_t>(c)}));
+  }
+  for (std::size_t h = 0; h < histograms_.size(); ++h) {
+    const HistogramMeta& meta = histograms_[h];
+    const auto counts = buckets(HistogramId{static_cast<std::uint32_t>(h)});
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      std::string col = meta.name;
+      if (b < meta.edges.size()) {
+        // Format the edge compactly; edges are small integers in practice.
+        char buf[32];
+        const double e = meta.edges[b];
+        if (e == static_cast<double>(static_cast<long long>(e))) {
+          std::snprintf(buf, sizeof buf, ".le%lld",
+                        static_cast<long long>(e));
+        } else {
+          std::snprintf(buf, sizeof buf, ".le%g", e);
+        }
+        col += buf;
+      } else {
+        col += ".inf";
+      }
+      out.emplace_back(std::move(col), counts[b]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauge_names_.size());
+  for (std::size_t g = 0; g < gauge_names_.size(); ++g) {
+    out.emplace_back(gauge_names_[g], gauge_values_[g]);
+  }
+  return out;
+}
+
+}  // namespace tribvote::telemetry

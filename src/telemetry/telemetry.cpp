@@ -1,0 +1,48 @@
+#include "telemetry/telemetry.hpp"
+
+#include "telemetry/trace_writer.hpp"
+#include "util/csv.hpp"
+
+namespace tribvote::telemetry {
+
+void Telemetry::sample_round(std::uint64_t round, double t_hours) {
+  const auto columns = registry_.columns();
+  if (header_.empty()) {
+    header_.reserve(columns.size());
+    for (const auto& [name, value] : columns) header_.push_back(name);
+  }
+  Row row;
+  row.round = round;
+  row.t_hours = t_hours;
+  row.values.reserve(columns.size());
+  for (const auto& [name, value] : columns) row.values.push_back(value);
+  rows_.push_back(std::move(row));
+}
+
+bool Telemetry::write_round_csv(const std::string& path) const {
+  if (rows_.empty()) return false;
+  util::CsvWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.field("t_hours").field("round");
+  for (const auto& name : header_) csv.field(name);
+  csv.end_row();
+  for (const Row& row : rows_) {
+    csv.field(util::format_double(row.t_hours, 4));
+    csv.field(static_cast<long long>(row.round));
+    // Columns registered after the first sample (none in practice — the
+    // runner registers everything up front) would widen the row; clamp to
+    // the captured header so the CSV stays rectangular.
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      csv.field(static_cast<long long>(c < row.values.size() ? row.values[c]
+                                                             : 0));
+    }
+    csv.end_row();
+  }
+  return true;
+}
+
+bool Telemetry::write_chrome_trace(const std::string& path) const {
+  return ChromeTraceWriter::write(path, trace_);
+}
+
+}  // namespace tribvote::telemetry

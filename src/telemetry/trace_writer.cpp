@@ -1,0 +1,79 @@
+#include "telemetry/trace_writer.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace tribvote::telemetry {
+
+namespace {
+
+// Span names are C identifiers with dots in practice, but escape anyway so
+// a stray name cannot produce invalid JSON.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ChromeTraceWriter::write(const std::string& path,
+                              const TraceBuffer& buffer) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  std::vector<SpanEvent> events = buffer.events();
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // parents before children
+            });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    if (i != 0) out << ',';
+    std::snprintf(buf, sizeof buf,
+                  "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%" PRId64 ",\"dur\":%" PRId64,
+                  json_escape(e.name).c_str(), e.tid, e.ts_us, e.dur_us);
+    out << buf;
+    if (e.has_arg) {
+      std::snprintf(buf, sizeof buf, ",\"args\":{\"n\":%" PRIu64 "}", e.arg);
+      out << buf;
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace tribvote::telemetry

@@ -1,0 +1,21 @@
+// Chrome-trace (Trace Event Format) exporter for TraceBuffer spans. The
+// output loads in chrome://tracing and Perfetto: one complete event
+// (ph:"X") per span, pid 1, tid = SpanEvent::tid, microsecond timestamps.
+#pragma once
+
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+namespace tribvote::telemetry {
+
+class ChromeTraceWriter {
+ public:
+  /// Write `buffer` to `path` as a Trace Event Format JSON document.
+  /// Events are sorted by (tid, ts, -dur) so timestamps are monotone
+  /// within each tid and enclosing spans precede their children.
+  /// Returns false if the file could not be written.
+  static bool write(const std::string& path, const TraceBuffer& buffer);
+};
+
+}  // namespace tribvote::telemetry
