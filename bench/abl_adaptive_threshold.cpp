@@ -38,6 +38,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
   config.telemetry = bench::telemetry_config();
+  config.vote.gossip_cache = bench::gossip_cache();
   config.attack.crowd_size = kCrowd;
   config.attack.start = 0;
   config.attack.duty = 0.5;

@@ -38,6 +38,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
   config.telemetry = bench::telemetry_config();
+  config.vote.gossip_cache = bench::gossip_cache();
   config.vote.b_min = cfg.b_min;
   config.vote.b_max = cfg.b_max;
   core::ScenarioRunner runner(tr, config, 0xA2 + index);

@@ -135,6 +135,7 @@ GossipOutcome run_gossip(const trace::Trace& tr, std::uint64_t seed) {
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
   config.telemetry = bench::telemetry_config();
+  config.vote.gossip_cache = bench::gossip_cache();
   core::ScenarioRunner runner(tr, config, seed);
   // 50 moderations from the earliest arrival; population approves it so
   // items relay at full gossip speed (the favourable case for gossip is

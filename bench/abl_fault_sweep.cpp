@@ -72,6 +72,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.ledger = bench::ledger_backend();
   config.faults = faults_for(loss);
   config.telemetry = bench::telemetry_config();
+  config.vote.gossip_cache = bench::gossip_cache();
   core::ScenarioRunner runner(tr, config, 0xFA7 + index);
 
   const auto firsts = trace::earliest_arrivals(tr, 3);

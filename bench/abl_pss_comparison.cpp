@@ -27,6 +27,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
   config.telemetry = bench::telemetry_config();
+  config.vote.gossip_cache = bench::gossip_cache();
   config.pss = pss;
   core::ScenarioRunner runner(tr, config, 0xA4 + index);
 

@@ -43,6 +43,7 @@ Population build(vote::SelectionPolicy policy, std::uint64_t seed) {
   config.selection = policy;
   config.b_min = 1;
   config.b_max = 2000;  // large box: isolate the selection policy
+  config.gossip_cache = bench::gossip_cache();
   pop.keys.reserve(kVoters);
   for (PeerId id = 0; id < kVoters; ++id) {
     util::Rng krng = root.derive(1000 + id);

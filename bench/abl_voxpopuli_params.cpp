@@ -39,6 +39,7 @@ core::ReplicaResult run_replica(const trace::Trace& tr, std::size_t index,
   config.ledger = bench::ledger_backend();
   config.faults = bench::fault_config();
   config.telemetry = bench::telemetry_config();
+  config.vote.gossip_cache = bench::gossip_cache();
   config.vote.v_max = cfg.v_max;
   config.vote.k = cfg.k;
   config.attack.crowd_size = kCoreSize;

@@ -55,6 +55,11 @@ inline telemetry::TelemetryConfig telemetry_config() {
   return sim::options::telemetry();
 }
 
+/// Vote-history cache + delta gossip (VoteConfig::gossip_cache, via
+/// TRIBVOTE_GOSSIP_CACHE). Semantically transparent: goldens are
+/// byte-identical on (the default) and off.
+inline bool gossip_cache() { return sim::options::gossip_cache(); }
+
 /// The standard dataset: `n` synthetic 7-day/100-peer traces calibrated to
 /// the filelist.org statistics (DESIGN.md §2).
 inline std::vector<trace::Trace> paper_dataset(std::size_t n) {
@@ -67,11 +72,13 @@ inline void banner(const char* experiment, const char* paper_ref) {
   std::printf("%s\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf(
-      "replicas=%zu seed=%llu shards=%zu ledger=%s faults=%s telemetry=%s\n",
+      "replicas=%zu seed=%llu shards=%zu ledger=%s faults=%s telemetry=%s "
+      "gossip_cache=%s\n",
       replica_count(), static_cast<unsigned long long>(env_seed()),
       shard_count(), bt::ledger_backend_name(ledger_backend()),
       sim::describe(fault_config()).c_str(),
-      telemetry::describe(telemetry_config()).c_str());
+      telemetry::describe(telemetry_config()).c_str(),
+      gossip_cache() ? "on" : "off");
   std::printf("================================================================\n");
 }
 

@@ -244,8 +244,9 @@ struct RoundPopulation {
   core::ScenarioConfig config;
   std::vector<std::unique_ptr<core::Node>> nodes;
 
-  explicit RoundPopulation(std::size_t n) {
+  explicit RoundPopulation(std::size_t n, bool gossip_cache = true) {
     config.experience_threshold_mb = 0.0;
+    config.vote.gossip_cache = gossip_cache;
     util::Rng rng(21);
     nodes.reserve(n);
     for (PeerId id = 0; id < n; ++id) {
@@ -262,10 +263,12 @@ struct RoundPopulation {
 /// serial and identical across shard counts; the measured quantity is the
 /// exchange fan-out. items/sec == nodes/sec (the ≥10⁵-peer scaling metric).
 /// Speedup over the shards=1 row requires as many physical cores as shards.
+/// cache:1 runs with the vote-history cache + delta gossip (the default);
+/// cache:0 is the legacy select-sign-full-message path on every leg.
 void BM_RoundThroughput(benchmark::State& state) {
   constexpr std::size_t kNodes = 10'000;
   const auto shards = static_cast<std::size_t>(state.range(0));
-  RoundPopulation pop(kNodes);
+  RoundPopulation pop(kNodes, state.range(1) != 0);
   util::ThreadPool pool(shards);
   sim::ShardKernel kernel(kNodes, shards, shards > 1 ? &pool : nullptr);
   util::Rng rng(22);
@@ -295,12 +298,93 @@ void BM_RoundThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(kNodes));
 }
 BENCHMARK(BM_RoundThroughput)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"shards", "cache"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({1, 0})
+    ->Args({4, 0})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/// A pair of warmed-up vote agents for the gossip-path microbenchmarks:
+/// each holds `votes` deterministic-selection entries (≤ one message), and
+/// one full exchange has already run so the counterpart memory is primed.
+struct GossipPair {
+  std::vector<crypto::KeyPair> keys;
+  std::vector<std::unique_ptr<vote::VoteAgent>> agents;
+
+  GossipPair(bool cache, std::size_t votes) {
+    util::Rng root(33);
+    vote::VoteConfig config;
+    config.gossip_cache = cache;
+    for (PeerId id = 0; id < 2; ++id) {
+      util::Rng krng = root.derive(100 + id);
+      keys.push_back(crypto::generate_keypair(krng));
+    }
+    for (PeerId id = 0; id < 2; ++id) {
+      agents.push_back(std::make_unique<vote::VoteAgent>(
+          id, keys[id], config, [](PeerId) { return true; },
+          root.derive(200 + id)));
+      for (ModeratorId m = 0; m < votes; ++m) {
+        agents[id]->cast_vote(static_cast<ModeratorId>(100 * id) + m,
+                              Opinion::kPositive, static_cast<Time>(m));
+      }
+    }
+    (void)vote::gossip_send(*agents[0], *agents[1], 1000);
+    (void)vote::gossip_send(*agents[1], *agents[0], 1000);
+  }
+};
+
+/// Per-encounter sender cost of outgoing_votes on an unchanged ballot
+/// paper, cache off (arg 0: select + Schnorr-sign every call) vs on
+/// (arg 1: one signature per vote-list version, then O(1) cache hits).
+/// The signatures_per_build counter is the ≥2× signing-reduction evidence:
+/// 1.0 cold vs ~0 warm.
+void BM_OutgoingVotes(benchmark::State& state) {
+  GossipPair pair(state.range(0) != 0, 40);
+  vote::VoteAgent& agent = *pair.agents[0];
+  const vote::GossipStats before = agent.gossip_stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.outgoing_votes(2000));
+  }
+  const vote::GossipStats after = agent.gossip_stats();
+  const auto builds = static_cast<double>(after.builds - before.builds);
+  state.counters["signatures_per_build"] =
+      static_cast<double>(after.signatures - before.signatures) /
+      (builds > 0 ? builds : 1.0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OutgoingVotes)->ArgNames({"cache"})->Arg(0)->Arg(1);
+
+/// Wire bytes per steady-state gossip leg: cache off (arg 0) re-sends the
+/// full signed vote list every encounter; cache on (arg 1) opens with a
+/// digest and — once the counterpart holds everything — closes digest-only.
+/// bytes_per_leg and delta_fraction are the BENCH_micro gossip-bytes rows.
+void BM_GossipBytes(benchmark::State& state) {
+  GossipPair pair(state.range(0) != 0, 40);
+  std::uint64_t bytes = 0, deltas = 0, legs = 0;
+  Time now = 2000;
+  for (auto _ : state) {
+    const vote::GossipLegOutcome a =
+        vote::gossip_send(*pair.agents[0], *pair.agents[1], now);
+    const vote::GossipLegOutcome b =
+        vote::gossip_send(*pair.agents[1], *pair.agents[0], now);
+    bytes += a.bytes + b.bytes;
+    deltas += (a.delta ? 1u : 0u) + (b.delta ? 1u : 0u);
+    legs += 2;
+    now += 60;
+    benchmark::DoNotOptimize(a.result);
+    benchmark::DoNotOptimize(b.result);
+  }
+  state.counters["bytes_per_leg"] =
+      static_cast<double>(bytes) / static_cast<double>(legs > 0 ? legs : 1);
+  state.counters["delta_fraction"] =
+      static_cast<double>(deltas) / static_cast<double>(legs > 0 ? legs : 1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(legs));
+}
+BENCHMARK(BM_GossipBytes)->ArgNames({"cache"})->Arg(0)->Arg(1);
 
 void BM_BallotBoxMerge(benchmark::State& state) {
   std::vector<vote::VoteEntry> votes;

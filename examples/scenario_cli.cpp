@@ -18,6 +18,8 @@
 //     --core N             pre-converged core size        (default 20 if crowd>0)
 //     --shards N           population worker shards       (default TRIBVOTE_SHARDS or 1)
 //     --ledger NAME        ledger backend map|sharded_log (default TRIBVOTE_LEDGER or map)
+//     --gossip-cache on|off  vote-history cache + delta gossip
+//                            (default TRIBVOTE_GOSSIP_CACHE or on)
 //     --sample HOURS       sampling period                (default 2)
 //     --csv FILE           output CSV                     (default scenario_cli.csv)
 //     --loss P             per-message-leg drop probability    (default TRIBVOTE_FAULTS or 0)
@@ -62,6 +64,7 @@ struct Options {
   std::size_t core = 0;
   std::size_t shards = sim::options::shards();
   bt::LedgerBackend ledger = sim::options::ledger_backend();
+  bool gossip_cache = sim::options::gossip_cache();
   Duration sample = 2 * kHour;
   std::string csv = "scenario_cli.csv";
   sim::FaultConfig faults = sim::options::faults();
@@ -73,7 +76,8 @@ struct Options {
                "usage: %s [--trace FILE] [--seed N] [--peers N] [--days N] "
                "[--threshold MB]\n"
                "          [--adaptive] [--newscast] [--crowd N] [--core N] "
-               "[--shards N] [--ledger map|sharded_log]\n"
+               "[--shards N] [--ledger map|sharded_log] "
+               "[--gossip-cache on|off]\n"
                "          [--sample HOURS] [--csv FILE]\n"
                "          [--loss P] [--delay-rate P] [--max-delay S] "
                "[--crash-rate P] [--corrupt-rate P]\n"
@@ -120,6 +124,16 @@ Options parse(int argc, char** argv) {
         usage(argv[0]);
       }
       opt.ledger = *backend;
+    } else if (!std::strcmp(arg, "--gossip-cache")) {
+      const char* value = need_value(i);
+      if (!std::strcmp(value, "on")) {
+        opt.gossip_cache = true;
+      } else if (!std::strcmp(value, "off")) {
+        opt.gossip_cache = false;
+      } else {
+        std::fprintf(stderr, "bad --gossip-cache (want on|off): %s\n", value);
+        usage(argv[0]);
+      }
     } else if (!std::strcmp(arg, "--loss") ||
                !std::strcmp(arg, "--delay-rate") ||
                !std::strcmp(arg, "--max-delay") ||
@@ -199,6 +213,7 @@ int main(int argc, char** argv) {
   config.attack.crowd_size = opt.crowd;
   config.shards = opt.shards;
   config.ledger = opt.ledger;
+  config.vote.gossip_cache = opt.gossip_cache;
   config.faults = opt.faults;
   config.telemetry = opt.telemetry;
   if (config.telemetry.tracing() && config.telemetry.trace_out.empty()) {
@@ -208,11 +223,13 @@ int main(int argc, char** argv) {
   // Everything needed to reproduce this run from its console output alone,
   // including the effective fault and telemetry configuration.
   std::printf("run: seed=%llu scenario-seed=%llu shards=%zu ledger=%s "
-              "threshold=%g pss=%s%s faults=%s telemetry=%s\n",
+              "gossip_cache=%s threshold=%g pss=%s%s faults=%s "
+              "telemetry=%s\n",
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.seed ^ 0xC11),
               runner.shard_count(), bt::ledger_backend_name(opt.ledger),
-              opt.threshold_mb, opt.newscast ? "newscast" : "oracle",
+              opt.gossip_cache ? "on" : "off", opt.threshold_mb,
+              opt.newscast ? "newscast" : "oracle",
               opt.adaptive ? " adaptive" : "",
               sim::describe(opt.faults).c_str(),
               telemetry::describe(config.telemetry).c_str());
@@ -312,6 +329,20 @@ int main(int argc, char** argv) {
                     tel->registry().total_by_name("mod.deliveries")),
                 static_cast<unsigned long long>(
                     tel->registry().total_by_name("bt.pieces_completed")));
+    std::printf("gossip: bytes_sent=%llu full=%llu delta=%llu "
+                "fallbacks=%llu cache_hits=%llu signatures=%llu\n",
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("gossip.bytes_sent")),
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("gossip.full_exchanges")),
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("gossip.delta_exchanges")),
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("gossip.digest_fallbacks")),
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("gossip.cache_hits")),
+                static_cast<unsigned long long>(
+                    tel->registry().total_by_name("gossip.signatures")));
   }
   return 0;
 }

@@ -28,26 +28,31 @@ void note_vote_receive(RunStats& st, vote::ReceiveResult r) {
   }
 }
 
-/// In-flight damage to a vote-list message. One signature covers the list,
-/// so any damage — a lost tail or a flipped bit — makes the receiver
-/// reject the message wholesale as kBadSignature; the box is never
-/// poisoned with half a list.
-void corrupt_vote_message(vote::VoteListMessage& m, sim::PayloadFault fault,
-                          std::uint64_t salt) {
+/// Map a fault-plane payload verdict onto the vote layer's sim-agnostic
+/// wire-fault enum (vote/ cannot include sim/).
+vote::WireFault to_wire(sim::PayloadFault fault) {
   switch (fault) {
-    case sim::PayloadFault::kNone:
-      return;
     case sim::PayloadFault::kTruncated:
-      if (m.votes.empty()) {
-        m.signature.s ^= 1;  // nothing to truncate; damage the envelope
-      } else {
-        m.votes.resize(m.votes.size() / 2);  // stales the list signature
-      }
-      return;
+      return vote::WireFault::kTruncated;
     case sim::PayloadFault::kCorrupted:
-      m.signature.s ^= std::uint64_t{1} << (salt & 63);
-      return;
+      return vote::WireFault::kCorrupted;
+    case sim::PayloadFault::kNone:
+      break;
   }
+  return vote::WireFault::kNone;
+}
+
+/// Wire bytes of the opening frame a sender would put on the wire toward
+/// `receiver` — a digest when the delta path is open, else the full
+/// message. Used to account frames the fault plane drops before delivery.
+std::size_t first_frame_bytes(const vote::VoteAgent& sender,
+                              const vote::VoteListMessage& msg,
+                              PeerId receiver) {
+  if (sender.config().gossip_cache && !msg.votes.empty() &&
+      sender.counterparts().known(receiver)) {
+    return vote::wire_size(vote::make_digest(msg));
+  }
+  return vote::wire_size(msg);
 }
 
 /// In-flight damage to a moderation batch. Items are individually signed,
@@ -151,6 +156,21 @@ void ScenarioRunner::init_telemetry() {
       telemetry::Counter(&reg, reg.counter("mod.deliveries"));
   probes_.mod_nodes_reached =
       telemetry::Counter(&reg, reg.counter("mod.nodes_reached"));
+  // Gossip cache / delta exchange accounting. Lane-local sums over
+  // per-encounter values that depend only on per-node state the kernel
+  // serializes, so the folded totals are shard-invariant.
+  probes_.gossip_bytes =
+      telemetry::Counter(&reg, reg.counter("gossip.bytes_sent"));
+  probes_.gossip_full =
+      telemetry::Counter(&reg, reg.counter("gossip.full_exchanges"));
+  probes_.gossip_delta =
+      telemetry::Counter(&reg, reg.counter("gossip.delta_exchanges"));
+  probes_.gossip_fallbacks =
+      telemetry::Counter(&reg, reg.counter("gossip.digest_fallbacks"));
+  probes_.gossip_cache_hits =
+      telemetry::Counter(&reg, reg.counter("gossip.cache_hits"));
+  probes_.gossip_signatures =
+      telemetry::Counter(&reg, reg.counter("gossip.signatures"));
 
   // BT swarm probes (serial: bt_round ticks swarms on the simulator
   // thread) and the PSS view-exchange probe.
@@ -554,16 +574,22 @@ void ScenarioRunner::vote_round() {
           Node& nj = *nodes_[e.responder];
 
           // BallotBox leg, instrumented (vote_exchange() is the
-          // uninstrumented library entry point; the runner inlines it to
-          // keep counters).
-          vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
-          vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+          // uninstrumented library entry point; the runner inlines its two
+          // gossip legs to keep counters). A node's outgoing message never
+          // depends on what it just received, so the sequential legs are
+          // bit-identical to the legacy build-both-then-merge order.
+          const vote::GossipLegOutcome leg_ij =
+              vote::gossip_send(ni.vote(), nj.vote(), now);
           probes_.vote_list_size.observe(
-              static_cast<double>(from_i.votes.size()));
+              static_cast<double>(leg_ij.list_size));
+          note_vote_receive(st, leg_ij.result);
+          note_gossip_leg(leg_ij);
+          const vote::GossipLegOutcome leg_ji =
+              vote::gossip_send(nj.vote(), ni.vote(), now);
           probes_.vote_list_size.observe(
-              static_cast<double>(from_j.votes.size()));
-          note_vote_receive(st, nj.vote().receive_votes(from_i, now));
-          note_vote_receive(st, ni.vote().receive_votes(from_j, now));
+              static_cast<double>(leg_ji.list_size));
+          note_vote_receive(st, leg_ji.result);
+          note_gossip_leg(leg_ji);
 
           // VoxPopuli leg.
           if (ni.vote().bootstrapping()) {
@@ -595,33 +621,61 @@ void ScenarioRunner::vote_round() {
         Node& ni = *nodes_[e.initiator];
         Node& nj = *nodes_[e.responder];
 
-        vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
-        probes_.vote_list_size.observe(
-            static_cast<double>(from_i.votes.size()));
         if (f.drop_request) {
-          // The responder never learns of the encounter. A bootstrapping
-          // initiator's VP request rode the same dial and timed out with
-          // it; the retry chain takes over after the round.
+          // The responder never learns of the encounter. The opening frame
+          // (digest or full list, whatever the delta path would ship) was
+          // still built, signed-or-cached and put on the wire — account
+          // it. A bootstrapping initiator's VP request rode the same dial
+          // and timed out with it; the retry chain takes over after the
+          // round.
+          const vote::GossipStats gs0 = ni.vote().gossip_stats();
+          const vote::VoteListMessage from_i = ni.vote().outgoing_votes(now);
+          probes_.vote_list_size.observe(
+              static_cast<double>(from_i.votes.size()));
+          probes_.gossip_bytes.add(
+              first_frame_bytes(ni.vote(), from_i, e.responder));
+          const vote::GossipStats& gs1 = ni.vote().gossip_stats();
+          if (gs1.cache_hits > gs0.cache_hits) probes_.gossip_cache_hits.add();
+          if (gs1.signatures > gs0.signatures) {
+            probes_.gossip_signatures.add(gs1.signatures - gs0.signatures);
+          }
           if (ni.vote().bootstrapping()) {
             ++fs.vox.timeouts;
             fault_plane_->record_vp_failure(lane, e.seq, e.initiator);
           }
           return;
         }
-        corrupt_vote_message(from_i, f.request_payload, f.payload_salt);
-        const vote::ReceiveResult r_ij = nj.vote().receive_votes(from_i, now);
-        note_vote_receive(st, r_ij);
+        const vote::GossipLegOutcome leg_ij = vote::gossip_send(
+            ni.vote(), nj.vote(), now, to_wire(f.request_payload),
+            f.payload_salt);
+        probes_.vote_list_size.observe(static_cast<double>(leg_ij.list_size));
+        note_vote_receive(st, leg_ij.result);
+        note_gossip_leg(leg_ij);
         if (f.request_payload != sim::PayloadFault::kNone &&
-            r_ij == vote::ReceiveResult::kBadSignature) {
+            leg_ij.result == vote::ReceiveResult::kBadSignature) {
           ++fs.vote.rejected;
         }
 
         if (!f.reply_lost()) {
-          vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
-          probes_.vote_list_size.observe(
-              static_cast<double>(from_j.votes.size()));
-          corrupt_vote_message(from_j, f.reply_payload, f.payload_salt + 1);
           if (f.delay_reply > 0) {
+            // A delayed reply is serialized and delivered later, so it
+            // always travels as a full (cache-served) message — the delta
+            // handshake needs both endpoints live in the same round.
+            const vote::GossipStats gs0 = nj.vote().gossip_stats();
+            vote::VoteListMessage from_j = nj.vote().outgoing_votes(now);
+            probes_.vote_list_size.observe(
+                static_cast<double>(from_j.votes.size()));
+            const vote::GossipStats& gs1 = nj.vote().gossip_stats();
+            if (gs1.cache_hits > gs0.cache_hits) {
+              probes_.gossip_cache_hits.add();
+            }
+            if (gs1.signatures > gs0.signatures) {
+              probes_.gossip_signatures.add(gs1.signatures - gs0.signatures);
+            }
+            vote::damage_message(from_j, to_wire(f.reply_payload),
+                                 f.payload_salt + 1);
+            probes_.gossip_bytes.add(vote::wire_size(from_j));
+            probes_.gossip_full.add();
             fault_plane_->defer(
                 lane, e.seq, f.delay_reply,
                 [this, from_j = std::move(from_j), i = e.initiator,
@@ -639,11 +693,15 @@ void ScenarioRunner::vote_round() {
                   }
                 });
           } else {
-            const vote::ReceiveResult r_ji =
-                ni.vote().receive_votes(from_j, now);
-            note_vote_receive(st, r_ji);
+            const vote::GossipLegOutcome leg_ji = vote::gossip_send(
+                nj.vote(), ni.vote(), now, to_wire(f.reply_payload),
+                f.payload_salt + 1);
+            probes_.vote_list_size.observe(
+                static_cast<double>(leg_ji.list_size));
+            note_vote_receive(st, leg_ji.result);
+            note_gossip_leg(leg_ji);
             if (f.reply_payload != sim::PayloadFault::kNone &&
-                r_ji == vote::ReceiveResult::kBadSignature) {
+                leg_ji.result == vote::ReceiveResult::kBadSignature) {
               ++fs.vote.rejected;
             }
           }

@@ -231,6 +231,19 @@ class ScenarioRunner {
                                    : probes_.votes_cast_negative)
         .add();
   }
+  /// Account one directed gossip leg (lane-local; inert when telemetry
+  /// off). Bytes cover every frame the leg put on the wire.
+  void note_gossip_leg(const vote::GossipLegOutcome& leg) {
+    probes_.gossip_bytes.add(leg.bytes);
+    if (leg.delta) {
+      probes_.gossip_delta.add();
+    } else {
+      probes_.gossip_full.add();
+    }
+    if (leg.fallback_full) probes_.gossip_fallbacks.add();
+    if (leg.cache_hit) probes_.gossip_cache_hits.add();
+    if (leg.signatures > 0) probes_.gossip_signatures.add(leg.signatures);
+  }
   /// Count a moderation being published. The publisher holds its own item,
   /// so it counts as "reached" too (publish() fires no on_new_moderation —
   /// that callback is receive-side only).
@@ -293,6 +306,14 @@ class ScenarioRunner {
     telemetry::Counter mod_published;
     telemetry::Counter mod_deliveries;
     telemetry::Counter mod_nodes_reached;
+    // Gossip-cache / delta-exchange accounting (lane-local sums, so the
+    // fold is shard-invariant like every other probe).
+    telemetry::Counter gossip_bytes;        ///< wire bytes, incl. lost frames
+    telemetry::Counter gossip_full;         ///< legs completed as full lists
+    telemetry::Counter gossip_delta;        ///< legs completed digest-first
+    telemetry::Counter gossip_fallbacks;    ///< damaged digest → full retry
+    telemetry::Counter gossip_cache_hits;   ///< messages served from cache
+    telemetry::Counter gossip_signatures;   ///< Schnorr signing operations
     telemetry::Histogram vote_list_size;
     telemetry::Histogram vox_topk_size;
     telemetry::Histogram mod_batch_size;

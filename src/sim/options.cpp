@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 namespace tribvote::sim::options {
 
@@ -68,6 +69,19 @@ telemetry::TelemetryConfig telemetry() {
     return telemetry::TelemetryConfig{};
   }
   return config;
+}
+
+bool gossip_cache() {
+  const char* v = std::getenv("TRIBVOTE_GOSSIP_CACHE");
+  if (v == nullptr) return true;
+  const std::string_view s(v);
+  if (s == "on" || s == "1" || s == "true") return true;
+  if (s == "off" || s == "0" || s == "false") return false;
+  std::fprintf(stderr,
+               "warning: TRIBVOTE_GOSSIP_CACHE=%s is not on|off; "
+               "cache stays on\n",
+               v);
+  return true;
 }
 
 }  // namespace tribvote::sim::options

@@ -21,6 +21,10 @@
 //   TRIBVOTE_TELEMETRY     telemetry spec: "off" (default — the goldens'
 //                          setting), "counters", or "trace", optionally
 //                          with ",trace_out=FILE" / ",csv=FILE"
+//   TRIBVOTE_GOSSIP_CACHE  vote-history cache + delta gossip: "on"
+//                          (default) or "off". Semantically transparent —
+//                          goldens are byte-identical either way; the knob
+//                          exists for A/B perf runs and identity smokes
 #pragma once
 
 #include <cstddef>
@@ -51,5 +55,9 @@ namespace tribvote::sim::options {
 /// TRIBVOTE_TELEMETRY parsed via telemetry::parse_telemetry_spec; a
 /// malformed spec falls back to telemetry off with a warning on stderr.
 [[nodiscard]] telemetry::TelemetryConfig telemetry();
+
+/// TRIBVOTE_GOSSIP_CACHE ("on"/"off", also accepts 1/0/true/false); an
+/// unknown value falls back to on with a warning on stderr.
+[[nodiscard]] bool gossip_cache();
 
 }  // namespace tribvote::sim::options

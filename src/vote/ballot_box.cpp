@@ -17,15 +17,21 @@ void BallotBox::merge(PeerId voter, const std::vector<VoteEntry>& votes,
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       // Same voter, same moderator: refresh opinion and timestamp.
+      if (it->second.opinion != v.opinion) {
+        tally_remove(v.moderator, it->second.opinion);
+        tally_add(v.moderator, v.opinion);
+      }
       it->second.opinion = v.opinion;
       it->second.received = now;
       it->second.seq = next_seq_++;
+      it->second.cast_at = v.cast_at;
       continue;
     }
     if (entries_.size() >= b_max_) evict_oldest();
     entries_.emplace(key, Entry{voter, v.moderator, v.opinion, now,
-                                next_seq_++});
+                                next_seq_++, v.cast_at});
     ++voter_entry_count_[voter];
+    tally_add(v.moderator, v.opinion);
   }
 }
 
@@ -40,10 +46,34 @@ void BallotBox::evict_oldest() {
     }
   }
   const PeerId voter = victim->second.voter;
+  tally_remove(victim->second.moderator, victim->second.opinion);
   entries_.erase(victim);
   const auto vc = voter_entry_count_.find(voter);
   assert(vc != voter_entry_count_.end());
   if (--vc->second == 0) voter_entry_count_.erase(vc);
+}
+
+void BallotBox::tally_add(ModeratorId moderator, Opinion opinion) {
+  Tally& t = tally_[moderator];
+  if (opinion == Opinion::kPositive) {
+    ++t.positive;
+  } else {
+    ++t.negative;
+  }
+}
+
+void BallotBox::tally_remove(ModeratorId moderator, Opinion opinion) {
+  const auto it = tally_.find(moderator);
+  assert(it != tally_.end());
+  if (opinion == Opinion::kPositive) {
+    assert(it->second.positive > 0);
+    --it->second.positive;
+  } else {
+    assert(it->second.negative > 0);
+    --it->second.negative;
+  }
+  // Drop zeroed moderators so tally() equals the recomputed map exactly.
+  if (it->second.total() == 0) tally_.erase(it);
 }
 
 std::size_t BallotBox::purge_voters(
@@ -55,6 +85,7 @@ std::size_t BallotBox::purge_voters(
       continue;
     }
     const PeerId voter = it->second.voter;
+    tally_remove(it->second.moderator, it->second.opinion);
     it = entries_.erase(it);
     ++removed;
     const auto vc = voter_entry_count_.find(voter);
@@ -64,7 +95,7 @@ std::size_t BallotBox::purge_voters(
   return removed;
 }
 
-std::map<ModeratorId, Tally> BallotBox::tally() const {
+std::map<ModeratorId, Tally> BallotBox::recompute_tally() const {
   std::map<ModeratorId, Tally> result;
   for (const auto& [key, entry] : entries_) {
     Tally& t = result[entry.moderator];
@@ -75,6 +106,14 @@ std::map<ModeratorId, Tally> BallotBox::tally() const {
     }
   }
   return result;
+}
+
+std::optional<VoteEntry> BallotBox::find(PeerId voter,
+                                         ModeratorId moderator) const {
+  const auto it = entries_.find(std::make_pair(voter, moderator));
+  if (it == entries_.end()) return std::nullopt;
+  return VoteEntry{it->second.moderator, it->second.opinion,
+                   it->second.cast_at};
 }
 
 double BallotBox::max_dispersion(std::uint32_t min_votes) const {
@@ -89,7 +128,7 @@ double BallotBox::max_dispersion(std::uint32_t min_votes) const {
 }
 
 double BallotBox::dispersion() const {
-  const auto tallies = tally();
+  const auto& tallies = tally();
   double sum = 0;
   std::size_t counted = 0;
   for (const auto& [moderator, t] : tallies) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -49,7 +50,21 @@ class BallotBox {
   [[nodiscard]] std::size_t capacity() const noexcept { return b_max_; }
 
   /// Aggregate votes per moderator (one vote per voter per moderator).
-  [[nodiscard]] std::map<ModeratorId, Tally> tally() const;
+  /// Maintained incrementally on merge/evict/purge — O(1) copy of the
+  /// running map, not an O(n) rebuild per call.
+  [[nodiscard]] const std::map<ModeratorId, Tally>& tally() const noexcept {
+    return tally_;
+  }
+
+  /// O(n) tally rebuild from the raw entries — the reference the
+  /// incremental map is property-tested against.
+  [[nodiscard]] std::map<ModeratorId, Tally> recompute_tally() const;
+
+  /// The vote this box currently holds for (voter, moderator), if any —
+  /// lets the gossip digest scan ask "do I already have this exact vote?"
+  /// without exposing the entry map.
+  [[nodiscard]] std::optional<VoteEntry> find(PeerId voter,
+                                              ModeratorId moderator) const;
 
   /// Drop every entry whose voter fails `keep` — used by the adaptive
   /// threshold (§VII): when a node raises T it re-filters its sample so
@@ -75,15 +90,19 @@ class BallotBox {
     Opinion opinion;
     Time received;
     std::uint64_t seq;  ///< insertion order, breaks receive-time ties
+    Time cast_at;       ///< the voter's own timestamp, as carried on the wire
   };
 
   void evict_oldest();
+  void tally_add(ModeratorId moderator, Opinion opinion);
+  void tally_remove(ModeratorId moderator, Opinion opinion);
 
   std::size_t b_max_;
   std::uint64_t next_seq_ = 0;
   // Key: (voter, moderator). std::map keeps deterministic iteration.
   std::map<std::pair<PeerId, ModeratorId>, Entry> entries_;
   std::unordered_map<PeerId, std::uint32_t> voter_entry_count_;
+  std::map<ModeratorId, Tally> tally_;  // incremental mirror of entries_
 };
 
 }  // namespace tribvote::vote

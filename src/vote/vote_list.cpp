@@ -11,11 +11,17 @@ void LocalVoteList::cast(ModeratorId moderator, Opinion opinion, Time now) {
       entries_.begin(), entries_.end(),
       [moderator](const VoteEntry& e) { return e.moderator == moderator; });
   if (it != entries_.end()) {
+    // Re-casting the identical opinion at the identical time leaves the
+    // ballot paper unchanged — keep version() stable so a cached message
+    // stays warm (colluders re-assert their vote every encounter).
+    if (it->opinion == opinion && it->cast_at == now) return;
     it->opinion = opinion;
     it->cast_at = now;
+    ++version_;
     return;
   }
   entries_.push_back(VoteEntry{moderator, opinion, now});
+  ++version_;
 }
 
 Opinion LocalVoteList::opinion_of(ModeratorId moderator) const {
@@ -42,22 +48,47 @@ std::vector<VoteEntry> LocalVoteList::select_for_message(
   std::vector<const VoteEntry*> sorted;
   sorted.reserve(entries_.size());
   for (const auto& e : entries_) sorted.push_back(&e);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const VoteEntry* a, const VoteEntry* b) {
-              if (a->cast_at != b->cast_at) return a->cast_at > b->cast_at;
-              return a->moderator < b->moderator;
-            });
+  // "Newer" is a strict total order (moderators are unique per entry), so
+  // partial selection reproduces the full-sort draw order byte for byte.
+  const auto newer = [](const VoteEntry* a, const VoteEntry* b) {
+    if (a->cast_at != b->cast_at) return a->cast_at > b->cast_at;
+    return a->moderator < b->moderator;
+  };
   // Recency share: everything for kRecentOnly, the newest half for the
   // paper's recency + random policy.
   const std::size_t recent = policy == SelectionPolicy::kRecentOnly
                                  ? max_votes
                                  : (max_votes + 1) / 2;
+  // Sort only the newest `recent` entries; the tail is merely partitioned.
+  std::partial_sort(sorted.begin(),
+                    sorted.begin() + static_cast<std::ptrdiff_t>(recent),
+                    sorted.end(), newer);
   result.reserve(max_votes);
   for (std::size_t i = 0; i < recent; ++i) result.push_back(*sorted[i]);
   const std::size_t rest = sorted.size() - recent;
   const std::size_t random_take = std::min(max_votes - recent, rest);
-  for (std::size_t p : rng.sample_indices(rest, random_take)) {
-    result.push_back(*sorted[recent + p]);
+  const std::vector<std::size_t> picks = rng.sample_indices(rest, random_take);
+  // The drawn positions index the *sorted* tail. Instead of sorting all of
+  // it, rank-select just the drawn positions: process ranks in ascending
+  // order, each nth_element confined to the subrange after the previous
+  // rank (everything at or before it is already correctly placed).
+  std::vector<std::size_t> by_rank(picks.size());
+  for (std::size_t i = 0; i < by_rank.size(); ++i) by_rank[i] = i;
+  std::sort(by_rank.begin(), by_rank.end(),
+            [&picks](std::size_t a, std::size_t b) {
+              return picks[a] < picks[b];
+            });
+  const auto tail = sorted.begin() + static_cast<std::ptrdiff_t>(recent);
+  std::size_t lo = 0;
+  for (const std::size_t i : by_rank) {
+    const std::size_t r = picks[i];
+    std::nth_element(tail + static_cast<std::ptrdiff_t>(lo),
+                     tail + static_cast<std::ptrdiff_t>(r), sorted.end(),
+                     newer);
+    lo = r + 1;
+  }
+  for (std::size_t p : picks) {
+    result.push_back(*tail[static_cast<std::ptrdiff_t>(p)]);
   }
   return result;
 }

@@ -36,8 +36,16 @@ class LocalVoteList {
  public:
   /// Cast (or revise) the local user's vote on a moderator. A moderator
   /// appears at most once; re-casting replaces the previous opinion and
-  /// refreshes the timestamp.
+  /// refreshes the timestamp. Bumps version() whenever the ballot paper's
+  /// content actually changes; re-casting the same opinion at the same
+  /// timestamp is a no-op.
   void cast(ModeratorId moderator, Opinion opinion, Time now);
+
+  /// Monotone content version, bumped by every effective cast (mirrors
+  /// SubjectiveGraph::version()). Two calls observing the same version see
+  /// the same entries, so a selected-and-signed vote-list message keyed on
+  /// the version can be reused without re-selecting or re-signing.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   /// The local user's current opinion of a moderator (kNone if never voted).
   [[nodiscard]] Opinion opinion_of(ModeratorId moderator) const;
@@ -59,6 +67,7 @@ class LocalVoteList {
 
  private:
   std::vector<VoteEntry> entries_;  // unsorted; one entry per moderator
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace tribvote::vote

@@ -365,6 +365,29 @@ TEST(Runner, FaultedShardCountInvariance) {
   EXPECT_EQ(serial, metrics_csv(tr, config, 8));
 }
 
+TEST(Runner, GossipCacheTransparency) {
+  // Acceptance bar for the vote-history cache + delta gossip: the cache is
+  // semantically transparent. Runs with the cache on (default) and off are
+  // byte-identical, at shards {1, 4, 8}, with faults off and on.
+  const trace::Trace tr = small_trace();
+  ScenarioConfig on;
+  ScenarioConfig off;
+  off.vote.gossip_cache = false;
+  const std::string baseline = metrics_csv(tr, on, 1);
+  for (const std::size_t shards : {1u, 4u, 8u}) {
+    EXPECT_EQ(baseline, metrics_csv(tr, on, shards)) << shards;
+    EXPECT_EQ(baseline, metrics_csv(tr, off, shards)) << shards;
+  }
+  ScenarioConfig fault_on = faulty_config();
+  ScenarioConfig fault_off = faulty_config();
+  fault_off.vote.gossip_cache = false;
+  const std::string faulted = metrics_csv(tr, fault_on, 1);
+  for (const std::size_t shards : {1u, 4u, 8u}) {
+    EXPECT_EQ(faulted, metrics_csv(tr, fault_on, shards)) << shards;
+    EXPECT_EQ(faulted, metrics_csv(tr, fault_off, shards)) << shards;
+  }
+}
+
 TEST(Runner, FaultedRunDegradesGracefully) {
   const trace::Trace tr = small_trace();
   ScenarioConfig config = faulty_config();

@@ -214,6 +214,7 @@ TEST(Integration, ChaosTransportNeverCrashesNorPoisons) {
   config.faults.corrupt_rate = 0.5;
   config.attack.crowd_size = 10;
   config.attack.start = kHour;
+  config.telemetry.mode = telemetry::TelemetryMode::kCounters;
   ScenarioRunner runner(tr, config, 8);
   const auto firsts = trace::earliest_arrivals(tr, 1);
   runner.publish_moderation(firsts[0], kMinute, "survives chaos");
@@ -233,6 +234,17 @@ TEST(Integration, ChaosTransportNeverCrashesNorPoisons) {
   // Progress under fire: the protocols did not deadlock or wedge.
   EXPECT_GT(runner.stats().vote_exchanges, 0u);
   EXPECT_GT(runner.stats().votes_accepted, 0u);
+  // The delta gossip path ran under chaos: digests opened exchanges,
+  // damaged digests fell back to full retransmits, the vote-history cache
+  // served warm messages — and none of it poisoned a box (corruption was
+  // fully accounted as rejections above).
+  const telemetry::Registry& reg = runner.telemetry()->registry();
+  EXPECT_GT(reg.total_by_name("gossip.delta_exchanges"), 0u);
+  EXPECT_GT(reg.total_by_name("gossip.full_exchanges"), 0u);
+  EXPECT_GT(reg.total_by_name("gossip.digest_fallbacks"), 0u);
+  EXPECT_GT(reg.total_by_name("gossip.cache_hits"), 0u);
+  EXPECT_GT(reg.total_by_name("gossip.bytes_sent"),
+            reg.total_by_name("gossip.signatures"));
 }
 
 TEST(Integration, NoAttackMeansNoPollution) {
