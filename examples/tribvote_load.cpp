@@ -1,0 +1,148 @@
+// tribvote_load — drive a listening tribvote_node with back-to-back vote
+// encounters and report throughput: encounters/sec and bytes/sec as seen
+// from this side's NetStats. Pair with:
+//
+//   ./tribvote_node --id 1 --seed 1 --listen 0 --casts 2 &
+//   ./tribvote_load --connect 127.0.0.1:<port> --id 2 --seed 2 --seconds 5
+//
+// Each round casts `--casts` scheduled votes before initiating, so after the
+// first (full) exchange every encounter exercises the digest/delta path —
+// the steady-state hot path whose wire cost PROTOCOL.md §4 fixes.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "crypto/schnorr.hpp"
+#include "net/event_loop.hpp"
+#include "net/node_service.hpp"
+#include "util/rng.hpp"
+#include "vote/agent.hpp"
+
+namespace {
+
+using namespace tribvote;
+using Clock = std::chrono::steady_clock;
+
+constexpr Time kRoundPeriod = 1000;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tribvote_load --connect HOST:PORT [--id N] [--seed S]"
+               " [--seconds X] [--casts K]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PeerId id = 99;
+  std::uint64_t seed = 99;
+  std::string host;
+  std::uint16_t port = 0;
+  double seconds = 5.0;
+  int casts = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (i + 1 >= argc) return usage();
+    const char* v = argv[++i];
+    if (a == "--connect") {
+      const std::size_t colon = std::string(v).rfind(':');
+      if (colon == std::string::npos) return usage();
+      host = std::string(v).substr(0, colon);
+      port = static_cast<std::uint16_t>(
+          std::strtoul(v + colon + 1, nullptr, 10));
+    } else if (a == "--id") {
+      id = static_cast<PeerId>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--seed") {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seconds") {
+      seconds = std::strtod(v, nullptr);
+    } else if (a == "--casts") {
+      casts = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  if (host.empty() || port == 0) return usage();
+
+  util::Rng krng(seed);
+  const crypto::KeyPair keys = crypto::generate_keypair(krng);
+  vote::VoteAgent agent(id, keys, vote::VoteConfig{},
+                        [](PeerId) { return true; },
+                        util::Rng(seed * 7919 + 1));
+
+  net::EventLoop loop;
+  net::NodeService svc(loop, id, keys, agent, nullptr);
+  std::string err;
+  const int c = svc.connect(host, port, &err);
+  if (c < 0) {
+    std::fprintf(stderr, "tribvote_load: connect failed: %s\n", err.c_str());
+    return 1;
+  }
+  if (!loop.run_until([&] { return svc.ready(c); }, 10000)) {
+    std::fprintf(stderr, "tribvote_load: handshake timed out\n");
+    return 1;
+  }
+
+  util::Rng cast_rng(seed ^ 0x10adbeefULL);
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(static_cast<long>(seconds * 1000));
+  std::uint64_t rounds = 0;
+  while (Clock::now() < deadline) {
+    const Time now = kRoundPeriod * static_cast<Time>(rounds + 1);
+    for (int k = 0; k < casts; ++k) {
+      agent.cast_vote(static_cast<ModeratorId>(1 + cast_rng.next_below(24)),
+                      cast_rng.next_bool(0.5) ? Opinion::kPositive
+                                              : Opinion::kNegative,
+                      now - kRoundPeriod + k + 1);
+    }
+    if (!svc.initiate_vote_encounter(c, now)) break;
+    const std::uint64_t want = rounds + 1;
+    if (!loop.run_until(
+            [&] {
+              return svc.initiator_idle(c) &&
+                     svc.engine_counters(c)->encounters_completed == want;
+            },
+            10000)) {
+      std::fprintf(stderr, "tribvote_load: encounter %llu timed out\n",
+                   static_cast<unsigned long long>(want));
+      break;
+    }
+    ++rounds;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  svc.send_bye(c);
+  (void)loop.run_until([&] { return svc.bye_received(c); }, 5000);
+  svc.close(c);
+
+  const net::NetStats& s = svc.stats();
+  const net::ExchangeEngine::Counters* ec = svc.engine_counters(c);
+  std::printf("load encounters %llu\n",
+              static_cast<unsigned long long>(rounds));
+  std::printf("load seconds %.3f\n", elapsed);
+  std::printf("load encounters_per_sec %.1f\n",
+              elapsed > 0 ? static_cast<double>(rounds) / elapsed : 0.0);
+  std::printf("load bytes_out %llu bytes_in %llu\n",
+              static_cast<unsigned long long>(s.bytes_out),
+              static_cast<unsigned long long>(s.bytes_in));
+  std::printf("load bytes_per_sec %.0f\n",
+              elapsed > 0
+                  ? static_cast<double>(s.bytes_in + s.bytes_out) / elapsed
+                  : 0.0);
+  std::printf("load frames_out %llu frames_in %llu\n",
+              static_cast<unsigned long long>(s.frames_out),
+              static_cast<unsigned long long>(s.frames_in));
+  if (ec != nullptr) {
+    std::printf("load open_digest %llu open_full %llu\n",
+                static_cast<unsigned long long>(ec->open_digest),
+                static_cast<unsigned long long>(ec->open_full));
+  }
+  return 0;
+}

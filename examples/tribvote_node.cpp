@@ -1,0 +1,366 @@
+// tribvote_node — a real TCP peer speaking PROTOCOL.md, plus the in-process
+// sim oracle for the same schedule. Three modes:
+//
+//   --listen PORT    responder: serve encounters until the peer says BYE,
+//                    then report final agent state and exit
+//   --connect H:P    initiator: run `--rounds` vote encounters (plus one
+//                    moderation encounter when --mods > 0), BYE, report
+//   --oracle         run the identical schedule through vote::vote_exchange /
+//                    moderation::exchange in one process and report both
+//                    endpoints' state — the golden the TCP run must match
+//
+// The schedule is a pure function of (--id, --seed, --rounds, --casts,
+// --mods): before encounter r each side casts `--casts` pseudo-random votes
+// derived from its seed and r. Over TCP the responder applies its casts from
+// the ENC_BEGIN hook — the only point ordered before the encounter's merges
+// — so a two-process run is bit-identical to the oracle (PROTOCOL.md §6),
+// which scripts/net_smoke.sh asserts by diffing the reports.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+#include "moderation/moderationcast.hpp"
+#include "net/event_loop.hpp"
+#include "net/node_service.hpp"
+#include "telemetry/registry.hpp"
+#include "util/rng.hpp"
+#include "vote/agent.hpp"
+
+namespace {
+
+using namespace tribvote;
+
+struct Options {
+  PeerId id = 1;
+  std::uint64_t seed = 1;
+  PeerId peer_id = 2;        // oracle mode: the other endpoint
+  std::uint64_t peer_seed = 2;
+  int listen_port = -1;      // >= 0 → responder
+  std::string connect_host;  // non-empty → initiator
+  std::uint16_t connect_port = 0;
+  bool oracle = false;
+  int rounds = 3;
+  int casts = 2;
+  int mods = 0;
+  std::string state_out;
+  std::string port_file;
+  bool telemetry = false;
+};
+
+constexpr Time kRoundPeriod = 1000;
+
+Time round_time(int round) { return kRoundPeriod * (round + 1); }
+
+struct ScheduledCast {
+  ModeratorId moderator;
+  Opinion opinion;
+  Time at;
+};
+
+// The scripted casts one node applies immediately before encounter `round`.
+// Derived only from (seed, round, casts) so every mode regenerates the same
+// schedule without any cross-process coordination.
+std::vector<ScheduledCast> casts_for(std::uint64_t seed, int round,
+                                     int casts) {
+  std::vector<ScheduledCast> out;
+  util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (round + 1)));
+  const Time base = round_time(round) - kRoundPeriod;
+  for (int i = 0; i < casts; ++i) {
+    out.push_back({static_cast<ModeratorId>(1 + rng.next_below(24)),
+                   rng.next_bool(0.5) ? Opinion::kPositive
+                                      : Opinion::kNegative,
+                   base + i + 1});
+  }
+  return out;
+}
+
+struct Endpoint {
+  crypto::KeyPair keys;
+  std::unique_ptr<vote::VoteAgent> vote;
+  std::unique_ptr<moderation::ModerationCastAgent> mod;
+};
+
+Endpoint make_endpoint(PeerId id, std::uint64_t seed) {
+  Endpoint e;
+  util::Rng krng(seed);
+  e.keys = crypto::generate_keypair(krng);
+  e.vote = std::make_unique<vote::VoteAgent>(
+      id, e.keys, vote::VoteConfig{}, [](PeerId) { return true; },
+      util::Rng(seed * 7919 + 1));
+  e.mod = std::make_unique<moderation::ModerationCastAgent>(
+      id, e.keys, moderation::ModerationCastConfig{},
+      [](ModeratorId) { return Opinion::kPositive; },
+      util::Rng(seed * 7919 + 2));
+  return e;
+}
+
+void apply_casts(vote::VoteAgent& agent, std::uint64_t seed, int round,
+                 int casts) {
+  for (const ScheduledCast& c : casts_for(seed, round, casts)) {
+    agent.cast_vote(c.moderator, c.opinion, c.at);
+  }
+}
+
+// Each side authors its --mods moderations right before the moderation
+// encounter; contents derive from (id, seed) only.
+void apply_publishes(moderation::ModerationCastAgent& mod, PeerId id,
+                     int mods, Time now) {
+  for (int j = 0; j < mods; ++j) {
+    mod.publish(static_cast<std::uint64_t>(id) * 1000 + j,
+                "mod-" + std::to_string(id) + "-" + std::to_string(j), now);
+  }
+}
+
+void report(std::FILE* f, const Endpoint& e, PeerId id) {
+  std::fprintf(f, "node %u digest 0x%016llx\n", id,
+               static_cast<unsigned long long>(e.vote->state_digest()));
+  std::fprintf(f, "node %u ballots %zu\n", id, e.vote->ballot_box().size());
+  std::fprintf(f, "node %u mods %zu\n", id, e.mod->db().size());
+}
+
+void write_report(const Options& opt, const Endpoint& self,
+                  const Endpoint* peer) {
+  report(stdout, self, opt.id);
+  if (peer != nullptr) report(stdout, *peer, opt.peer_id);
+  if (!opt.state_out.empty()) {
+    std::FILE* f = std::fopen(opt.state_out.c_str(), "w");
+    if (f != nullptr) {
+      report(f, self, opt.id);
+      if (peer != nullptr) report(f, *peer, opt.peer_id);
+      std::fclose(f);
+    }
+  }
+}
+
+void report_telemetry(const net::NodeService& svc,
+                      const telemetry::Registry& registry) {
+  const net::NetStats& s = svc.stats();
+  std::printf("net frames_in %llu frames_out %llu\n",
+              static_cast<unsigned long long>(s.frames_in),
+              static_cast<unsigned long long>(s.frames_out));
+  std::printf("net bytes_in %llu bytes_out %llu\n",
+              static_cast<unsigned long long>(s.bytes_in),
+              static_cast<unsigned long long>(s.bytes_out));
+  std::printf(
+      "net checksum_rejects %llu malformed %llu truncated %llu "
+      "protocol_errors %llu reconnects %llu\n",
+      static_cast<unsigned long long>(s.checksum_rejects),
+      static_cast<unsigned long long>(s.malformed),
+      static_cast<unsigned long long>(s.truncated),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(s.reconnects));
+  std::printf("telemetry net.frames_in %llu net.bytes_in %llu\n",
+              static_cast<unsigned long long>(
+                  registry.total_by_name("net.frames_in")),
+              static_cast<unsigned long long>(
+                  registry.total_by_name("net.bytes_in")));
+}
+
+int run_oracle(const Options& opt) {
+  Endpoint self = make_endpoint(opt.id, opt.seed);       // initiator
+  Endpoint peer = make_endpoint(opt.peer_id, opt.peer_seed);
+  for (int r = 0; r < opt.rounds; ++r) {
+    apply_casts(*self.vote, opt.seed, r, opt.casts);
+    apply_casts(*peer.vote, opt.peer_seed, r, opt.casts);
+    vote::vote_exchange(*self.vote, *peer.vote, round_time(r));
+  }
+  if (opt.mods > 0) {
+    const Time t = round_time(opt.rounds);
+    apply_publishes(*self.mod, opt.id, opt.mods, t - 1);
+    apply_publishes(*peer.mod, opt.peer_id, opt.mods, t - 1);
+    moderation::exchange(*self.mod, *peer.mod, t);
+  }
+  write_report(opt, self, &peer);
+  return 0;
+}
+
+constexpr int kStepMs = 10000;  ///< per-condition wait budget
+
+bool drive(net::EventLoop& loop, const std::function<bool()>& done,
+           const char* what) {
+  if (loop.run_until(done, kStepMs)) return true;
+  std::fprintf(stderr, "tribvote_node: timed out waiting for %s\n", what);
+  return false;
+}
+
+int run_responder(const Options& opt) {
+  Endpoint self = make_endpoint(opt.id, opt.seed);
+  net::EventLoop loop;
+  telemetry::Registry registry(1);
+  net::NodeService svc(loop, opt.id, self.keys, *self.vote, self.mod.get(),
+                       &registry);
+  // Scripted casts ride the ENC_BEGIN hook: ordered before anything of the
+  // incoming encounter merges, which is what keeps a two-process run
+  // bit-identical to the oracle.
+  svc.set_encounter_begin_hook([&](std::uint8_t kind, Time now) {
+    if (kind == net::kEncounterVote) {
+      apply_casts(*self.vote,
+                  opt.seed, static_cast<int>(now / kRoundPeriod) - 1,
+                  opt.casts);
+    } else {
+      apply_publishes(*self.mod, opt.id, opt.mods, now - 1);
+    }
+  });
+  std::string err;
+  if (!svc.listen(static_cast<std::uint16_t>(opt.listen_port), &err)) {
+    std::fprintf(stderr, "tribvote_node: listen failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("listening %u\n", svc.listen_port());
+  std::fflush(stdout);
+  if (!opt.port_file.empty()) {
+    std::ofstream pf(opt.port_file);
+    pf << svc.listen_port() << "\n";
+  }
+
+  const auto peer_conn = [&]() -> int {
+    for (const int c : svc.connections()) {
+      if (svc.bye_received(c)) return c;
+    }
+    return -1;
+  };
+  if (!drive(loop, [&] { return peer_conn() >= 0; }, "peer BYE")) return 1;
+  const int c = peer_conn();
+  svc.send_bye(c);
+  if (!drive(loop, [&] { return svc.connection_count() == 0; },
+             "peer close")) {
+    return 1;
+  }
+  write_report(opt, self, nullptr);
+  if (opt.telemetry) report_telemetry(svc, registry);
+  return 0;
+}
+
+int run_initiator(const Options& opt) {
+  Endpoint self = make_endpoint(opt.id, opt.seed);
+  net::EventLoop loop;
+  telemetry::Registry registry(1);
+  net::NodeService svc(loop, opt.id, self.keys, *self.vote, self.mod.get(),
+                       &registry);
+  std::string err;
+  const int c = svc.connect(opt.connect_host, opt.connect_port, &err);
+  if (c < 0) {
+    std::fprintf(stderr, "tribvote_node: connect failed: %s\n", err.c_str());
+    return 1;
+  }
+  if (!drive(loop, [&] { return svc.ready(c); }, "HELLO")) return 1;
+
+  for (int r = 0; r < opt.rounds; ++r) {
+    apply_casts(*self.vote, opt.seed, r, opt.casts);
+    if (!svc.initiate_vote_encounter(c, round_time(r))) {
+      std::fprintf(stderr, "tribvote_node: initiate failed\n");
+      return 1;
+    }
+    const std::uint64_t want = static_cast<std::uint64_t>(r) + 1;
+    if (!drive(loop,
+               [&] {
+                 return svc.initiator_idle(c) &&
+                        svc.engine_counters(c)->encounters_completed == want;
+               },
+               "encounter")) {
+      return 1;
+    }
+  }
+  if (opt.mods > 0) {
+    const Time t = round_time(opt.rounds);
+    apply_publishes(*self.mod, opt.id, opt.mods, t - 1);
+    if (!svc.initiate_moderation_encounter(c, t)) {
+      std::fprintf(stderr, "tribvote_node: moderation initiate failed\n");
+      return 1;
+    }
+    if (!drive(loop,
+               [&] {
+                 return svc.initiator_idle(c) &&
+                        svc.engine_counters(c)->mod_completed == 1;
+               },
+               "moderation encounter")) {
+      return 1;
+    }
+  }
+
+  svc.send_bye(c);
+  if (!drive(loop, [&] { return svc.bye_received(c); }, "BYE")) return 1;
+  svc.close(c);
+  write_report(opt, self, nullptr);
+  if (opt.telemetry) report_telemetry(svc, registry);
+  return 0;
+}
+
+bool parse_host_port(const std::string& arg, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  host = arg.substr(0, colon);
+  const long p = std::strtol(arg.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tribvote_node --id N --seed S --listen PORT [--port-file F]\n"
+      "                [--casts K] [--mods M] [--state-out F] [--telemetry]\n"
+      "  tribvote_node --id N --seed S --connect HOST:PORT --rounds R\n"
+      "                [--casts K] [--mods M] [--state-out F] [--telemetry]\n"
+      "  tribvote_node --oracle --id N --seed S --peer-id N2 --peer-seed S2\n"
+      "                --rounds R [--casts K] [--mods M] [--state-out F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--oracle") {
+      opt.oracle = true;
+    } else if (a == "--telemetry") {
+      opt.telemetry = true;
+    } else if ((v = next()) == nullptr) {
+      return usage();
+    } else if (a == "--id") {
+      opt.id = static_cast<PeerId>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--peer-id") {
+      opt.peer_id = static_cast<PeerId>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--peer-seed") {
+      opt.peer_seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--listen") {
+      opt.listen_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (a == "--connect") {
+      if (!parse_host_port(v, opt.connect_host, opt.connect_port)) {
+        return usage();
+      }
+    } else if (a == "--rounds") {
+      opt.rounds = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (a == "--casts") {
+      opt.casts = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (a == "--mods") {
+      opt.mods = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (a == "--state-out") {
+      opt.state_out = v;
+    } else if (a == "--port-file") {
+      opt.port_file = v;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.oracle) return run_oracle(opt);
+  if (opt.listen_port >= 0) return run_responder(opt);
+  if (!opt.connect_host.empty()) return run_initiator(opt);
+  return usage();
+}

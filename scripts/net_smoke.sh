@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Two-node localhost smoke: run a scripted encounter schedule over real TCP
+# (two tribvote_node processes) and assert both endpoints' final state
+# digests are byte-identical to the in-process sim oracle for the same
+# schedule (PROTOCOL.md §6). Single-initiator schedule — the only kind that
+# is oracle-deterministic.
+#
+# usage: scripts/net_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NODE="$BUILD_DIR/examples/tribvote_node"
+[ -x "$NODE" ] || { echo "net_smoke: $NODE not built" >&2; exit 1; }
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"; [ -n "${RESP_PID:-}" ] && kill "$RESP_PID" 2>/dev/null || true' EXIT
+
+# One schedule, three runs of it: oracle, TCP responder, TCP initiator.
+A_ID=1;  A_SEED=11   # responder / acceptor
+B_ID=2;  B_SEED=22   # initiator / dialer
+ROUNDS=3; CASTS=2; MODS=2
+SCHED=(--rounds "$ROUNDS" --casts "$CASTS" --mods "$MODS")
+
+"$NODE" --oracle --id "$B_ID" --seed "$B_SEED" \
+        --peer-id "$A_ID" --peer-seed "$A_SEED" \
+        "${SCHED[@]}" --state-out "$WORK/oracle.txt" > /dev/null
+
+"$NODE" --id "$A_ID" --seed "$A_SEED" --listen 0 --casts "$CASTS" \
+        --mods "$MODS" --port-file "$WORK/port.txt" \
+        --state-out "$WORK/resp.txt" > "$WORK/resp.log" 2>&1 &
+RESP_PID=$!
+
+for _ in $(seq 1 100); do [ -s "$WORK/port.txt" ] && break; sleep 0.1; done
+[ -s "$WORK/port.txt" ] || { echo "net_smoke: responder never bound" >&2; exit 1; }
+PORT="$(cat "$WORK/port.txt")"
+
+"$NODE" --id "$B_ID" --seed "$B_SEED" --connect "127.0.0.1:$PORT" \
+        "${SCHED[@]}" --state-out "$WORK/init.txt" > "$WORK/init.log" 2>&1
+
+wait "$RESP_PID"
+RESP_PID=""
+
+# The TCP run must reproduce the oracle's per-node lines exactly.
+cat "$WORK/init.txt" "$WORK/resp.txt" | sort > "$WORK/tcp.txt"
+sort "$WORK/oracle.txt" > "$WORK/golden.txt"
+if ! diff -u "$WORK/golden.txt" "$WORK/tcp.txt"; then
+  echo "net_smoke: FAIL — TCP session state diverged from the sim oracle" >&2
+  exit 1
+fi
+echo "net_smoke: OK — TCP state matches sim oracle ($(grep -c digest "$WORK/golden.txt") digests)"

@@ -6,6 +6,7 @@
 #include "metrics/cev.hpp"
 #include "metrics/degradation.hpp"
 #include "moderation/moderation.hpp"
+#include "vote/encounter.hpp"
 
 namespace tribvote::core {
 
@@ -573,33 +574,28 @@ void ScenarioRunner::vote_round() {
           Node& ni = *nodes_[e.initiator];
           Node& nj = *nodes_[e.responder];
 
-          // BallotBox leg, instrumented (vote_exchange() is the
-          // uninstrumented library entry point; the runner inlines its two
-          // gossip legs to keep counters). A node's outgoing message never
-          // depends on what it just received, so the sequential legs are
-          // bit-identical to the legacy build-both-then-merge order.
-          const vote::GossipLegOutcome leg_ij =
-              vote::gossip_send(ni.vote(), nj.vote(), now);
+          // The shared transport-agnostic encounter core (the same function
+          // the socket plane's ExchangeEngine mirrors frame-by-frame); the
+          // runner keeps the probe accounting. Counter adds are commutative
+          // sums into lane blocks, so folding them after both legs is
+          // bit-identical to the legacy interleaved order.
+          const vote::VoteEncounterOutcome enc =
+              vote::vote_encounter(ni.vote(), nj.vote(), now);
           probes_.vote_list_size.observe(
-              static_cast<double>(leg_ij.list_size));
-          note_vote_receive(st, leg_ij.result);
-          note_gossip_leg(leg_ij);
-          const vote::GossipLegOutcome leg_ji =
-              vote::gossip_send(nj.vote(), ni.vote(), now);
+              static_cast<double>(enc.forward.list_size));
+          note_vote_receive(st, enc.forward.result);
+          note_gossip_leg(enc.forward);
           probes_.vote_list_size.observe(
-              static_cast<double>(leg_ji.list_size));
-          note_vote_receive(st, leg_ji.result);
-          note_gossip_leg(leg_ji);
-
-          // VoxPopuli leg.
-          if (ni.vote().bootstrapping()) {
-            vote::RankedList topk = nj.vote().answer_topk();
-            if (topk.empty()) {
+              static_cast<double>(enc.reverse.list_size));
+          note_vote_receive(st, enc.reverse.result);
+          note_gossip_leg(enc.reverse);
+          if (enc.vox_requested) {
+            if (enc.vox_topk == 0) {
               ++st.vp_requests_null;
             } else {
               ++st.vp_requests_answered;
-              probes_.vox_topk_size.observe(static_cast<double>(topk.size()));
-              ni.vote().receive_topk(std::move(topk));
+              probes_.vox_topk_size.observe(
+                  static_cast<double>(enc.vox_topk));
             }
           }
           ++st.vote_exchanges;

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3: reflected polynomial 0xEDB88320, init and xorout
+// 0xFFFFFFFF) — the per-frame payload checksum of the wire protocol
+// (PROTOCOL.md §2). Table-driven, byte at a time; this is an integrity
+// check against damaged or misbehaving senders, not an authenticity
+// mechanism — authenticity is the Schnorr signature inside the payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tribvote::net {
+
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data,
+                                  std::size_t size) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(
+    const std::vector<std::uint8_t>& data) noexcept {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace tribvote::net

@@ -1,0 +1,200 @@
+#include "net/event_loop.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace tribvote::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void fill_err(std::string* err, const char* what) {
+  if (err != nullptr) *err = std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+EventLoop::Entry* EventLoop::find(int fd) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd && !e.dead) return &e;
+  }
+  return nullptr;
+}
+
+void EventLoop::add(int fd, Handler handler) {
+  Entry e;
+  e.fd = fd;
+  e.handler = std::move(handler);
+  entries_.push_back(std::move(e));
+}
+
+void EventLoop::remove(int fd) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd) e.dead = true;
+  }
+  if (!dispatching_) compact();
+}
+
+void EventLoop::set_want_write(int fd, bool want) {
+  if (Entry* e = find(fd); e != nullptr) e->want_write = want;
+}
+
+void EventLoop::compact() {
+  std::erase_if(entries_, [](const Entry& e) { return e.dead; });
+}
+
+std::size_t EventLoop::size() const noexcept {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (!e.dead) ++n;
+  }
+  return n;
+}
+
+int EventLoop::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<int> owners;
+  fds.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.dead) continue;
+    pollfd p{};
+    p.fd = e.fd;
+    p.events = POLLIN;
+    if (e.want_write) p.events |= POLLOUT;
+    fds.push_back(p);
+    owners.push_back(e.fd);
+  }
+  if (fds.empty()) return 0;
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n <= 0) return n;
+
+  dispatching_ = true;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const short got = fds[i].revents;
+    if (got == 0) continue;
+    // Re-find per dispatch (an earlier callback may have removed this fd)
+    // and invoke through a COPY of the std::function: the callback may call
+    // add(), reallocating entries_ and destroying the closure it is
+    // executing from.
+    Entry* e = find(owners[i]);
+    if (e == nullptr) continue;
+    if ((got & (POLLIN | POLLERR | POLLHUP)) != 0 && e->handler.on_readable) {
+      const std::function<void()> cb = e->handler.on_readable;
+      cb();
+    }
+    e = find(owners[i]);
+    if (e == nullptr) continue;
+    if ((got & POLLOUT) != 0 && e->handler.on_writable) {
+      const std::function<void()> cb = e->handler.on_writable;
+      cb();
+    }
+  }
+  dispatching_ = false;
+  compact();
+  return n;
+}
+
+bool EventLoop::run_until(const std::function<bool()>& done, int max_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(max_ms);
+  while (!done()) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return false;
+    const int step = static_cast<int>(std::min<long long>(left.count(), 50));
+    if (poll_once(step) < 0) return false;
+  }
+  return true;
+}
+
+int tcp_listen(std::uint16_t port, std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fill_err(err, "socket");
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    fill_err(err, "bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port,
+                std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fill_err(err, "socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    fill_err(err, "inet_pton");
+    ::close(fd);
+    return -1;
+  }
+  if (!set_nonblocking(fd)) {
+    fill_err(err, "fcntl");
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    fill_err(err, "connect");
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+int tcp_accept(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace tribvote::net

@@ -1,0 +1,73 @@
+// Poll-based single-threaded event loop + nonblocking TCP helpers — the
+// socket substrate under net::NodeService. Deliberately minimal: poll(2)
+// over registered fds with per-fd readable/writable callbacks, level-
+// triggered, no timers (the protocol needs none — every encounter is
+// request/response over TCP, and quiescence is explicit via BYE frames).
+//
+// Single ownership rule: callbacks run on the thread calling poll_once();
+// a callback may add or remove fds (including its own) — removals take
+// effect before the next dispatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tribvote::net {
+
+class EventLoop {
+ public:
+  struct Handler {
+    std::function<void()> on_readable;
+    std::function<void()> on_writable;
+  };
+
+  /// Register `fd`. The loop never closes fds — owners do.
+  void add(int fd, Handler handler);
+  void remove(int fd);
+  /// Interest in writability (set while an output buffer is non-empty).
+  void set_want_write(int fd, bool want);
+
+  /// One poll + dispatch pass. Returns the number of fds that fired, 0 on
+  /// timeout, -1 on poll error. `timeout_ms` < 0 blocks indefinitely.
+  int poll_once(int timeout_ms);
+
+  /// Drive poll_once until `done()` or `max_ms` elapses. Returns done().
+  bool run_until(const std::function<bool()>& done, int max_ms);
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  struct Entry {
+    int fd = -1;
+    Handler handler;
+    bool want_write = false;
+    bool dead = false;
+  };
+
+  Entry* find(int fd);
+  void compact();
+
+  std::vector<Entry> entries_;
+  bool dispatching_ = false;
+};
+
+// ---- nonblocking TCP helpers (IPv4 loopback/LAN grade) ---------------------
+
+/// Listen on 127.0.0.1-any:`port` (0 = ephemeral). Returns the listening fd
+/// or -1 (`err` gets the reason). SO_REUSEADDR set, nonblocking.
+int tcp_listen(std::uint16_t port, std::string* err = nullptr);
+
+/// Begin a nonblocking connect to host:port. Returns the fd (connection may
+/// still be in progress — poll for writability) or -1.
+int tcp_connect(const std::string& host, std::uint16_t port,
+                std::string* err = nullptr);
+
+/// Accept one pending connection (nonblocking, TCP_NODELAY). -1 when none.
+int tcp_accept(int listen_fd);
+
+/// The locally bound port of a socket (resolves port 0 after tcp_listen).
+std::uint16_t local_port(int fd);
+
+}  // namespace tribvote::net

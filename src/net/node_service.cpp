@@ -1,0 +1,350 @@
+#include "net/node_service.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace tribvote::net {
+
+NodeService::NodeService(EventLoop& loop, PeerId self,
+                         const crypto::KeyPair& keys, vote::VoteAgent& vote,
+                         moderation::ModerationCastAgent* mod,
+                         telemetry::Registry* registry)
+    : loop_(&loop),
+      self_(self),
+      keys_(&keys),
+      vote_(&vote),
+      mod_(mod),
+      registry_(registry) {
+  if (registry_ != nullptr) {
+    t_frames_in_ = registry_->counter("net.frames_in");
+    t_frames_out_ = registry_->counter("net.frames_out");
+    t_bytes_in_ = registry_->counter("net.bytes_in");
+    t_bytes_out_ = registry_->counter("net.bytes_out");
+    t_checksum_ = registry_->counter("net.checksum_rejects");
+    t_malformed_ = registry_->counter("net.malformed");
+    t_truncated_ = registry_->counter("net.truncated");
+    t_reconnects_ = registry_->counter("net.reconnects");
+    t_closes_ = registry_->counter("net.closes");
+    t_protocol_errors_ = registry_->counter("net.protocol_errors");
+  }
+}
+
+NodeService::~NodeService() {
+  for (auto& [id, c] : conns_) {
+    if (!c.closed) close_internal(c, false);
+  }
+  if (listen_fd_ >= 0) {
+    loop_->remove(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void NodeService::mirror_telemetry() {
+  // The NetStats struct stays the source of truth; the registry mirrors it
+  // the way RunStats/FaultStats mirror into the simulator's plane.
+  if (registry_ == nullptr) return;
+  registry_->set_total(t_frames_in_, stats_.frames_in);
+  registry_->set_total(t_frames_out_, stats_.frames_out);
+  registry_->set_total(t_bytes_in_, stats_.bytes_in);
+  registry_->set_total(t_bytes_out_, stats_.bytes_out);
+  registry_->set_total(t_checksum_, stats_.checksum_rejects);
+  registry_->set_total(t_malformed_, stats_.malformed);
+  registry_->set_total(t_truncated_, stats_.truncated);
+  registry_->set_total(t_reconnects_, stats_.reconnects);
+  registry_->set_total(t_closes_, stats_.closes);
+  registry_->set_total(t_protocol_errors_, stats_.protocol_errors);
+}
+
+bool NodeService::listen(std::uint16_t port, std::string* err) {
+  if (listen_fd_ >= 0) return false;
+  listen_fd_ = tcp_listen(port, err);
+  if (listen_fd_ < 0) return false;
+  listen_port_ = local_port(listen_fd_);
+  loop_->add(listen_fd_, {.on_readable =
+                              [this] {
+                                int fd;
+                                while ((fd = tcp_accept(listen_fd_)) >= 0) {
+                                  ++stats_.connections_in;
+                                  adopt(fd, false, {}, 0);
+                                }
+                              },
+                          .on_writable = nullptr});
+  return true;
+}
+
+int NodeService::connect(const std::string& host, std::uint16_t port,
+                         std::string* err) {
+  const int fd = tcp_connect(host, port, err);
+  if (fd < 0) return -1;
+  ++stats_.connections_out;
+  return adopt(fd, true, host, port);
+}
+
+int NodeService::adopt(int fd, bool outbound, const std::string& host,
+                       std::uint16_t port) {
+  const int id = next_id_++;
+  Connection& c = conns_[id];
+  c.id = id;
+  c.fd = fd;
+  c.outbound = outbound;
+  c.host = host;
+  c.port = port;
+  // Dialer initiates on channel 0, acceptor on channel 1 (PROTOCOL.md §3).
+  c.engine = std::make_unique<ExchangeEngine>(*vote_, mod_,
+                                              outbound ? std::uint8_t{0}
+                                                       : std::uint8_t{1});
+  c.engine->set_begin_hook(begin_hook_);
+  attach(c);
+  send_hello(c);
+  return id;
+}
+
+void NodeService::attach(Connection& c) {
+  const int id = c.id;
+  loop_->add(c.fd, {.on_readable = [this, id] { on_readable(id); },
+                    .on_writable = [this, id] { on_writable(id); }});
+}
+
+bool NodeService::reconnect(int conn, std::string* err) {
+  Connection* c = get(conn);
+  if (c == nullptr || !c->closed || !c->outbound) return false;
+  const int fd = tcp_connect(c->host, c->port, err);
+  if (fd < 0) return false;
+  ++stats_.reconnects;
+  c->fd = fd;
+  c->closed = false;
+  c->hello_sent = false;
+  c->hello_received = false;
+  c->bye_sent = false;
+  c->bye_received = false;
+  c->reader = FrameReader{};
+  c->outbuf.clear();
+  c->out_cursor = 0;
+  c->engine = std::make_unique<ExchangeEngine>(*vote_, mod_, std::uint8_t{0});
+  c->engine->set_begin_hook(begin_hook_);
+  attach(*c);
+  send_hello(*c);
+  mirror_telemetry();
+  return true;
+}
+
+NodeService::Connection* NodeService::get(int conn) {
+  const auto it = conns_.find(conn);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+const NodeService::Connection* NodeService::get(int conn) const {
+  const auto it = conns_.find(conn);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+bool NodeService::open(int conn) const {
+  const Connection* c = get(conn);
+  return c != nullptr && !c->closed;
+}
+
+bool NodeService::ready(int conn) const {
+  const Connection* c = get(conn);
+  return c != nullptr && !c->closed && c->hello_received;
+}
+
+PeerId NodeService::peer_of(int conn) const {
+  const Connection* c = get(conn);
+  return c != nullptr && c->engine->has_peer() ? c->engine->peer()
+                                               : kInvalidPeer;
+}
+
+std::size_t NodeService::connection_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : conns_) {
+    if (!c.closed) ++n;
+  }
+  return n;
+}
+
+std::vector<int> NodeService::connections() const {
+  std::vector<int> ids;
+  for (const auto& [id, c] : conns_) {
+    if (!c.closed) ids.push_back(id);
+  }
+  return ids;
+}
+
+bool NodeService::initiator_idle(int conn) const {
+  const Connection* c = get(conn);
+  return c != nullptr && !c->closed && c->engine->idle();
+}
+
+bool NodeService::initiate_vote_encounter(int conn, Time now) {
+  Connection* c = get(conn);
+  if (c == nullptr || c->closed || !c->hello_received) return false;
+  std::vector<Frame> out;
+  if (!c->engine->begin_vote_encounter(now, out)) return false;
+  for (const Frame& f : out) send_frame(*c, f);
+  mirror_telemetry();
+  return true;
+}
+
+bool NodeService::initiate_moderation_encounter(int conn, Time now) {
+  Connection* c = get(conn);
+  if (c == nullptr || c->closed || !c->hello_received) return false;
+  std::vector<Frame> out;
+  if (!c->engine->begin_moderation_encounter(now, out)) return false;
+  for (const Frame& f : out) send_frame(*c, f);
+  mirror_telemetry();
+  return true;
+}
+
+void NodeService::send_bye(int conn) {
+  Connection* c = get(conn);
+  if (c == nullptr || c->closed || c->bye_sent) return;
+  c->bye_sent = true;
+  Frame f;
+  f.type = FrameType::kBye;
+  f.channel = c->outbound ? 0 : 1;
+  send_frame(*c, f);
+  mirror_telemetry();
+}
+
+bool NodeService::bye_received(int conn) const {
+  const Connection* c = get(conn);
+  return c != nullptr && c->bye_received;
+}
+
+void NodeService::close(int conn) {
+  Connection* c = get(conn);
+  if (c != nullptr && !c->closed) {
+    close_internal(*c, true);
+    mirror_telemetry();
+  }
+}
+
+const ExchangeEngine::Counters* NodeService::engine_counters(int conn) const {
+  const Connection* c = get(conn);
+  return c == nullptr ? nullptr : &c->engine->counters();
+}
+
+void NodeService::send_hello(Connection& c) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.channel = c.outbound ? 0 : 1;
+  f.payload = encode_hello({self_, keys_->pub});
+  send_frame(c, f);
+  c.hello_sent = true;
+}
+
+void NodeService::send_frame(Connection& c, const Frame& frame) {
+  if (c.closed) return;
+  const std::size_t before = c.outbuf.size();
+  encode_frame(frame, c.outbuf);
+  ++stats_.frames_out;
+  stats_.bytes_out += c.outbuf.size() - before;
+  flush(c);
+}
+
+void NodeService::flush(Connection& c) {
+  while (c.out_cursor < c.outbuf.size()) {
+    const ssize_t n =
+        ::send(c.fd, c.outbuf.data() + c.out_cursor,
+               c.outbuf.size() - c.out_cursor, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_cursor += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_->set_want_write(c.fd, true);
+      return;
+    }
+    close_internal(c, true);
+    return;
+  }
+  c.outbuf.clear();
+  c.out_cursor = 0;
+  loop_->set_want_write(c.fd, false);
+}
+
+void NodeService::on_writable(int conn) {
+  Connection* c = get(conn);
+  if (c != nullptr && !c->closed) flush(*c);
+}
+
+void NodeService::on_readable(int conn) {
+  Connection* c = get(conn);
+  if (c == nullptr || c->closed) return;
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      c->reader.feed(buf, static_cast<std::size_t>(n));
+      pump_frames(*c);
+      if (c->closed) return;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Orderly close or hard error. An incomplete trailing frame means the
+    // peer truncated mid-frame — the PR 4 truncation verdict on a real
+    // stream; nothing partial was ever delivered upward.
+    if (c->reader.pending_bytes() > 0) ++stats_.truncated;
+    close_internal(*c, true);
+    mirror_telemetry();
+    return;
+  }
+  mirror_telemetry();
+}
+
+void NodeService::pump_frames(Connection& c) {
+  Frame f;
+  while (c.reader.next(f)) {
+    ++stats_.frames_in;
+    if (!handle_frame(c, f)) {
+      ++stats_.protocol_errors;
+      close_internal(c, true);
+      return;
+    }
+  }
+  if (c.reader.corrupt()) {
+    // Framing integrity lost: either an unframeable header (malformed) or
+    // a payload whose CRC lied (checksum reject). Connection-fatal — the
+    // wire analogue of the fault plane's corruption verdict (§5).
+    stats_.checksum_rejects += c.reader.stats().checksum_rejects;
+    stats_.malformed += c.reader.stats().malformed;
+    close_internal(c, true);
+  }
+}
+
+bool NodeService::handle_frame(Connection& c, const Frame& frame) {
+  if (frame.type == FrameType::kHello) {
+    if (c.hello_received) return false;  // HELLO must come exactly once
+    HelloMessage hello;
+    if (!decode_hello(frame.payload, hello) || hello.peer == self_) {
+      return false;
+    }
+    c.hello_received = true;
+    c.engine->set_peer(hello.peer);
+    return true;
+  }
+  if (!c.hello_received) return false;  // everything else needs identity
+  if (frame.type == FrameType::kBye) {
+    if (!frame.payload.empty()) return false;
+    c.bye_received = true;
+    return true;
+  }
+  std::vector<Frame> out;
+  if (!c.engine->on_frame(frame, out)) return false;
+  for (const Frame& f : out) send_frame(c, f);
+  return true;
+}
+
+void NodeService::close_internal(Connection& c, bool count_close) {
+  if (c.closed) return;
+  loop_->remove(c.fd);
+  ::close(c.fd);
+  c.closed = true;
+  if (count_close) ++stats_.closes;
+}
+
+}  // namespace tribvote::net

@@ -1,0 +1,163 @@
+// NodeService: one peer's socket endpoint — listener, connections, HELLO
+// handshake, frame pump, and the glue between TCP byte streams and the
+// transport-agnostic ExchangeEngine (PROTOCOL.md §3).
+//
+// Connection lifecycle: dial (or accept), both sides immediately send
+// HELLO; once the peer's HELLO arrives the connection is bound to its
+// PeerId and encounters may be initiated. The side that dialed initiates
+// on channel 0, the side that accepted on channel 1 — the two in-flight
+// encounters of a connection never share a channel, so simultaneous
+// initiation needs no arbitration. BYE declares "I will initiate nothing
+// further"; a node that has sent and received BYE on a connection may
+// close it knowing no encounter is cut short.
+//
+// Every transport event lands in the PR 5 telemetry registry (when one is
+// wired) under net.*: frames/bytes in/out, checksum rejects, malformed
+// streams, truncated tails, reconnects — the socket path reports through
+// the same plane the simulator does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+#include "moderation/moderationcast.hpp"
+#include "net/engine.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "telemetry/registry.hpp"
+#include "vote/agent.hpp"
+
+namespace tribvote::net {
+
+/// Monotone transport counters (engine-level protocol counters live in
+/// ExchangeEngine::Counters). Mirrored into the telemetry registry.
+struct NetStats {
+  std::uint64_t connections_in = 0;
+  std::uint64_t connections_out = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t checksum_rejects = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t truncated = 0;  ///< streams that ended mid-frame
+  std::uint64_t protocol_errors = 0;
+};
+
+class NodeService {
+ public:
+  /// `registry` may be null (no telemetry); `mod` may be null (vote-only).
+  /// All referenced objects must outlive the service.
+  NodeService(EventLoop& loop, PeerId self, const crypto::KeyPair& keys,
+              vote::VoteAgent& vote, moderation::ModerationCastAgent* mod,
+              telemetry::Registry* registry = nullptr);
+  ~NodeService();
+
+  NodeService(const NodeService&) = delete;
+  NodeService& operator=(const NodeService&) = delete;
+
+  /// Accept inbound connections on `port` (0 = ephemeral; listen_port()
+  /// reports the bound one).
+  bool listen(std::uint16_t port, std::string* err = nullptr);
+  [[nodiscard]] std::uint16_t listen_port() const noexcept {
+    return listen_port_;
+  }
+
+  /// Dial host:port. Returns a connection id (>= 0) or -1.
+  int connect(const std::string& host, std::uint16_t port,
+              std::string* err = nullptr);
+  /// Re-dial a closed outbound connection (same host:port, fresh engine
+  /// handshake). Counts net.reconnects.
+  bool reconnect(int conn, std::string* err = nullptr);
+
+  [[nodiscard]] bool open(int conn) const;       ///< socket alive
+  [[nodiscard]] bool ready(int conn) const;      ///< HELLO exchanged
+  [[nodiscard]] PeerId peer_of(int conn) const;  ///< kInvalidPeer if not ready
+  [[nodiscard]] std::size_t connection_count() const;
+  /// Ids of currently open connections (accepted ones appear once their
+  /// HELLO arrives and binds them to a peer).
+  [[nodiscard]] std::vector<int> connections() const;
+
+  /// Open one encounter as initiator. Fails while the connection is not
+  /// ready or our previous encounter on it is still in flight.
+  bool initiate_vote_encounter(int conn, Time now);
+  bool initiate_moderation_encounter(int conn, Time now);
+  /// Our initiator side is idle (safe to initiate the next encounter).
+  [[nodiscard]] bool initiator_idle(int conn) const;
+
+  /// Declare we will initiate nothing more on this connection.
+  void send_bye(int conn);
+  [[nodiscard]] bool bye_received(int conn) const;
+  void close(int conn);
+
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ExchangeEngine::Counters* engine_counters(
+      int conn) const;
+
+  /// Install a hook fired on every peer-initiated ENC_BEGIN (kind, time),
+  /// before anything of that encounter merges — the responder's only safe
+  /// point to apply scheduled casts (see ExchangeEngine::set_begin_hook).
+  /// Applies to connections adopted after the call.
+  void set_encounter_begin_hook(std::function<void(std::uint8_t, Time)> hook) {
+    begin_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Connection {
+    int id = -1;
+    int fd = -1;
+    bool outbound = false;
+    std::string host;
+    std::uint16_t port = 0;
+    bool hello_sent = false;
+    bool hello_received = false;
+    bool bye_sent = false;
+    bool bye_received = false;
+    bool closed = false;
+    FrameReader reader;
+    std::vector<std::uint8_t> outbuf;
+    std::size_t out_cursor = 0;
+    std::unique_ptr<ExchangeEngine> engine;
+  };
+
+  Connection* get(int conn);
+  const Connection* get(int conn) const;
+  int adopt(int fd, bool outbound, const std::string& host,
+            std::uint16_t port);
+  void attach(Connection& c);
+  void on_readable(int conn);
+  void on_writable(int conn);
+  void pump_frames(Connection& c);
+  bool handle_frame(Connection& c, const Frame& frame);
+  void send_frame(Connection& c, const Frame& frame);
+  void send_hello(Connection& c);
+  void flush(Connection& c);
+  void close_internal(Connection& c, bool count_close);
+  void mirror_telemetry();
+
+  EventLoop* loop_;
+  PeerId self_;
+  const crypto::KeyPair* keys_;
+  vote::VoteAgent* vote_;
+  moderation::ModerationCastAgent* mod_;
+  telemetry::Registry* registry_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  int next_id_ = 0;
+  std::map<int, Connection> conns_;
+  NetStats stats_;
+  std::function<void(std::uint8_t, Time)> begin_hook_;
+
+  telemetry::CounterId t_frames_in_{}, t_frames_out_{}, t_bytes_in_{},
+      t_bytes_out_{}, t_checksum_{}, t_malformed_{}, t_truncated_{},
+      t_reconnects_{}, t_closes_{}, t_protocol_errors_{};
+};
+
+}  // namespace tribvote::net

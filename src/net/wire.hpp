@@ -1,0 +1,97 @@
+// Bounds-checked little-endian byte reader/writer — the primitive every
+// payload codec (net/codec.hpp) is built from. All multi-byte integers on
+// the wire are little-endian (PROTOCOL.md §1); signed values are carried as
+// their two's-complement bit pattern.
+//
+// The reader never throws and never reads past the buffer: a short read
+// sets a sticky failure flag and returns zero, so codecs can decode
+// straight-line and check `ok() && exhausted()` once at the end — which
+// also enforces the "no trailing bytes" rule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tribvote::net {
+
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_->insert(out_->end(), p, p + size);
+  }
+  void str(const std::string& s) { bytes(s.data(), s.size()); }
+
+ private:
+  void le(std::uint64_t v, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t>* out_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Copy `size` raw bytes into `out` (appended). Fails short like ints.
+  void str(std::string& out, std::size_t size) {
+    if (size_ - pos_ < size) {
+      failed_ = true;
+      pos_ = size_;
+      return;
+    }
+    out.append(reinterpret_cast<const char*>(data_ + pos_), size);
+    pos_ += size;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+  /// The complete-decode check every codec ends with: nothing missing,
+  /// nothing left over.
+  [[nodiscard]] bool complete() const noexcept { return ok() && exhausted(); }
+
+ private:
+  std::uint64_t le(std::size_t n) {
+    if (size_ - pos_ < n) {
+      failed_ = true;
+      pos_ = size_;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace tribvote::net

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "util/hash.hpp"
+#include "vote/encounter.hpp"
 
 namespace tribvote::vote {
 
@@ -211,6 +212,24 @@ RankedList VoteAgent::current_ranking() const {
   return vox_.merged_ranking();
 }
 
+std::uint64_t VoteAgent::state_digest() const {
+  std::uint64_t h = util::digest_fields(
+      {self_, keys_->pub.y, votes_.version(), votes_.entries().size()});
+  for (const VoteEntry& v : votes_.entries()) {
+    h = util::hash_combine(
+        h, util::digest_fields(
+               {v.moderator,
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(opinion_value(v.opinion))),
+                static_cast<std::uint64_t>(v.cast_at)}));
+  }
+  h = util::hash_combine(h, box_.digest());
+  h = util::hash_combine(h, observed_.digest());
+  h = util::hash_combine(h, vox_.digest());
+  h = util::hash_combine(h, counterparts_.digest());
+  return h;
+}
+
 std::optional<ModeratorId> VoteAgent::top_moderator() const {
   const RankedList ranking = current_ranking();
   if (ranking.empty()) return std::nullopt;
@@ -277,19 +296,7 @@ GossipLegOutcome gossip_send(VoteAgent& sender, VoteAgent& receiver, Time now,
 }
 
 void vote_exchange(VoteAgent& initiator, VoteAgent& responder, Time now) {
-  // BallotBox leg (Fig. 3a/3b): mutual vote-list exchange, one directed
-  // gossip leg each way. outgoing_votes depends only on a node's own vote
-  // list — never on what it just received — so the sequential legs are
-  // bit-identical to the simultaneous build-then-merge of the pre-delta
-  // protocol.
-  gossip_send(initiator, responder, now);
-  gossip_send(responder, initiator, now);
-
-  // VoxPopuli leg (Fig. 3a/3c): only while the initiator is bootstrapping.
-  if (initiator.bootstrapping()) {
-    RankedList topk = responder.answer_topk();
-    if (!topk.empty()) initiator.receive_topk(std::move(topk));
-  }
+  (void)vote_encounter(initiator, responder, now);
 }
 
 }  // namespace tribvote::vote

@@ -198,6 +198,14 @@ class VoteAgent {
     return vox_;
   }
 
+  /// Fingerprint of the agent's complete protocol state: vote list (with
+  /// version), ballot box, observed box, VoxPopuli cache and counterpart
+  /// memory. Two agents with equal digests are indistinguishable to every
+  /// future protocol step. The transport-equivalence tests (DESIGN.md §13)
+  /// compare this across the sim and socket paths; work counters
+  /// (gossip_stats) are deliberately excluded — they are effort, not state.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
  protected:
   /// Ballot-box tally augmented with known vote-less moderators at zero.
   [[nodiscard]] std::map<ModeratorId, Tally> augmented_tally() const;

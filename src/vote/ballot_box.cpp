@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/hash.hpp"
+
 namespace tribvote::vote {
 
 BallotBox::BallotBox(std::size_t b_max) : b_max_(b_max) {
@@ -125,6 +127,21 @@ double BallotBox::max_dispersion(std::uint32_t min_votes) const {
     worst = std::max(worst, 1.0 - diff / static_cast<double>(t.total()));
   }
   return worst;
+}
+
+std::uint64_t BallotBox::digest() const {
+  std::uint64_t h =
+      util::digest_fields({b_max_, next_seq_, entries_.size()});
+  for (const auto& [key, e] : entries_) {
+    h = util::hash_combine(
+        h, util::digest_fields(
+               {e.voter, e.moderator,
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(opinion_value(e.opinion))),
+                static_cast<std::uint64_t>(e.received), e.seq,
+                static_cast<std::uint64_t>(e.cast_at)}));
+  }
+  return h;
 }
 
 double BallotBox::dispersion() const {

@@ -83,6 +83,13 @@ class BallotBox {
   /// not diluted by uncontested moderators.
   [[nodiscard]] double max_dispersion(std::uint32_t min_votes = 3) const;
 
+  /// Order-sensitive fingerprint of the complete box state — every entry
+  /// including receive timestamps and eviction sequence numbers. Two boxes
+  /// with equal digests went through merge histories with identical
+  /// observable effect; the transport-equivalence tests (sim vs socket)
+  /// compare these.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   struct Entry {
     PeerId voter;

@@ -1,0 +1,36 @@
+// The transport-agnostic core of one active-thread vote encounter (Fig. 3).
+//
+// vote_encounter() is the single definition of what a faultless BallotBox +
+// VoxPopuli encounter *does* to the two endpoint agents: forward gossip leg,
+// reverse gossip leg, then — only if the initiator is still bootstrapping
+// after both legs — one VP request/answer. Every transport runs this same
+// sequence: the deterministic simulator calls it directly per PSS-sampled
+// pair (core/runner.cpp), and the socket plane's ExchangeEngine (net/)
+// performs the identical per-agent call order with each message serialized
+// through the wire codecs in between. That shared core is what makes the
+// sim-vs-socket equivalence tests meaningful — see DESIGN.md §13 and
+// PROTOCOL.md.
+#pragma once
+
+#include "vote/agent.hpp"
+
+namespace tribvote::vote {
+
+/// What one faultless encounter did, for the caller's accounting. The
+/// runner folds these into its probes/RunStats; library users may ignore it.
+struct VoteEncounterOutcome {
+  GossipLegOutcome forward;    ///< initiator → responder leg
+  GossipLegOutcome reverse;    ///< responder → initiator leg
+  bool vox_requested = false;  ///< initiator was bootstrapping after legs
+  std::size_t vox_topk = 0;    ///< entries in the responder's answer (0=null)
+};
+
+/// One full encounter of `initiator` with a PSS-sampled `responder`:
+/// mutual vote-list exchange (full or digest-first delta per leg, decided
+/// by each sender's counterpart memory), then the conditional VP leg. A
+/// node's outgoing message never depends on what it just received, so the
+/// sequential legs are bit-identical to a simultaneous build-then-merge.
+VoteEncounterOutcome vote_encounter(VoteAgent& initiator,
+                                    VoteAgent& responder, Time now);
+
+}  // namespace tribvote::vote

@@ -1,6 +1,8 @@
 #include "vote/gossip.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "util/hash.hpp"
 #include "vote/agent.hpp"
@@ -136,6 +138,17 @@ void CounterpartMemory::note(PeerId peer) {
     peers_.erase(victim);
   }
   peers_.emplace(peer, next_stamp_++);
+}
+
+std::uint64_t CounterpartMemory::digest() const {
+  std::vector<std::pair<PeerId, std::uint64_t>> items(peers_.begin(),
+                                                      peers_.end());
+  std::sort(items.begin(), items.end());
+  std::uint64_t h = util::digest_fields({capacity_, next_stamp_, items.size()});
+  for (const auto& [peer, stamp] : items) {
+    h = util::hash_combine(h, util::digest_fields({peer, stamp}));
+  }
+  return h;
 }
 
 }  // namespace tribvote::vote

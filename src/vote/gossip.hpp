@@ -136,6 +136,10 @@ class CounterpartMemory {
   [[nodiscard]] std::size_t size() const noexcept { return peers_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Fingerprint of the full memory (peers + recency stamps), independent
+  /// of hash-map iteration order (transport-equivalence tests).
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   std::size_t capacity_;
   std::uint64_t next_stamp_ = 0;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "util/hash.hpp"
+
 namespace tribvote::vote {
 
 VoxPopuliCache::VoxPopuliCache(std::size_t v_max, std::size_t k)
@@ -16,6 +18,16 @@ void VoxPopuliCache::add_list(RankedList list) {
   if (list.size() > k_) list.resize(k_);
   if (lists_.size() >= v_max_) lists_.pop_front();
   lists_.push_back(std::move(list));
+}
+
+std::uint64_t VoxPopuliCache::digest() const {
+  std::uint64_t h = util::digest_fields({v_max_, k_, lists_.size()});
+  for (const RankedList& list : lists_) {
+    std::uint64_t lh = util::digest_fields({list.size()});
+    for (const ModeratorId m : list) lh = util::hash_combine(lh, m);
+    h = util::hash_combine(h, lh);
+  }
+  return h;
 }
 
 RankedList VoxPopuliCache::merged_ranking() const {

@@ -35,6 +35,10 @@ class VoxPopuliCache {
   [[nodiscard]] bool empty() const noexcept { return lists_.empty(); }
   [[nodiscard]] std::size_t k() const noexcept { return k_; }
 
+  /// Fingerprint of the cached lists in arrival order (transport-
+  /// equivalence tests).
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   std::size_t v_max_;
   std::size_t k_;
