@@ -1,0 +1,377 @@
+// tribvote_cluster — N-node round-barrier equivalence harness for the
+// multi-peer runtime (PROTOCOL.md §8, DESIGN.md §14). One schedule, two
+// executions:
+//
+//   --mode oracle   N in-process agents, each sampling counterparts through
+//                   its own pss::OraclePss over a fully-online
+//                   OnlineDirectory; encounters run through sim::ShardKernel
+//                   (--shards) — the simulator's own path
+//   --mode tcp      N NodeServices on one EventLoop: every node's Newscast
+//                   PeerDirectory is bootstrapped from node 0 with real
+//                   PEER_EXCHANGE frames, then each round's encounters run
+//                   serially over real sockets in sequence order
+//
+// Both modes apply the same scripted casts (id order, before each round),
+// sample every node in id order through the shared pss::PeerSampler API,
+// and execute the round's encounter list in the serial order ShardKernel
+// reproduces at any shard count. PeerDirectory::sample replays the oracle
+// draw sequence at full membership and keeps its signature nonces on a
+// separate rng stream, so the per-node state digests of the two modes must
+// match byte for byte — scripts/cluster_smoke.sh and CI diff the
+// --state-out files (oracle shards 1 vs 4 vs tcp).
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+#include "net/event_loop.hpp"
+#include "net/node_service.hpp"
+#include "net/peer_directory.hpp"
+#include "pss/oracle.hpp"
+#include "pss/online_directory.hpp"
+#include "pss/peer_sampler.hpp"
+#include "sim/options.hpp"
+#include "sim/shard_kernel.hpp"
+#include "util/rng.hpp"
+#include "vote/agent.hpp"
+
+namespace {
+
+using namespace tribvote;
+
+struct Options {
+  std::string mode = "oracle";
+  std::size_t nodes = 8;
+  int rounds = 8;
+  int casts = 2;
+  std::uint64_t seed = 42;
+  std::size_t shards = 1;
+  std::string state_out;
+};
+
+constexpr Time kRoundPeriod = 1000;
+
+Time round_time(int round) { return kRoundPeriod * (round + 1); }
+
+// Per-node seed, derived so the cluster is a pure function of --seed.
+std::uint64_t node_seed(const Options& opt, PeerId id) {
+  return opt.seed * 1000003ULL + id;
+}
+
+// The agent (and later the NodeService/PeerDirectory) hold the KeyPair by
+// reference, so it must stay put while Node values move through the vector
+// — hence the unique_ptr.
+struct Node {
+  std::unique_ptr<crypto::KeyPair> keys;
+  std::unique_ptr<vote::VoteAgent> vote;
+};
+
+Node make_node(PeerId id, std::uint64_t seed) {
+  Node n;
+  util::Rng krng(seed);
+  n.keys = std::make_unique<crypto::KeyPair>(crypto::generate_keypair(krng));
+  n.vote = std::make_unique<vote::VoteAgent>(
+      id, *n.keys, vote::VoteConfig{}, [](PeerId) { return true; },
+      util::Rng(seed * 7919 + 1));
+  return n;
+}
+
+// The scripted casts node `id` applies before round `round` — same
+// derivation tribvote_node's scripted modes use.
+void apply_casts(vote::VoteAgent& agent, std::uint64_t seed, int round,
+                 int casts) {
+  constexpr std::uint64_t kMix = 0x9e3779b97f4a7c15ULL;
+  util::Rng rng(seed ^ (kMix * static_cast<std::uint64_t>(round + 1)));
+  const Time base = round_time(round) - kRoundPeriod;
+  for (int i = 0; i < casts; ++i) {
+    const auto mod = static_cast<ModeratorId>(1 + rng.next_below(24));
+    const Opinion op =
+        rng.next_bool(0.5) ? Opinion::kPositive : Opinion::kNegative;
+    agent.cast_vote(mod, op, base + i + 1);
+  }
+}
+
+// The mode-invariant state report CI diffs between oracle and tcp runs.
+void report_state(std::FILE* f, const std::vector<Node>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::fprintf(f, "node %zu digest 0x%016llx ballots %zu unique_voters %zu\n",
+                 i,
+                 static_cast<unsigned long long>(nodes[i].vote->state_digest()),
+                 nodes[i].vote->ballot_box().size(),
+                 nodes[i].vote->ballot_box().unique_voters());
+  }
+}
+
+int write_reports(const Options& opt, const std::vector<Node>& nodes) {
+  report_state(stdout, nodes);
+  if (!opt.state_out.empty()) {
+    std::FILE* f = std::fopen(opt.state_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "tribvote_cluster: cannot write %s\n",
+                   opt.state_out.c_str());
+      return 1;
+    }
+    report_state(f, nodes);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+/// Runs the shared schedule: per round, casts in id order, then one sample
+/// per node in id order through the PeerSampler API, then `execute` applies
+/// the encounter list. Returns encounters executed, or -1 on failure.
+template <typename ExecuteRound>
+long run_schedule(const Options& opt, std::vector<Node>& nodes,
+                  const std::vector<pss::PeerSampler*>& samplers,
+                  const ExecuteRound& execute) {
+  long executed = 0;
+  for (int r = 0; r < opt.rounds; ++r) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      apply_casts(*nodes[i].vote, node_seed(opt, static_cast<PeerId>(i)), r,
+                  opt.casts);
+    }
+    std::vector<sim::Encounter> encounters;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto self = static_cast<PeerId>(i);
+      const PeerId target = samplers[i]->sample(self);
+      if (target == kInvalidPeer) continue;
+      sim::Encounter e;
+      e.seq = static_cast<std::uint32_t>(encounters.size());
+      e.initiator = self;
+      e.responder = target;
+      encounters.push_back(e);
+    }
+    if (!execute(encounters, round_time(r))) return -1;
+    executed += static_cast<long>(encounters.size());
+  }
+  return executed;
+}
+
+int run_oracle(const Options& opt) {
+  std::vector<Node> nodes;
+  for (std::size_t i = 0; i < opt.nodes; ++i) {
+    const auto id = static_cast<PeerId>(i);
+    nodes.push_back(make_node(id, node_seed(opt, id)));
+  }
+  pss::OnlineDirectory directory(opt.nodes);
+  for (std::size_t i = 0; i < opt.nodes; ++i) {
+    directory.set_online(static_cast<PeerId>(i), true);
+  }
+  // Each node's sampler draws from the same derived stream its
+  // PeerDirectory would use in tcp mode — the identity's hinge.
+  std::vector<std::unique_ptr<pss::OraclePss>> oracles;
+  std::vector<pss::PeerSampler*> samplers;
+  for (std::size_t i = 0; i < opt.nodes; ++i) {
+    util::Rng base(node_seed(opt, static_cast<PeerId>(i)) * 7919 + 3);
+    oracles.push_back(std::make_unique<pss::OraclePss>(
+        directory, base.derive(net::PeerDirectory::kSampleStream)));
+    samplers.push_back(oracles.back().get());
+  }
+
+  sim::ShardKernel kernel(opt.nodes, opt.shards, nullptr);
+  const long executed = run_schedule(
+      opt, nodes, samplers,
+      [&](const std::vector<sim::Encounter>& encounters, Time now) {
+        kernel.run_round(encounters,
+                         [&](const sim::Encounter& e, std::size_t) {
+                           vote::vote_exchange(*nodes[e.initiator].vote,
+                                               *nodes[e.responder].vote, now);
+                         });
+        return true;
+      });
+  if (executed < 0) return 1;
+  std::fprintf(stderr, "tribvote_cluster: oracle executed %ld encounters "
+                       "(%llu levels, shards %zu)\n",
+               executed,
+               static_cast<unsigned long long>(kernel.stats().levels),
+               opt.shards);
+  return write_reports(opt, nodes);
+}
+
+constexpr int kStepMs = 10000;  ///< per-condition wait budget
+
+// "a.b.c.d" from a descriptor's host-order ip word.
+std::string ip_string(std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+int run_tcp(const Options& opt) {
+  std::vector<Node> nodes;
+  for (std::size_t i = 0; i < opt.nodes; ++i) {
+    const auto id = static_cast<PeerId>(i);
+    nodes.push_back(make_node(id, node_seed(opt, id)));
+  }
+
+  net::EventLoop loop;
+  std::vector<std::unique_ptr<net::NodeService>> svcs;
+  std::vector<std::unique_ptr<net::PeerDirectory>> dirs;
+  net::PeerDirectoryConfig dcfg;
+  // Full membership must fit: the digest identity needs every node in every
+  // view, and one bootstrap reply from node 0 must carry them all.
+  dcfg.view_size = std::max<std::size_t>(dcfg.view_size, opt.nodes);
+  dcfg.shuffle_size =
+      std::min<std::size_t>(net::kMaxPeerDescriptors,
+                            std::max(dcfg.shuffle_size, opt.nodes));
+  for (std::size_t i = 0; i < opt.nodes; ++i) {
+    const auto id = static_cast<PeerId>(i);
+    svcs.push_back(std::make_unique<net::NodeService>(
+        loop, id, *nodes[i].keys, *nodes[i].vote, nullptr));
+    std::string err;
+    if (!svcs[i]->listen(0, &err)) {
+      std::fprintf(stderr, "tribvote_cluster: node %zu listen failed: %s\n",
+                   i, err.c_str());
+      return 1;
+    }
+    dirs.push_back(std::make_unique<net::PeerDirectory>(
+        id, *nodes[i].keys, 0x7f000001u, svcs[i]->listen_port(), dcfg,
+        util::Rng(node_seed(opt, id) * 7919 + 3)));
+    // Bootstrap happens before round 0; protocol time starts at 0.
+    svcs[i]->set_directory(dirs[i].get(), [] { return Time{0}; });
+  }
+
+  // Bootstrap: everyone dials node 0 and pumps reply-requested shuffles at
+  // it until every directory holds full membership. Two pumps suffice
+  // (first registers every node with 0, second pulls 0's complete view),
+  // but the loop is bounded generously rather than exactly.
+  std::vector<int> seed_conns(opt.nodes, -1);
+  for (std::size_t i = 1; i < opt.nodes; ++i) {
+    std::string err;
+    seed_conns[i] = svcs[i]->connect("127.0.0.1", svcs[0]->listen_port(),
+                                     &err);
+    if (seed_conns[i] < 0) {
+      std::fprintf(stderr, "tribvote_cluster: node %zu dial failed: %s\n", i,
+                   err.c_str());
+      return 1;
+    }
+  }
+  const auto all_ready = [&] {
+    for (std::size_t i = 1; i < opt.nodes; ++i) {
+      if (!svcs[i]->ready(seed_conns[i])) return false;
+    }
+    return true;
+  };
+  if (!loop.run_until(all_ready, kStepMs)) {
+    std::fprintf(stderr, "tribvote_cluster: bootstrap HELLOs timed out\n");
+    return 1;
+  }
+  const auto full_membership = [&] {
+    for (const auto& d : dirs) {
+      if (d->view_count() != opt.nodes - 1) return false;
+    }
+    return true;
+  };
+  for (int pump = 0; pump < 20 && !full_membership(); ++pump) {
+    for (std::size_t i = 1; i < opt.nodes; ++i) {
+      (void)svcs[i]->send_peer_exchange(seed_conns[i], true);
+    }
+    (void)loop.run_until(full_membership, 250);
+  }
+  if (!full_membership()) {
+    std::fprintf(stderr,
+                 "tribvote_cluster: views never reached full membership\n");
+    return 1;
+  }
+
+  // One encounter over real sockets, driven to completion — the serial
+  // execution order ShardKernel's level schedule is provably equivalent to.
+  const auto run_encounter = [&](PeerId initiator, PeerId responder,
+                                 Time now) {
+    net::NodeService& svc = *svcs[initiator];
+    int conn = svc.conn_for_peer(responder);
+    if (conn < 0) {
+      net::PeerDescriptor d;
+      if (!dirs[initiator]->lookup(responder, d)) return false;
+      conn = svc.connect(ip_string(d.ip), d.port);
+      if (conn < 0) return false;
+      if (!loop.run_until([&] { return svc.ready(conn); }, kStepMs)) {
+        return false;
+      }
+    }
+    const std::uint64_t want =
+        svc.engine_counters(conn)->encounters_completed + 1;
+    if (!svc.initiate_vote_encounter(conn, now)) return false;
+    return loop.run_until(
+        [&] {
+          return svc.initiator_idle(conn) &&
+                 svc.engine_counters(conn)->encounters_completed >= want;
+        },
+        kStepMs);
+  };
+
+  std::vector<pss::PeerSampler*> samplers;
+  for (const auto& d : dirs) samplers.push_back(d.get());
+  const long executed = run_schedule(
+      opt, nodes, samplers,
+      [&](const std::vector<sim::Encounter>& encounters, Time now) {
+        for (const sim::Encounter& e : encounters) {
+          if (!run_encounter(e.initiator, e.responder, now)) {
+            std::fprintf(stderr,
+                         "tribvote_cluster: encounter %u -> %u failed\n",
+                         e.initiator, e.responder);
+            return false;
+          }
+        }
+        return true;
+      });
+  if (executed < 0) return 1;
+
+  for (const auto& svc : svcs) {
+    for (const int c : svc->connections()) svc->send_bye(c);
+  }
+  loop.poll_once(0);  // best-effort flush of the BYEs
+
+  std::uint64_t frames = 0, px_in = 0;
+  for (const auto& svc : svcs) {
+    frames += svc->stats().frames_in;
+    px_in += svc->stats().peer_exchanges_in;
+  }
+  std::fprintf(stderr, "tribvote_cluster: tcp executed %ld encounters "
+                       "(%llu frames_in, %llu peer_exchanges_in)\n",
+               executed, static_cast<unsigned long long>(frames),
+               static_cast<unsigned long long>(px_in));
+  return write_reports(opt, nodes);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tribvote_cluster --mode oracle|tcp [--nodes N]"
+               " [--rounds R] [--casts K] [--seed S] [--shards M]"
+               " [--state-out F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  sim::options::CliFlags cli(argc, argv);
+  while (cli.next()) {
+    if (cli.value("--mode", opt.mode)) {
+    } else if (cli.size("--nodes", opt.nodes)) {
+    } else if (cli.i32("--rounds", opt.rounds)) {
+    } else if (cli.i32("--casts", opt.casts)) {
+    } else if (cli.u64("--seed", opt.seed)) {
+    } else if (cli.size("--shards", opt.shards)) {
+    } else if (cli.value("--state-out", opt.state_out)) {
+    } else {
+      return usage();
+    }
+  }
+  if (cli.error() || opt.nodes < 2 || opt.rounds < 0 || opt.shards < 1 ||
+      (opt.mode != "oracle" && opt.mode != "tcp")) {
+    return usage();
+  }
+  sim::options::banner("tribvote_cluster",
+                       {{"mode", opt.mode},
+                        {"nodes", std::to_string(opt.nodes)},
+                        {"rounds", std::to_string(opt.rounds)},
+                        {"casts", std::to_string(opt.casts)},
+                        {"seed", std::to_string(opt.seed)},
+                        {"shards", std::to_string(opt.shards)}});
+  return opt.mode == "oracle" ? run_oracle(opt) : run_tcp(opt);
+}

@@ -18,6 +18,7 @@
 #include "crypto/schnorr.hpp"
 #include "net/event_loop.hpp"
 #include "net/node_service.hpp"
+#include "sim/options.hpp"
 #include "util/rng.hpp"
 #include "vote/agent.hpp"
 
@@ -45,29 +46,24 @@ int main(int argc, char** argv) {
   double seconds = 5.0;
   int casts = 2;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (i + 1 >= argc) return usage();
-    const char* v = argv[++i];
-    if (a == "--connect") {
-      const std::size_t colon = std::string(v).rfind(':');
-      if (colon == std::string::npos) return usage();
-      host = std::string(v).substr(0, colon);
-      port = static_cast<std::uint16_t>(
-          std::strtoul(v + colon + 1, nullptr, 10));
-    } else if (a == "--id") {
-      id = static_cast<PeerId>(std::strtoul(v, nullptr, 10));
-    } else if (a == "--seed") {
-      seed = std::strtoull(v, nullptr, 10);
-    } else if (a == "--seconds") {
-      seconds = std::strtod(v, nullptr);
-    } else if (a == "--casts") {
-      casts = static_cast<int>(std::strtol(v, nullptr, 10));
+  sim::options::CliFlags cli(argc, argv);
+  while (cli.next()) {
+    std::uint32_t raw_id = 0;
+    if (cli.host_port("--connect", host, port)) {
+    } else if (cli.u32("--id", raw_id)) {
+      id = static_cast<PeerId>(raw_id);
+    } else if (cli.u64("--seed", seed)) {
+    } else if (cli.f64("--seconds", seconds)) {
+    } else if (cli.i32("--casts", casts)) {
     } else {
       return usage();
     }
   }
-  if (host.empty() || port == 0) return usage();
+  if (cli.error() || host.empty() || port == 0) return usage();
+  sim::options::banner("tribvote_load", {{"id", std::to_string(id)},
+                                         {"seed", std::to_string(seed)},
+                                         {"seconds", std::to_string(seconds)},
+                                         {"casts", std::to_string(casts)}});
 
   util::Rng krng(seed);
   const crypto::KeyPair keys = crypto::generate_keypair(krng);

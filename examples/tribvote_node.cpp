@@ -1,5 +1,5 @@
 // tribvote_node — a real TCP peer speaking PROTOCOL.md, plus the in-process
-// sim oracle for the same schedule. Three modes:
+// sim oracle for the same schedule. Four modes:
 //
 //   --listen PORT    responder: serve encounters until the peer says BYE,
 //                    then report final agent state and exit
@@ -8,13 +8,20 @@
 //   --oracle         run the identical schedule through vote::vote_exchange /
 //                    moderation::exchange in one process and report both
 //                    endpoints' state — the golden the TCP run must match
+//   --swarm          free-running cluster member: listen, bootstrap the
+//                    Newscast directory from --bootstrap H:P, and let the
+//                    EncounterScheduler discover peers and run encounters
+//                    unattended for --rounds scheduler rounds
+//                    (scripts/cluster_smoke.sh)
 //
-// The schedule is a pure function of (--id, --seed, --rounds, --casts,
-// --mods): before encounter r each side casts `--casts` pseudo-random votes
-// derived from its seed and r. Over TCP the responder applies its casts from
-// the ENC_BEGIN hook — the only point ordered before the encounter's merges
-// — so a two-process run is bit-identical to the oracle (PROTOCOL.md §6),
-// which scripts/net_smoke.sh asserts by diffing the reports.
+// The scripted modes' schedule is a pure function of (--id, --seed,
+// --rounds, --casts, --mods): before encounter r each side casts `--casts`
+// pseudo-random votes derived from its seed and r. Over TCP the responder
+// applies its casts from the ENC_BEGIN hook — the only point ordered before
+// the encounter's merges — so a two-process run is bit-identical to the
+// oracle (PROTOCOL.md §6), which scripts/net_smoke.sh asserts by diffing
+// the reports.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -25,8 +32,11 @@
 
 #include "crypto/schnorr.hpp"
 #include "moderation/moderationcast.hpp"
+#include "net/encounter_scheduler.hpp"
 #include "net/event_loop.hpp"
 #include "net/node_service.hpp"
+#include "net/peer_directory.hpp"
+#include "sim/options.hpp"
 #include "telemetry/registry.hpp"
 #include "util/rng.hpp"
 #include "vote/agent.hpp"
@@ -40,10 +50,13 @@ struct Options {
   std::uint64_t seed = 1;
   PeerId peer_id = 2;        // oracle mode: the other endpoint
   std::uint64_t peer_seed = 2;
-  int listen_port = -1;      // >= 0 → responder
-  std::string connect_host;  // non-empty → initiator
+  int listen_port = -1;      // >= 0 → responder (or the swarm endpoint)
+  std::string connect_host;  // non-empty → initiator (or swarm bootstrap)
   std::uint16_t connect_port = 0;
   bool oracle = false;
+  bool swarm = false;
+  std::string advertise_ip = "127.0.0.1";  // swarm: dial-back address
+  int max_ms = 0;            // swarm wall-clock budget (0 = auto)
   int rounds = 3;
   int casts = 2;
   int mods = 0;
@@ -291,15 +304,134 @@ int run_initiator(const Options& opt) {
   return 0;
 }
 
-bool parse_host_port(const std::string& arg, std::string& host,
-                     std::uint16_t& port) {
-  const std::size_t colon = arg.rfind(':');
-  if (colon == std::string::npos || colon == 0) return false;
-  host = arg.substr(0, colon);
-  const long p = std::strtol(arg.c_str() + colon + 1, nullptr, 10);
-  if (p <= 0 || p > 65535) return false;
-  port = static_cast<std::uint16_t>(p);
-  return true;
+// "a.b.c.d" -> host-order u32; 0 on malformed input.
+std::uint32_t parse_ipv4(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    return 0;
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+int run_swarm(const Options& opt) {
+  if (opt.listen_port < 0) return 2;
+  Endpoint self = make_endpoint(opt.id, opt.seed);
+  net::EventLoop loop;
+  telemetry::Registry registry(1);
+  net::NodeService svc(loop, opt.id, self.keys, *self.vote, self.mod.get(),
+                       &registry);
+  std::string err;
+  if (!svc.listen(static_cast<std::uint16_t>(opt.listen_port), &err)) {
+    std::fprintf(stderr, "tribvote_node: listen failed: %s\n", err.c_str());
+    return 1;
+  }
+  if (!opt.port_file.empty()) {
+    std::ofstream pf(opt.port_file);
+    pf << svc.listen_port() << "\n";
+  }
+  std::printf("listening %u\n", svc.listen_port());
+  std::fflush(stdout);
+
+  const sim::options::NetOptions nopt = sim::options::net();
+  net::PeerDirectoryConfig dcfg;
+  dcfg.view_size = nopt.view_size;
+  dcfg.shuffle_size = nopt.shuffle_size;
+  dcfg.max_dial_failures = nopt.max_dial_failures;
+  dcfg.entry_ttl = nopt.entry_ttl;
+  net::PeerDirectory dir(opt.id, self.keys, parse_ipv4(opt.advertise_ip),
+                         svc.listen_port(), dcfg,
+                         util::Rng(opt.seed * 7919 + 3));
+  dir.set_exchange_probe(
+      telemetry::Counter(&registry, registry.counter("pss.exchanges")));
+
+  net::EncounterSchedulerConfig scfg;
+  scfg.round_ms = nopt.round_ms;
+  scfg.max_dials = nopt.max_dials;
+  scfg.mod_every = opt.mods > 0 ? 4 : 0;
+  net::EncounterScheduler sched(loop, svc, dir, scfg);
+  if (!opt.connect_host.empty()) {
+    sched.add_seed(opt.connect_host, opt.connect_port);
+  }
+  sched.start();
+
+  // Free-running vote activity: `--casts` pseudo-random casts per scheduler
+  // round, applied as rounds complete. Not a bit-identity schedule — the
+  // swarm rung asserts convergence and coverage, not digests (§7).
+  util::Rng cast_rng(opt.seed ^ 0x5eedca575ULL);
+  std::uint64_t casts_applied = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const int budget_ms =
+      opt.max_ms > 0 ? opt.max_ms : opt.rounds * nopt.round_ms * 10 + 10000;
+  const auto deadline = start + std::chrono::milliseconds(budget_ms);
+  while (sched.stats().rounds < static_cast<std::uint64_t>(opt.rounds) &&
+         std::chrono::steady_clock::now() < deadline) {
+    loop.poll_once(20);
+    while (casts_applied < sched.stats().rounds) {
+      for (int k = 0; k < opt.casts; ++k) {
+        self.vote->cast_vote(
+            static_cast<ModeratorId>(1 + cast_rng.next_below(24)),
+            cast_rng.next_bool(0.5) ? Opinion::kPositive
+                                    : Opinion::kNegative,
+            static_cast<Time>(casts_applied));
+      }
+      ++casts_applied;
+    }
+  }
+  const bool timed_out =
+      sched.stats().rounds < static_cast<std::uint64_t>(opt.rounds);
+  sched.stop();
+  for (const int c : svc.connections()) svc.send_bye(c);
+  loop.poll_once(0);  // best-effort flush of the BYEs
+
+  const net::ExchangeEngine::Counters totals = svc.engine_totals();
+  const std::uint64_t completed = totals.encounters_completed;
+  const std::uint64_t served = totals.encounters_served;
+  const net::EncounterScheduler::Stats& ss = sched.stats();
+  const auto emit = [&](std::FILE* f) {
+    std::fprintf(f, "node %u view %zu\n", opt.id, dir.view_count());
+    std::fprintf(f, "node %u ballots %zu\n", opt.id,
+                 self.vote->ballot_box().size());
+    std::fprintf(f, "node %u unique_voters %zu\n", opt.id,
+                 self.vote->ballot_box().unique_voters());
+    std::fprintf(f, "node %u digest 0x%016llx\n", opt.id,
+                 static_cast<unsigned long long>(self.vote->state_digest()));
+    std::fprintf(
+        f,
+        "node %u rounds %llu encounters_initiated %llu completed %llu "
+        "served %llu shuffles %llu dials %llu dial_failures %llu "
+        "empty_samples %llu\n",
+        opt.id, static_cast<unsigned long long>(ss.rounds),
+        static_cast<unsigned long long>(ss.vote_encounters),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(served),
+        static_cast<unsigned long long>(ss.shuffles),
+        static_cast<unsigned long long>(ss.dials),
+        static_cast<unsigned long long>(ss.dial_failures),
+        static_cast<unsigned long long>(ss.empty_samples));
+    std::fprintf(
+        f, "node %u net.peer_exchanges_in %llu pss.exchanges %llu\n", opt.id,
+        static_cast<unsigned long long>(svc.stats().peer_exchanges_in),
+        static_cast<unsigned long long>(
+            registry.total_by_name("pss.exchanges")));
+  };
+  emit(stdout);
+  if (!opt.state_out.empty()) {
+    std::FILE* f = std::fopen(opt.state_out.c_str(), "w");
+    if (f != nullptr) {
+      emit(f);
+      std::fclose(f);
+    }
+  }
+  if (opt.telemetry) report_telemetry(svc, registry);
+  if (timed_out) {
+    std::fprintf(stderr, "tribvote_node: swarm hit wall-clock budget at "
+                         "round %llu/%d\n",
+                 static_cast<unsigned long long>(ss.rounds), opt.rounds);
+    return 1;
+  }
+  return 0;
 }
 
 int usage() {
@@ -311,7 +443,11 @@ int usage() {
       "  tribvote_node --id N --seed S --connect HOST:PORT --rounds R\n"
       "                [--casts K] [--mods M] [--state-out F] [--telemetry]\n"
       "  tribvote_node --oracle --id N --seed S --peer-id N2 --peer-seed S2\n"
-      "                --rounds R [--casts K] [--mods M] [--state-out F]\n");
+      "                --rounds R [--casts K] [--mods M] [--state-out F]\n"
+      "  tribvote_node --swarm --id N --seed S --listen PORT --rounds R\n"
+      "                [--bootstrap HOST:PORT] [--advertise-ip A.B.C.D]\n"
+      "                [--max-ms T] [--casts K] [--mods M] [--state-out F]\n"
+      "                [--port-file F] [--telemetry]\n");
   return 2;
 }
 
@@ -319,46 +455,57 @@ int usage() {
 
 int main(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    const char* v = nullptr;
-    if (a == "--oracle") {
+  sim::options::CliFlags cli(argc, argv);
+  while (cli.next()) {
+    std::uint32_t id = 0;
+    if (cli.is_switch("--oracle")) {
       opt.oracle = true;
-    } else if (a == "--telemetry") {
+    } else if (cli.is_switch("--swarm")) {
+      opt.swarm = true;
+    } else if (cli.is_switch("--telemetry")) {
       opt.telemetry = true;
-    } else if ((v = next()) == nullptr) {
-      return usage();
-    } else if (a == "--id") {
-      opt.id = static_cast<PeerId>(std::strtoul(v, nullptr, 10));
-    } else if (a == "--seed") {
-      opt.seed = std::strtoull(v, nullptr, 10);
-    } else if (a == "--peer-id") {
-      opt.peer_id = static_cast<PeerId>(std::strtoul(v, nullptr, 10));
-    } else if (a == "--peer-seed") {
-      opt.peer_seed = std::strtoull(v, nullptr, 10);
-    } else if (a == "--listen") {
-      opt.listen_port = static_cast<int>(std::strtol(v, nullptr, 10));
-    } else if (a == "--connect") {
-      if (!parse_host_port(v, opt.connect_host, opt.connect_port)) {
-        return usage();
-      }
-    } else if (a == "--rounds") {
-      opt.rounds = static_cast<int>(std::strtol(v, nullptr, 10));
-    } else if (a == "--casts") {
-      opt.casts = static_cast<int>(std::strtol(v, nullptr, 10));
-    } else if (a == "--mods") {
-      opt.mods = static_cast<int>(std::strtol(v, nullptr, 10));
-    } else if (a == "--state-out") {
-      opt.state_out = v;
-    } else if (a == "--port-file") {
-      opt.port_file = v;
+    } else if (cli.u32("--id", id)) {
+      opt.id = static_cast<PeerId>(id);
+    } else if (cli.u64("--seed", opt.seed)) {
+    } else if (cli.u32("--peer-id", id)) {
+      opt.peer_id = static_cast<PeerId>(id);
+    } else if (cli.u64("--peer-seed", opt.peer_seed)) {
+    } else if (cli.i32("--listen", opt.listen_port)) {
+    } else if (cli.host_port("--connect", opt.connect_host,
+                             opt.connect_port) ||
+               cli.host_port("--bootstrap", opt.connect_host,
+                             opt.connect_port)) {
+    } else if (cli.i32("--rounds", opt.rounds)) {
+    } else if (cli.i32("--casts", opt.casts)) {
+    } else if (cli.i32("--mods", opt.mods)) {
+    } else if (cli.i32("--max-ms", opt.max_ms)) {
+    } else if (cli.value("--advertise-ip", opt.advertise_ip)) {
+    } else if (cli.value("--state-out", opt.state_out)) {
+    } else if (cli.value("--port-file", opt.port_file)) {
     } else {
       return usage();
     }
   }
+  if (cli.error()) return usage();
+
+  const sim::options::NetOptions nopt = sim::options::net();
+  sim::options::banner(
+      "tribvote_node",
+      {{"mode", opt.swarm ? "swarm"
+                          : opt.oracle ? "oracle"
+                                       : opt.listen_port >= 0 ? "listen"
+                                                              : "connect"},
+       {"id", std::to_string(opt.id)},
+       {"seed", std::to_string(opt.seed)},
+       {"rounds", std::to_string(opt.rounds)},
+       {"casts", std::to_string(opt.casts)},
+       {"mods", std::to_string(opt.mods)},
+       {"view", std::to_string(nopt.view_size)},
+       {"shuffle", std::to_string(nopt.shuffle_size)},
+       {"round_ms", std::to_string(nopt.round_ms)},
+       {"dials", std::to_string(nopt.max_dials)}});
+
+  if (opt.swarm) return run_swarm(opt);
   if (opt.oracle) return run_oracle(opt);
   if (opt.listen_port >= 0) return run_responder(opt);
   if (!opt.connect_host.empty()) return run_initiator(opt);

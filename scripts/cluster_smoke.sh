@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Free-running multi-process cluster smoke (PROTOCOL.md §8, equivalence
+# rung (b)): N tribvote_node --swarm OS processes bootstrap a Newscast
+# directory from one seed node and run the paper's encounter loop
+# unattended. Asserts convergence and coverage, not digests — the
+# free-running schedule is wall-clock-interleaved, so bit-identity is the
+# round-barrier harness's job (examples/tribvote_cluster, §7):
+#   - every node's directory converged to the full membership (view N-1)
+#   - every node completed encounters and holds ballots from most peers
+#   - the net.*/pss.* counters that prove discovery ran are all nonzero
+#
+# usage: scripts/cluster_smoke.sh [BUILD_DIR] [N] [ROUNDS]
+#        (defaults: build 8 40)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+N="${2:-8}"
+ROUNDS="${3:-40}"
+NODE="$BUILD_DIR/examples/tribvote_node"
+[ -x "$NODE" ] || { echo "cluster_smoke: $NODE not built" >&2; exit 1; }
+[ "$N" -ge 2 ] || { echo "cluster_smoke: need N >= 2" >&2; exit 1; }
+
+WORK="$(mktemp -d)"
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+CASTS=2
+BUDGET_MS=60000
+
+# Node 1 is the seed everyone bootstraps from.
+"$NODE" --swarm --id 1 --seed 101 --listen 0 --rounds "$ROUNDS" \
+        --casts "$CASTS" --max-ms "$BUDGET_MS" \
+        --port-file "$WORK/port.txt" --state-out "$WORK/node1.txt" \
+        > "$WORK/node1.log" 2>&1 &
+PIDS+=($!)
+
+for _ in $(seq 1 100); do [ -s "$WORK/port.txt" ] && break; sleep 0.1; done
+[ -s "$WORK/port.txt" ] || { echo "cluster_smoke: seed never bound" >&2; exit 1; }
+PORT="$(cat "$WORK/port.txt")"
+
+for i in $(seq 2 "$N"); do
+  "$NODE" --swarm --id "$i" --seed "$((100 + i))" --listen 0 \
+          --rounds "$ROUNDS" --casts "$CASTS" --max-ms "$BUDGET_MS" \
+          --bootstrap "127.0.0.1:$PORT" --state-out "$WORK/node$i.txt" \
+          > "$WORK/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+RC=0
+for p in "${PIDS[@]}"; do wait "$p" || RC=1; done
+PIDS=()
+if [ "$RC" -ne 0 ]; then
+  echo "cluster_smoke: FAIL — a node exited nonzero (wall-clock budget?)" >&2
+  tail -n 5 "$WORK"/node*.log >&2 || true
+  exit 1
+fi
+
+FULL=$((N - 1))
+fail() { echo "cluster_smoke: FAIL — $1" >&2; cat "$WORK"/node*.txt >&2; exit 1; }
+
+for i in $(seq 1 "$N"); do
+  S="$WORK/node$i.txt"
+  [ -s "$S" ] || fail "node $i wrote no state"
+
+  view="$(awk '/ view /{print $NF}' "$S")"
+  [ "$view" -eq "$FULL" ] || fail "node $i view $view != $FULL (no convergence)"
+
+  completed="$(awk '/ completed /{for(f=1;f<NF;f++) if($f=="completed") print $(f+1)}' "$S")"
+  [ "$completed" -gt 0 ] || fail "node $i completed no encounters"
+
+  ballots="$(awk '/ ballots /{print $NF}' "$S")"
+  [ "$ballots" -gt 0 ] || fail "node $i holds no ballots"
+
+  # Vote sampling reached most of the cluster: ballots from > N/2 peers.
+  voters="$(awk '/ unique_voters /{print $NF}' "$S")"
+  [ "$voters" -gt $((N / 2)) ] || fail "node $i unique_voters $voters <= N/2"
+
+  px="$(awk '/ net.peer_exchanges_in /{for(f=1;f<NF;f++) if($f=="net.peer_exchanges_in") print $(f+1)}' "$S")"
+  pss="$(awk '/ pss.exchanges /{for(f=1;f<NF;f++) if($f=="pss.exchanges") print $(f+1)}' "$S")"
+  [ "$px" -gt 0 ] || fail "node $i saw no peer exchanges (net.peer_exchanges_in)"
+  [ "$pss" -gt 0 ] || fail "node $i pss.exchanges counter is zero"
+done
+
+echo "cluster_smoke: OK — $N nodes converged to view $FULL," \
+     "all sampled > N/2 distinct voters"

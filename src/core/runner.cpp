@@ -180,8 +180,8 @@ void ScenarioRunner::init_telemetry() {
       telemetry::Counter(&reg, reg.counter("bt.pieces_completed"));
   swarm_probes_.active_members = telemetry::Histogram(
       &reg, reg.histogram("bt.active_members", {1, 2, 5, 10, 20, 50, 100}));
-  if (newscast_pss_) {
-    newscast_pss_->set_exchange_probe(
+  if (config_.pss == PssKind::kNewscast) {
+    sampler_->set_exchange_probe(
         telemetry::Counter(&reg, reg.counter("pss.exchanges")));
   }
 
@@ -284,19 +284,22 @@ void ScenarioRunner::build_population(std::uint64_t seed) {
         };
   }
 
-  // PSS.
-  oracle_pss_ =
-      std::make_unique<pss::OraclePss>(online_, rng_.derive(0x707373));
-  if (config_.pss == PssKind::kNewscast) {
-    newscast_pss_ = std::make_unique<pss::NewscastPss>(
-        n_total, online_, config_.newscast, rng_.derive(0x6e657773));
-  }
+  // PSS, factory-selected behind the shared PeerSampler interface. Each
+  // kind keeps its historical derive key (derive() is a pure function of
+  // the parent seed), so routing both through the factory leaves every RNG
+  // stream — and therefore every golden — untouched.
+  sampler_ = config_.pss == PssKind::kNewscast
+                 ? pss::make_sampler(pss::SamplerKind::kNewscast, n_total,
+                                     online_, config_.newscast,
+                                     rng_.derive(0x6e657773))
+                 : pss::make_sampler(pss::SamplerKind::kOracle, n_total,
+                                     online_, config_.newscast,
+                                     rng_.derive(0x707373));
   (void)seed;
 }
 
 PeerId ScenarioRunner::sample_peer(PeerId self) {
-  if (newscast_pss_) return newscast_pss_->sample(self);
-  return oracle_pss_->sample(self);
+  return sampler_->sample(self);
 }
 
 // ---- scripting --------------------------------------------------------------
@@ -384,18 +387,18 @@ void ScenarioRunner::schedule_everything() {
            [this] { moderation_round(); });
   add_loop(pp.barter_exchange, pp.barter_exchange / 3 + 1,
            [this] { barter_round(); });
-  if (newscast_pss_) {
+  if (config_.pss == PssKind::kNewscast) {
     if (config_.faults.enabled() && config_.faults.loss > 0.0) {
       add_loop(pp.newscast_gossip, 1, [this] {
         telemetry::Span span(telemetry_.get(), "pss.gossip");
-        newscast_pss_->gossip_round(
+        sampler_->gossip_round(
             sim_.now(), config_.faults.loss,
             &fault_plane_->serial_stats().newscast.dropped_requests);
       });
     } else {
       add_loop(pp.newscast_gossip, 1, [this] {
         telemetry::Span span(telemetry_.get(), "pss.gossip");
-        newscast_pss_->gossip_round(sim_.now());
+        sampler_->gossip_round(sim_.now());
       });
     }
   }
@@ -464,7 +467,7 @@ double ScenarioRunner::collective_experience(double threshold_mb,
 void ScenarioRunner::peer_online(PeerId id) {
   if (online_.is_online(id)) return;
   online_.set_online(id, true);
-  if (newscast_pss_) newscast_pss_->on_peer_online(id, sim_.now());
+  sampler_->on_peer_online(id, sim_.now());
   for (auto& [sid, swarm] : swarms_) {
     if (swarm->is_member(id) && !swarm->is_active(id)) {
       swarm->reactivate(id);
@@ -475,7 +478,7 @@ void ScenarioRunner::peer_online(PeerId id) {
 void ScenarioRunner::peer_offline(PeerId id) {
   if (!online_.is_online(id)) return;
   online_.set_online(id, false);
-  if (newscast_pss_) newscast_pss_->on_peer_offline(id);
+  sampler_->on_peer_offline(id);
   for (auto& [sid, swarm] : swarms_) {
     if (swarm->is_active(id)) swarm->deactivate(id);
   }
@@ -958,7 +961,7 @@ void ScenarioRunner::launch_attack() {
         config_.attack.duty >= 1.0 || rng_.next_bool(config_.attack.duty);
     if (start_online) {
       online_.set_online(c, true);
-      if (newscast_pss_) newscast_pss_->on_peer_online(c, sim_.now());
+      sampler_->on_peer_online(c, sim_.now());
     }
     if (config_.attack.duty < 1.0) {
       schedule_colluder_churn(c, start_online);
@@ -990,10 +993,10 @@ void ScenarioRunner::schedule_colluder_churn(PeerId colluder,
   sim_.schedule_in(delay, [this, colluder, currently_online] {
     if (currently_online) {
       online_.set_online(colluder, false);
-      if (newscast_pss_) newscast_pss_->on_peer_offline(colluder);
+      sampler_->on_peer_offline(colluder);
     } else {
       online_.set_online(colluder, true);
-      if (newscast_pss_) newscast_pss_->on_peer_online(colluder, sim_.now());
+      sampler_->on_peer_online(colluder, sim_.now());
     }
     schedule_colluder_churn(colluder, !currently_online);
   });

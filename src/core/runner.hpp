@@ -27,9 +27,8 @@
 #include "bt/swarm.hpp"
 #include "core/config.hpp"
 #include "core/node.hpp"
-#include "pss/newscast.hpp"
+#include "pss/factory.hpp"
 #include "pss/online_directory.hpp"
-#include "pss/oracle.hpp"
 #include "sim/shard_kernel.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -274,8 +273,10 @@ class ScenarioRunner {
   std::unique_ptr<bt::Ledger> ledger_;
   std::unique_ptr<bt::BandwidthAllocator> bandwidth_;
   pss::OnlineDirectory online_;
-  std::unique_ptr<pss::OraclePss> oracle_pss_;
-  std::unique_ptr<pss::NewscastPss> newscast_pss_;
+  /// The PSS behind the shared abstract interface (pss::make_sampler);
+  /// lifecycle hooks are virtual no-ops on the oracle, so every call site
+  /// is implementation-agnostic.
+  std::unique_ptr<pss::PeerSampler> sampler_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PeerId> colluders_;
   std::map<SwarmId, std::unique_ptr<bt::Swarm>> swarms_;

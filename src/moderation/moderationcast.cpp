@@ -97,17 +97,28 @@ void ModerationCastAgent::handle_disapproval(ModeratorId moderator) {
   db_.purge_moderator(moderator);
 }
 
+std::vector<Moderation> respond_exchange(
+    ModerationCastAgent& responder, const std::vector<Moderation>& incoming,
+    Time now, ModerationCastAgent::ReceiveStats* stats) {
+  // Fig. 1 order: the responder extracts its own batch *before* merging
+  // the initiator's, so the exchange is symmetric within this encounter.
+  std::vector<Moderation> reply = responder.outgoing();
+  const ModerationCastAgent::ReceiveStats merged =
+      responder.receive(incoming, now);
+  if (stats != nullptr) *stats = merged;
+  return reply;
+}
+
 ExchangeStats exchange(ModerationCastAgent& initiator,
                        ModerationCastAgent& responder, Time now) {
-  // Push/pull: both sides extract before merging so the exchange is
-  // symmetric within this encounter (matches Fig. 1's message order, where
-  // ml_j is extracted before merging ml_i).
   std::vector<Moderation> from_initiator = initiator.outgoing();
-  std::vector<Moderation> from_responder = responder.outgoing();
+  ModerationCastAgent::ReceiveStats responder_merge;
+  const std::vector<Moderation> from_responder =
+      respond_exchange(responder, from_initiator, now, &responder_merge);
   ExchangeStats stats;
   stats.sent_initiator = from_initiator.size();
   stats.sent_responder = from_responder.size();
-  stats.inserted += responder.receive(from_initiator, now).inserted;
+  stats.inserted += responder_merge.inserted;
   stats.inserted += initiator.receive(from_responder, now).inserted;
   return stats;
 }

@@ -93,6 +93,17 @@ struct ExchangeStats {
   std::size_t inserted = 0;        ///< new items merged, both sides
 };
 
+/// Responder half of one push/pull exchange, in Fig. 1 order: the reply
+/// batch is extracted *before* the initiator's items merge (ml_j is built
+/// before merging ml_i). This is the single definition both transports use
+/// — exchange() below composes it for the simulator, the socket plane's
+/// ExchangeEngine calls it when serving a MOD_BATCH — so a wire moderation
+/// encounter leaves the responder bit-identical to the sim. `stats`, when
+/// given, receives the merge outcome of the initiator's batch.
+[[nodiscard]] std::vector<Moderation> respond_exchange(
+    ModerationCastAgent& responder, const std::vector<Moderation>& incoming,
+    Time now, ModerationCastAgent::ReceiveStats* stats = nullptr);
+
 /// One full push/pull exchange between two online agents (both directions),
 /// as performed by the active/passive thread pair in Fig. 1.
 ExchangeStats exchange(ModerationCastAgent& initiator,

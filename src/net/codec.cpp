@@ -233,6 +233,47 @@ bool decode_mod_batch(const std::vector<std::uint8_t>& p,
   return r.complete();
 }
 
+std::uint64_t descriptor_digest(const PeerDescriptor& d) {
+  return util::digest_fields({d.peer, d.key.y, d.ip, d.port,
+                              static_cast<std::uint64_t>(d.heartbeat)});
+}
+
+std::vector<std::uint8_t> encode_peer_exchange(const PeerExchangeMessage& m) {
+  std::vector<std::uint8_t> p;
+  WireWriter w(p);
+  w.u8(m.reply_requested ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.descriptors.size()));
+  for (const PeerDescriptor& d : m.descriptors) {
+    w.u32(d.peer);
+    w.u64(d.key.y);
+    w.u32(d.ip);
+    w.u16(d.port);
+    w.i64(d.heartbeat);
+    put_signature(w, d.signature);
+  }
+  return p;
+}
+
+bool decode_peer_exchange(const std::vector<std::uint8_t>& p,
+                          PeerExchangeMessage& out) {
+  WireReader r(p.data(), p.size());
+  const std::uint8_t flags = r.u8();
+  if (!r.ok() || (flags & ~std::uint8_t{1}) != 0) return false;  // rsv bits
+  out.reply_requested = (flags & 1) != 0;
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxPeerDescriptors) return false;
+  out.descriptors.resize(count);
+  for (PeerDescriptor& d : out.descriptors) {
+    d.peer = r.u32();
+    d.key.y = r.u64();
+    d.ip = r.u32();
+    d.port = r.u16();
+    d.heartbeat = r.i64();
+    get_signature(r, d.signature);
+  }
+  return r.complete();
+}
+
 std::uint64_t codec_abi_digest() {
   // Every constant that pins a byte position or a limit. Reordering,
   // resizing or re-coding any field must change this value.
@@ -251,15 +292,17 @@ std::uint64_t codec_abi_digest() {
               static_cast<std::uint64_t>(FrameType::kVoteFullRequest),
               static_cast<std::uint64_t>(FrameType::kVoxRequest),
               static_cast<std::uint64_t>(FrameType::kVoxTopK),
-              static_cast<std::uint64_t>(FrameType::kModBatch)}));
-  // Record layouts, as (field count, byte size) pairs: vote entry
-  // (u32+i8+i64 = 13), digest entry (u32+u64 = 12), signature (u64+u64 =
-  // 16), hello (u32+u64 = 12), encounter begin (u8+i64 = 9).
-  h = util::hash_combine(h, util::digest_fields({13, 12, 16, 12, 9}));
+              static_cast<std::uint64_t>(FrameType::kModBatch),
+              static_cast<std::uint64_t>(FrameType::kPeerExchange)}));
+  // Record layouts, as byte sizes: vote entry (u32+i8+i64 = 13), digest
+  // entry (u32+u64 = 12), signature (u64+u64 = 16), hello (u32+u64 = 12),
+  // encounter begin (u8+i64 = 9), peer descriptor
+  // (u32+u64+u32+u16+i64+sig = 42).
+  h = util::hash_combine(h, util::digest_fields({13, 12, 16, 12, 9, 42}));
   h = util::hash_combine(
       h, util::digest_fields({kMaxVoteEntries, kMaxDigestEntries,
                               kMaxDeltaIndices, kMaxTopK, kMaxModItems,
-                              kMaxDescriptionBytes}));
+                              kMaxDescriptionBytes, kMaxPeerDescriptors}));
   h = util::hash_combine(
       h, util::digest_fields({kEncounterVote, kEncounterModeration}));
   return h;

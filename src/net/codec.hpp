@@ -32,6 +32,7 @@ inline constexpr std::size_t kMaxDeltaIndices = 4096;
 inline constexpr std::size_t kMaxTopK = 64;
 inline constexpr std::size_t kMaxModItems = 1024;
 inline constexpr std::size_t kMaxDescriptionBytes = 4096;
+inline constexpr std::size_t kMaxPeerDescriptors = 64;
 
 // ENC_BEGIN encounter kinds (PROTOCOL.md §4.2).
 inline constexpr std::uint8_t kEncounterVote = 0;
@@ -46,6 +47,32 @@ struct EncounterBegin {
   std::uint8_t kind = kEncounterVote;
   Time time = 0;
 };
+
+/// One Newscast view entry as it travels the wire (PROTOCOL.md §8): who the
+/// peer is, where to dial it, and how fresh the owner's stamp is. Signed by
+/// the *descriptor owner* over descriptor_digest(), so relayed entries
+/// cannot be retargeted or aged in transit by the relay. (This binds
+/// contents to the claimed key, not the key to an identity — Sybil
+/// registration is out of scope, as in the paper.)
+struct PeerDescriptor {
+  PeerId peer = kInvalidPeer;
+  crypto::PublicKey key;
+  std::uint32_t ip = 0;       ///< IPv4, host byte order (0x7f000001 = lo)
+  std::uint16_t port = 0;
+  Time heartbeat = 0;         ///< owner's clock at signing (freshness rank)
+  crypto::Signature signature;
+};
+
+/// PEER_EXCHANGE payload: the sender's current view slice plus whether it
+/// expects the symmetric reply half of the Newscast shuffle.
+struct PeerExchangeMessage {
+  bool reply_requested = false;
+  std::vector<PeerDescriptor> descriptors;
+};
+
+/// The 64-bit digest a descriptor's Schnorr signature covers: every field
+/// except the signature itself.
+[[nodiscard]] std::uint64_t descriptor_digest(const PeerDescriptor& d);
 
 // ---- encoders (payload bytes only; framing in frame.hpp) -------------------
 
@@ -64,6 +91,8 @@ struct EncounterBegin {
     const vote::RankedList& list);
 [[nodiscard]] std::vector<std::uint8_t> encode_mod_batch(
     const std::vector<moderation::Moderation>& items);
+[[nodiscard]] std::vector<std::uint8_t> encode_peer_exchange(
+    const PeerExchangeMessage& m);
 
 // ---- decoders (strict; false = malformed) ----------------------------------
 
@@ -85,6 +114,10 @@ struct EncounterBegin {
                                    vote::RankedList& out);
 [[nodiscard]] bool decode_mod_batch(const std::vector<std::uint8_t>& p,
                                     std::vector<moderation::Moderation>& out);
+/// Syntactic only — signature verification of each descriptor is the
+/// receiver's (NodeService), item-wise like mod-batch items.
+[[nodiscard]] bool decode_peer_exchange(const std::vector<std::uint8_t>& p,
+                                        PeerExchangeMessage& out);
 
 /// Digest folding every layout-determining constant of the wire format:
 /// version, header size, type codes, record sizes and message limits. A

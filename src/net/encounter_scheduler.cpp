@@ -1,0 +1,209 @@
+#include "net/encounter_scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tribvote::net {
+
+namespace {
+
+std::string ip_to_string(std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace
+
+EncounterScheduler::EncounterScheduler(EventLoop& loop, NodeService& service,
+                                       PeerDirectory& directory,
+                                       EncounterSchedulerConfig config)
+    : loop_(&loop),
+      service_(&service),
+      directory_(&directory),
+      config_(config) {
+  service_->set_directory(directory_, [this] { return now(); });
+  service_->set_closed_hook(
+      [this](int conn, PeerId peer) { on_closed(conn, peer); });
+}
+
+EncounterScheduler::~EncounterScheduler() {
+  stop();
+  // Detach the callbacks that capture `this`; the directory stays wired
+  // (it outlives us by contract) with the null clock.
+  service_->set_directory(directory_, {});
+  service_->set_closed_hook({});
+}
+
+void EncounterScheduler::add_seed(const std::string& host,
+                                  std::uint16_t port) {
+  Seed s;
+  s.host = host;
+  s.port = port;
+  seeds_.push_back(std::move(s));
+}
+
+void EncounterScheduler::start() {
+  if (running_) return;
+  running_ = true;
+  for (Seed& s : seeds_) {
+    if (s.conn < 0) {
+      s.conn = service_->connect(s.host, s.port);
+      if (s.conn >= 0) ++stats_.dials;
+    }
+  }
+  tick_timer_ = loop_->schedule_after(config_.round_ms, [this] { tick(); });
+}
+
+void EncounterScheduler::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (tick_timer_ != 0) {
+    loop_->cancel_timer(tick_timer_);
+    tick_timer_ = 0;
+  }
+  for (auto& [peer, b] : backoff_) {
+    if (b.timer != 0) loop_->cancel_timer(b.timer);
+  }
+  backoff_.clear();
+}
+
+void EncounterScheduler::tick() {
+  tick_timer_ = 0;
+  const Time t = now();
+  stats_.ttl_evictions += directory_->evict_expired(t);
+  settle_dials();
+
+  // Bootstrap seeds: shuffle once their HELLO lands; redial dead ones on a
+  // slow cadence (a seed has no descriptor, so the backoff/eviction rules
+  // of the directory do not apply to it).
+  for (Seed& s : seeds_) {
+    if (s.conn < 0) continue;
+    if (service_->ready(s.conn)) {
+      if (!s.shuffled && service_->send_peer_exchange(s.conn, true)) {
+        s.shuffled = true;
+        ++stats_.shuffles;
+      }
+    } else if (!service_->open(s.conn) && config_.seed_redial_rounds > 0 &&
+               stats_.rounds % static_cast<std::uint64_t>(
+                                   config_.seed_redial_rounds) == 0) {
+      if (service_->reconnect(s.conn)) s.shuffled = false;
+    }
+  }
+
+  const PeerId target = directory_->sample(service_->self());
+  if (target == kInvalidPeer) {
+    ++stats_.empty_samples;
+  } else {
+    const int conn = service_->conn_for_peer(target);
+    if (conn >= 0 && service_->ready(conn)) {
+      if (config_.shuffle_every > 0 &&
+          stats_.rounds % static_cast<std::uint64_t>(config_.shuffle_every) ==
+              0) {
+        if (service_->send_peer_exchange(conn, true)) ++stats_.shuffles;
+      }
+      if (service_->initiator_idle(conn)) {
+        const bool moderation =
+            config_.mod_every > 0 &&
+            stats_.rounds % static_cast<std::uint64_t>(config_.mod_every) ==
+                static_cast<std::uint64_t>(config_.mod_every) - 1;
+        if (moderation) {
+          if (service_->initiate_moderation_encounter(conn, t)) {
+            ++stats_.mod_encounters;
+          }
+        } else if (service_->initiate_vote_encounter(conn, t)) {
+          ++stats_.vote_encounters;
+        }
+      }
+    } else if (conn < 0) {
+      try_dial(target);
+    }
+  }
+
+  ++stats_.rounds;
+  if (running_) {
+    tick_timer_ = loop_->schedule_after(config_.round_ms, [this] { tick(); });
+  }
+}
+
+void EncounterScheduler::settle_dials() {
+  // Dials whose HELLO completed graduate to regular connections; their
+  // first act is the bootstrap shuffle that tells the peer where we live.
+  for (auto it = dialing_.begin(); it != dialing_.end();) {
+    if (service_->ready(it->first)) {
+      directory_->note_dial_success(it->second);
+      backoff_.erase(it->second);
+      if (service_->send_peer_exchange(it->first, true)) ++stats_.shuffles;
+      it = dialing_.erase(it);
+    } else if (!service_->open(it->first)) {
+      // A loopback refusal can close the connection synchronously inside
+      // connect() — before try_dial registered it here, so the closed
+      // hook saw an unknown conn. Count the failure on this sweep.
+      const PeerId peer = it->second;
+      it = dialing_.erase(it);
+      note_failure(peer);
+    } else {
+      ++it;  // still connecting; failure arrives via the closed hook
+    }
+  }
+}
+
+void EncounterScheduler::try_dial(PeerId peer) {
+  if (dialing_.size() >= config_.max_dials) return;
+  const auto b = backoff_.find(peer);
+  if (b != backoff_.end() && b->second.blocked) return;
+  for (const auto& [conn, p] : dialing_) {
+    if (p == peer) return;  // one dial per peer at a time
+  }
+  PeerDescriptor d;
+  if (!directory_->lookup(peer, d)) return;
+  const int conn = service_->connect(ip_to_string(d.ip), d.port);
+  if (conn < 0) {
+    note_failure(peer);
+    return;
+  }
+  ++stats_.dials;
+  dialing_[conn] = peer;
+}
+
+void EncounterScheduler::on_closed(int conn, PeerId peer) {
+  (void)peer;
+  for (Seed& s : seeds_) {
+    if (s.conn == conn) {
+      s.shuffled = false;  // redialed on the seed cadence
+      return;
+    }
+  }
+  // Only a dial that never reached HELLO counts as a failure; a close of
+  // an established connection just lets the next sample redial fresh.
+  const auto it = dialing_.find(conn);
+  if (it == dialing_.end()) return;
+  const PeerId intended = it->second;
+  dialing_.erase(it);
+  note_failure(intended);
+}
+
+void EncounterScheduler::note_failure(PeerId peer) {
+  ++stats_.dial_failures;
+  directory_->note_dial_failure(peer);  // evicts after max_dial_failures
+  Backoff& b = backoff_[peer];
+  ++b.failures;
+  const int shift =
+      static_cast<int>(std::min<std::size_t>(b.failures - 1, 16));
+  const long long delay =
+      std::min<long long>(static_cast<long long>(config_.backoff_base_ms)
+                              << shift,
+                          config_.backoff_max_ms);
+  b.blocked = true;
+  ++stats_.redials_scheduled;
+  b.timer = loop_->schedule_after(static_cast<int>(delay), [this, peer] {
+    const auto it = backoff_.find(peer);
+    if (it != backoff_.end()) {
+      it->second.blocked = false;
+      it->second.timer = 0;
+    }
+  });
+}
+
+}  // namespace tribvote::net

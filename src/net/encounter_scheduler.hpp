@@ -1,0 +1,117 @@
+// EncounterScheduler: the free-running node's active thread (paper Fig. 1,
+// "active thread" loop) on top of the poll loop's timers. Every round_ms it
+//
+//   1. ages the directory (TTL eviction),
+//   2. samples a counterpart through the pss::PeerSampler API,
+//   3. reuses the live connection to it or dials its descriptor address
+//      (bounded concurrent dials; per-peer exponential backoff on failure;
+//      descriptors evicted after max_dial_failures — the directory's rule),
+//   4. drives the ExchangeEngine's vote leg (and periodically the
+//      moderation leg) over that connection, and
+//   5. periodically pushes its Newscast shuffle so views keep mixing.
+//
+// Rounds are the scheduler's logical clock: encounter timestamps and
+// descriptor heartbeats advance one Time unit per round, which keeps every
+// protocol interval (BallotBox decay, moderation TTLs, view TTLs) on the
+// same time axis the simulator uses. An N-node cluster where each node
+// runs one scheduler bootstraps from a single seed address and then runs
+// the full paper loop unattended (scripts/cluster_smoke.sh).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/node_service.hpp"
+#include "net/peer_directory.hpp"
+
+namespace tribvote::net {
+
+struct EncounterSchedulerConfig {
+  int round_ms = 100;           ///< local round period
+  int shuffle_every = 4;        ///< rounds between proactive shuffles
+  int mod_every = 4;            ///< every k-th encounter is moderation
+                                ///< (0 = vote-only)
+  std::size_t max_dials = 4;    ///< concurrent dials in flight
+  int backoff_base_ms = 200;    ///< first redial delay; doubles per failure
+  int backoff_max_ms = 5000;
+  int seed_redial_rounds = 8;   ///< retry a dead bootstrap seed every k rounds
+};
+
+class EncounterScheduler {
+ public:
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t vote_encounters = 0;  ///< initiated (completion is the
+                                        ///< engine's to count)
+    std::uint64_t mod_encounters = 0;
+    std::uint64_t shuffles = 0;
+    std::uint64_t dials = 0;
+    std::uint64_t dial_failures = 0;
+    std::uint64_t redials_scheduled = 0;  ///< backoff timers armed
+    std::uint64_t ttl_evictions = 0;
+    std::uint64_t empty_samples = 0;  ///< sampler had nobody to offer
+  };
+
+  /// All three must outlive the scheduler. Installs itself as the
+  /// service's closed-hook (dial-failure accounting) and wires the
+  /// directory + round clock into the service.
+  EncounterScheduler(EventLoop& loop, NodeService& service,
+                     PeerDirectory& directory,
+                     EncounterSchedulerConfig config);
+  ~EncounterScheduler();
+
+  EncounterScheduler(const EncounterScheduler&) = delete;
+  EncounterScheduler& operator=(const EncounterScheduler&) = delete;
+
+  /// Bootstrap seed: dialed on start(); its HELLO triggers the first
+  /// shuffle. May be called repeatedly (multiple seeds).
+  void add_seed(const std::string& host, std::uint16_t port);
+
+  /// Arm the first round tick. Rounds then self-reschedule until stop().
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Logical protocol time: one Time unit per completed round.
+  [[nodiscard]] Time now() const noexcept {
+    return static_cast<Time>(stats_.rounds);
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Backoff {
+    std::size_t failures = 0;
+    bool blocked = false;  ///< waiting out the backoff window
+    EventLoop::TimerId timer = 0;
+  };
+  struct Seed {
+    std::string host;
+    std::uint16_t port = 0;
+    int conn = -1;
+    bool shuffled = false;
+  };
+
+  void tick();
+  void settle_dials();
+  void try_dial(PeerId peer);
+  void on_closed(int conn, PeerId peer);
+  void note_failure(PeerId peer);
+
+  EventLoop* loop_;
+  NodeService* service_;
+  PeerDirectory* directory_;
+  EncounterSchedulerConfig config_;
+  bool running_ = false;
+  EventLoop::TimerId tick_timer_ = 0;
+  std::map<int, PeerId> dialing_;  ///< conn -> intended peer
+  std::map<PeerId, Backoff> backoff_;
+  std::vector<Seed> seeds_;
+  Stats stats_;
+};
+
+}  // namespace tribvote::net

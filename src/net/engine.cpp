@@ -95,6 +95,7 @@ bool ExchangeEngine::begin_vote_encounter(Time now, std::vector<Frame>& out) {
   if (!has_peer_ || i_state_ != IState::kIdle) return false;
   i_leg_ = Leg{};
   i_leg_.now = now;
+  i_enc_ = vote::Encounter::begin(*vote_, now);
   push(out, FrameType::kEncounterBegin, init_channel_,
        encode_encounter_begin({kEncounterVote, now}));
   const bool digest = open_leg(i_leg_, init_channel_, out);
@@ -116,10 +117,10 @@ bool ExchangeEngine::begin_moderation_encounter(Time now,
 }
 
 void ExchangeEngine::initiator_wrap(std::vector<Frame>& out) {
-  // The VP decision runs after both gossip legs, exactly like
-  // vote::vote_encounter: a leg that lifts the box past B_min suppresses
-  // the request on the wire too.
-  if (vote_->bootstrapping()) {
+  // The shared encounter core makes the VP decision after both gossip
+  // legs, exactly like vote::vote_encounter: a leg that lifts the box past
+  // B_min suppresses the request on the wire too.
+  if (i_enc_.vox_pending()) {
     push(out, FrameType::kVoxRequest, init_channel_, {});
     i_state_ = IState::kAwaitVox;
     return;
@@ -213,11 +214,11 @@ bool ExchangeEngine::on_initiator_frame(const Frame& frame,
       {
         vote::RankedList list;
         if (!decode_vox_topk(frame.payload, list)) return fail();
-        if (list.empty()) {
+        i_enc_.finish_vox(std::move(list));
+        if (i_enc_.finish().vox_topk == 0) {
           ++counters_.vox_null;
         } else {
           ++counters_.vox_answered;
-          vote_->receive_topk(std::move(list));
         }
         push(out, FrameType::kEncounterEnd, ch, {});
         i_state_ = IState::kIdle;
@@ -338,7 +339,7 @@ bool ExchangeEngine::on_responder_frame(const Frame& frame,
         // An empty answer is the protocol's "null" (Fig. 3c) — sent
         // explicitly so the initiator never waits on silence.
         push(out, FrameType::kVoxTopK, ch,
-             encode_vox_topk(vote_->answer_topk()));
+             encode_vox_topk(vote::Encounter::answer_vox(*vote_)));
         return true;
       }
       if (frame.type == FrameType::kEncounterEnd) {
@@ -354,10 +355,12 @@ bool ExchangeEngine::on_responder_frame(const Frame& frame,
       {
         std::vector<moderation::Moderation> items;
         if (!decode_mod_batch(frame.payload, items)) return fail();
-        // Fig. 1 order, as in moderation::exchange — the responder
-        // extracts its own batch *before* merging the initiator's.
-        std::vector<moderation::Moderation> from_us = mod_->outgoing();
-        counters_.mod_rejected += mod_->receive(items, r_leg_.now).bad_signature;
+        // The shared responder half (moderation::respond_exchange):
+        // extract-before-merge in Fig. 1 order, identical to the sim path.
+        moderation::ModerationCastAgent::ReceiveStats merged;
+        const std::vector<moderation::Moderation> from_us =
+            moderation::respond_exchange(*mod_, items, r_leg_.now, &merged);
+        counters_.mod_rejected += merged.bad_signature;
         push(out, FrameType::kModBatch, ch, encode_mod_batch(from_us));
         r_state_ = RState::kAwaitModEnd;
       }

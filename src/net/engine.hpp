@@ -24,6 +24,7 @@
 #include "net/codec.hpp"
 #include "net/frame.hpp"
 #include "vote/agent.hpp"
+#include "vote/encounter.hpp"
 
 namespace tribvote::net {
 
@@ -155,6 +156,11 @@ class ExchangeEngine {
   RState r_state_ = RState::kIdle;
   Leg i_leg_;
   Leg r_leg_;
+  /// The shared begin/finish encounter core for the encounter this node
+  /// currently initiates — the same object vote::vote_encounter composes,
+  /// so the VP decision and merge run through identical code on both
+  /// transports (DESIGN.md §13).
+  vote::Encounter i_enc_;
   Counters counters_;
   std::function<void(std::uint8_t, Time)> begin_hook_;
 };

@@ -70,6 +70,62 @@ std::size_t EventLoop::size() const noexcept {
   return n;
 }
 
+EventLoop::TimerId EventLoop::schedule_after(int delay_ms,
+                                             std::function<void()> fn) {
+  Timer t;
+  t.id = next_timer_id_++;
+  t.due = Clock::now() + std::chrono::milliseconds(std::max(delay_ms, 0));
+  t.fn = std::move(fn);
+  timers_.push_back(std::move(t));
+  return timers_.back().id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  std::erase_if(timers_, [id](const Timer& t) { return t.id == id; });
+}
+
+std::size_t EventLoop::pending_timers() const noexcept {
+  return timers_.size();
+}
+
+int EventLoop::clip_to_timers(int timeout_ms) const {
+  if (timers_.empty()) return timeout_ms;
+  auto earliest = timers_.front().due;
+  for (const Timer& t : timers_) earliest = std::min(earliest, t.due);
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      earliest - Clock::now());
+  const int until = static_cast<int>(
+      std::clamp<long long>(left.count(), 0, 1'000'000'000));
+  if (timeout_ms < 0) return until;
+  return std::min(timeout_ms, until);
+}
+
+int EventLoop::fire_due_timers(Clock::time_point now) {
+  int fired = 0;
+  // Fire strictly in (due, id) order, re-scanning after each callback: the
+  // callback may schedule or cancel timers, so indices/iterators into
+  // timers_ must not be held across the call. Timers scheduled by a
+  // callback for "now" still wait for the next pass (one-shot semantics,
+  // no same-pass cascades).
+  const TimerId fence = next_timer_id_;
+  for (;;) {
+    const Timer* best = nullptr;
+    for (const Timer& t : timers_) {
+      if (t.due > now || t.id >= fence) continue;
+      if (best == nullptr || t.due < best->due ||
+          (t.due == best->due && t.id < best->id)) {
+        best = &t;
+      }
+    }
+    if (best == nullptr) return fired;
+    const TimerId id = best->id;
+    const std::function<void()> cb = best->fn;  // copy: cb may mutate timers_
+    std::erase_if(timers_, [id](const Timer& t) { return t.id == id; });
+    if (cb) cb();
+    ++fired;
+  }
+}
+
 int EventLoop::poll_once(int timeout_ms) {
   std::vector<pollfd> fds;
   std::vector<int> owners;
@@ -83,9 +139,16 @@ int EventLoop::poll_once(int timeout_ms) {
     fds.push_back(p);
     owners.push_back(e.fd);
   }
-  if (fds.empty()) return 0;
-  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (n <= 0) return n;
+  const int wait_ms = clip_to_timers(timeout_ms);
+  if (fds.empty()) {
+    // No fds: sleep out the wait budget (poll with no entries is a portable
+    // millisecond sleep), then fire whatever came due.
+    if (wait_ms != 0) ::poll(nullptr, 0, wait_ms);
+    return fire_due_timers(Clock::now());
+  }
+  const int n = ::poll(fds.data(), fds.size(), wait_ms);
+  if (n < 0) return n;
+  if (n == 0) return fire_due_timers(Clock::now());
 
   dispatching_ = true;
   for (std::size_t i = 0; i < fds.size(); ++i) {
@@ -110,7 +173,7 @@ int EventLoop::poll_once(int timeout_ms) {
   }
   dispatching_ = false;
   compact();
-  return n;
+  return n + fire_due_timers(Clock::now());
 }
 
 bool EventLoop::run_until(const std::function<bool()>& done, int max_ms) {

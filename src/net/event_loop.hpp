@@ -1,14 +1,18 @@
 // Poll-based single-threaded event loop + nonblocking TCP helpers — the
 // socket substrate under net::NodeService. Deliberately minimal: poll(2)
 // over registered fds with per-fd readable/writable callbacks, level-
-// triggered, no timers (the protocol needs none — every encounter is
-// request/response over TCP, and quiescence is explicit via BYE frames).
+// triggered, plus one-shot wall-clock timers (the EncounterScheduler's
+// round tick and backoff redials; the encounter protocol itself needs none
+// — every encounter is request/response over TCP, and quiescence is
+// explicit via BYE frames).
 //
 // Single ownership rule: callbacks run on the thread calling poll_once();
-// a callback may add or remove fds (including its own) — removals take
-// effect before the next dispatch.
+// a callback may add or remove fds (including its own), and schedule or
+// cancel timers (including its own) — removals take effect before the next
+// dispatch.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -23,14 +27,27 @@ class EventLoop {
     std::function<void()> on_writable;
   };
 
+  using TimerId = std::uint64_t;
+
   /// Register `fd`. The loop never closes fds — owners do.
   void add(int fd, Handler handler);
   void remove(int fd);
   /// Interest in writability (set while an output buffer is non-empty).
   void set_want_write(int fd, bool want);
 
-  /// One poll + dispatch pass. Returns the number of fds that fired, 0 on
-  /// timeout, -1 on poll error. `timeout_ms` < 0 blocks indefinitely.
+  /// One-shot timer: run `fn` once at least `delay_ms` from now, from a
+  /// later poll_once() pass. Timers fire in (due time, id) order — ties
+  /// break by scheduling order — so expiry is deterministic for a fixed
+  /// call sequence. Returns an id for cancel_timer.
+  TimerId schedule_after(int delay_ms, std::function<void()> fn);
+  /// Cancel a pending timer; a no-op if it already fired or never existed.
+  void cancel_timer(TimerId id);
+  [[nodiscard]] std::size_t pending_timers() const noexcept;
+
+  /// One poll + dispatch pass. Returns the number of fds that fired (fired
+  /// timers count as one each), 0 on timeout, -1 on poll error.
+  /// `timeout_ms` < 0 blocks until an fd or timer fires; the wait is
+  /// always clipped to the earliest pending timer's due time.
   int poll_once(int timeout_ms);
 
   /// Drive poll_once until `done()` or `max_ms` elapses. Returns done().
@@ -39,6 +56,8 @@ class EventLoop {
   [[nodiscard]] std::size_t size() const noexcept;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Entry {
     int fd = -1;
     Handler handler;
@@ -46,10 +65,22 @@ class EventLoop {
     bool dead = false;
   };
 
+  struct Timer {
+    TimerId id = 0;
+    Clock::time_point due;
+    std::function<void()> fn;
+  };
+
   Entry* find(int fd);
   void compact();
+  /// Wait budget until the earliest timer, clipped into `timeout_ms`.
+  int clip_to_timers(int timeout_ms) const;
+  /// Fire every timer due at `now`; returns the count fired.
+  int fire_due_timers(Clock::time_point now);
 
   std::vector<Entry> entries_;
+  std::vector<Timer> timers_;  // unordered; scanned on fire (small N)
+  TimerId next_timer_id_ = 1;
   bool dispatching_ = false;
 };
 

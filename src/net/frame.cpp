@@ -19,6 +19,7 @@ bool valid_frame_type(std::uint8_t type) {
     case FrameType::kVoxRequest:
     case FrameType::kVoxTopK:
     case FrameType::kModBatch:
+    case FrameType::kPeerExchange:
       return true;
   }
   return false;

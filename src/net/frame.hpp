@@ -51,6 +51,7 @@ enum class FrameType : std::uint8_t {
   kVoxRequest = 0x15,
   kVoxTopK = 0x16,
   kModBatch = 0x20,
+  kPeerExchange = 0x30,
 };
 
 [[nodiscard]] bool valid_frame_type(std::uint8_t type);

@@ -29,6 +29,10 @@ NodeService::NodeService(EventLoop& loop, PeerId self,
     t_reconnects_ = registry_->counter("net.reconnects");
     t_closes_ = registry_->counter("net.closes");
     t_protocol_errors_ = registry_->counter("net.protocol_errors");
+    t_px_in_ = registry_->counter("net.peer_exchanges_in");
+    t_px_out_ = registry_->counter("net.peer_exchanges_out");
+    t_desc_accepted_ = registry_->counter("net.descriptors_accepted");
+    t_desc_forged_ = registry_->counter("net.descriptors_forged");
   }
 }
 
@@ -56,6 +60,10 @@ void NodeService::mirror_telemetry() {
   registry_->set_total(t_reconnects_, stats_.reconnects);
   registry_->set_total(t_closes_, stats_.closes);
   registry_->set_total(t_protocol_errors_, stats_.protocol_errors);
+  registry_->set_total(t_px_in_, stats_.peer_exchanges_in);
+  registry_->set_total(t_px_out_, stats_.peer_exchanges_out);
+  registry_->set_total(t_desc_accepted_, stats_.descriptors_accepted);
+  registry_->set_total(t_desc_forged_, stats_.descriptors_forged);
 }
 
 bool NodeService::listen(std::uint16_t port, std::string* err) {
@@ -227,6 +235,61 @@ const ExchangeEngine::Counters* NodeService::engine_counters(int conn) const {
   return c == nullptr ? nullptr : &c->engine->counters();
 }
 
+ExchangeEngine::Counters NodeService::engine_totals() const {
+  // Closed connections keep their engine until the service dies (conns_ is
+  // never erased), so a straight sum is the lifetime total. Reconnects
+  // replace the engine — counters of the pre-reconnect life are gone; the
+  // smoke reports tolerate that.
+  ExchangeEngine::Counters total;
+  for (const auto& [id, c] : conns_) {
+    const ExchangeEngine::Counters& e = c.engine->counters();
+    total.encounters_completed += e.encounters_completed;
+    total.encounters_served += e.encounters_served;
+    total.mod_completed += e.mod_completed;
+    total.mod_served += e.mod_served;
+    total.open_full += e.open_full;
+    total.open_digest += e.open_digest;
+    total.votes_accepted += e.votes_accepted;
+    total.votes_rejected += e.votes_rejected;
+    total.votes_inexperienced += e.votes_inexperienced;
+    total.fallbacks_requested += e.fallbacks_requested;
+    total.fallbacks_served += e.fallbacks_served;
+    total.vox_answered += e.vox_answered;
+    total.vox_null += e.vox_null;
+    total.mod_rejected += e.mod_rejected;
+    total.protocol_errors += e.protocol_errors;
+  }
+  return total;
+}
+
+int NodeService::conn_for_peer(PeerId peer) const {
+  if (peer == kInvalidPeer) return -1;
+  for (const auto& [id, c] : conns_) {
+    if (!c.closed && c.engine->has_peer() && c.engine->peer() == peer) {
+      return id;
+    }
+  }
+  return -1;
+}
+
+bool NodeService::send_peer_exchange(int conn, bool request_reply) {
+  Connection* c = get(conn);
+  if (c == nullptr || c->closed || !c->hello_received ||
+      directory_ == nullptr) {
+    return false;
+  }
+  const Time now = clock_ ? clock_() : 0;
+  Frame f;
+  f.type = FrameType::kPeerExchange;
+  f.channel = c->outbound ? 0 : 1;
+  f.payload = encode_peer_exchange(directory_->build_shuffle(now,
+                                                             request_reply));
+  ++stats_.peer_exchanges_out;
+  send_frame(*c, f);
+  mirror_telemetry();
+  return true;
+}
+
 void NodeService::send_hello(Connection& c) {
   Frame f;
   f.type = FrameType::kHello;
@@ -333,6 +396,29 @@ bool NodeService::handle_frame(Connection& c, const Frame& frame) {
     c.bye_received = true;
     return true;
   }
+  if (frame.type == FrameType::kPeerExchange) {
+    PeerExchangeMessage m;
+    if (!decode_peer_exchange(frame.payload, m)) return false;
+    // An endpoint with no directory tolerates the frame (a vote-only node
+    // is not obliged to gossip views) — decoded but dropped, §8.
+    if (directory_ == nullptr) return true;
+    ++stats_.peer_exchanges_in;
+    const PeerDirectory::MergeStats merged =
+        directory_->merge_exchange(m, clock_ ? clock_() : 0);
+    stats_.descriptors_accepted += merged.accepted;
+    stats_.descriptors_forged += merged.forged;
+    if (m.reply_requested) {
+      const Time now = clock_ ? clock_() : 0;
+      Frame reply;
+      reply.type = FrameType::kPeerExchange;
+      reply.channel = c.outbound ? 0 : 1;
+      reply.payload =
+          encode_peer_exchange(directory_->build_shuffle(now, false));
+      ++stats_.peer_exchanges_out;
+      send_frame(c, reply);
+    }
+    return true;
+  }
   std::vector<Frame> out;
   if (!c.engine->on_frame(frame, out)) return false;
   for (const Frame& f : out) send_frame(c, f);
@@ -345,6 +431,10 @@ void NodeService::close_internal(Connection& c, bool count_close) {
   ::close(c.fd);
   c.closed = true;
   if (count_close) ++stats_.closes;
+  if (closed_hook_) {
+    closed_hook_(c.id, c.engine->has_peer() ? c.engine->peer()
+                                            : kInvalidPeer);
+  }
 }
 
 }  // namespace tribvote::net

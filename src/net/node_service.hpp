@@ -28,6 +28,7 @@
 #include "net/engine.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
+#include "net/peer_directory.hpp"
 #include "telemetry/registry.hpp"
 #include "vote/agent.hpp"
 
@@ -48,6 +49,10 @@ struct NetStats {
   std::uint64_t malformed = 0;
   std::uint64_t truncated = 0;  ///< streams that ended mid-frame
   std::uint64_t protocol_errors = 0;
+  std::uint64_t peer_exchanges_in = 0;   ///< PEER_EXCHANGE frames merged
+  std::uint64_t peer_exchanges_out = 0;  ///< shuffles + replies sent
+  std::uint64_t descriptors_accepted = 0;
+  std::uint64_t descriptors_forged = 0;  ///< bad signature, dropped item-wise
 };
 
 class NodeService {
@@ -99,6 +104,9 @@ class NodeService {
   [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ExchangeEngine::Counters* engine_counters(
       int conn) const;
+  /// Engine counters summed over every connection this service ever ran —
+  /// open and closed alike (a lifetime view for end-of-run reports).
+  [[nodiscard]] ExchangeEngine::Counters engine_totals() const;
 
   /// Install a hook fired on every peer-initiated ENC_BEGIN (kind, time),
   /// before anything of that encounter merges — the responder's only safe
@@ -106,6 +114,40 @@ class NodeService {
   /// Applies to connections adopted after the call.
   void set_encounter_begin_hook(std::function<void(std::uint8_t, Time)> hook) {
     begin_hook_ = std::move(hook);
+  }
+
+  // ---- peer discovery (PROTOCOL.md §8) -------------------------------------
+
+  /// Wire the Newscast directory. While set, inbound PEER_EXCHANGE frames
+  /// are decoded, item-wise signature-verified and merged (and answered
+  /// when the sender requested the reply half). Without a directory the
+  /// frame is ignored — a vote-only endpoint is not obliged to gossip
+  /// views. `clock` supplies the protocol time stamped into outgoing
+  /// self-descriptors.
+  void set_directory(PeerDirectory* directory, std::function<Time()> clock) {
+    directory_ = directory;
+    clock_ = std::move(clock);
+  }
+  [[nodiscard]] PeerDirectory* directory() const noexcept {
+    return directory_;
+  }
+
+  /// Send our shuffle slice on `conn` (Newscast push; `request_reply`
+  /// asks for the symmetric pull half). Needs a wired directory and a
+  /// ready connection.
+  bool send_peer_exchange(int conn, bool request_reply);
+
+  /// The open connection bound to `peer` (HELLO exchanged), or -1.
+  [[nodiscard]] int conn_for_peer(PeerId peer) const;
+  [[nodiscard]] PeerId self() const noexcept { return self_; }
+
+  /// Hook fired after a connection closes for any reason (error, protocol
+  /// violation, explicit close). `peer` is kInvalidPeer when the HELLO
+  /// never completed. The EncounterScheduler uses this for dial-failure
+  /// accounting; fired from inside the poll loop, so the hook must not
+  /// re-enter the service for this connection.
+  void set_closed_hook(std::function<void(int, PeerId)> hook) {
+    closed_hook_ = std::move(hook);
   }
 
  private:
@@ -154,10 +196,14 @@ class NodeService {
   std::map<int, Connection> conns_;
   NetStats stats_;
   std::function<void(std::uint8_t, Time)> begin_hook_;
+  std::function<void(int, PeerId)> closed_hook_;
+  PeerDirectory* directory_ = nullptr;
+  std::function<Time()> clock_;
 
   telemetry::CounterId t_frames_in_{}, t_frames_out_{}, t_bytes_in_{},
       t_bytes_out_{}, t_checksum_{}, t_malformed_{}, t_truncated_{},
-      t_reconnects_{}, t_closes_{}, t_protocol_errors_{};
+      t_reconnects_{}, t_closes_{}, t_protocol_errors_{}, t_px_in_{},
+      t_px_out_{}, t_desc_accepted_{}, t_desc_forged_{};
 };
 
 }  // namespace tribvote::net

@@ -1,0 +1,37 @@
+#include "pss/factory.hpp"
+
+#include "pss/oracle.hpp"
+
+namespace tribvote::pss {
+
+const char* sampler_kind_name(SamplerKind kind) noexcept {
+  switch (kind) {
+    case SamplerKind::kOracle:
+      return "oracle";
+    case SamplerKind::kNewscast:
+      return "newscast";
+  }
+  return "?";
+}
+
+std::optional<SamplerKind> parse_sampler_kind(std::string_view name) noexcept {
+  if (name == "oracle") return SamplerKind::kOracle;
+  if (name == "newscast") return SamplerKind::kNewscast;
+  return std::nullopt;
+}
+
+std::unique_ptr<PeerSampler> make_sampler(SamplerKind kind,
+                                          std::size_t n_peers,
+                                          const OnlineDirectory& directory,
+                                          const NewscastConfig& newscast,
+                                          util::Rng rng) {
+  switch (kind) {
+    case SamplerKind::kOracle:
+      return std::make_unique<OraclePss>(directory, rng);
+    case SamplerKind::kNewscast:
+      return std::make_unique<NewscastPss>(n_peers, directory, newscast, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace tribvote::pss

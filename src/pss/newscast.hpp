@@ -41,8 +41,8 @@ class NewscastPss final : public PeerSampler {
               NewscastConfig config, util::Rng rng);
 
   /// Node lifecycle hooks (called by the runner on session start/end).
-  void on_peer_online(PeerId peer, Time now);
-  void on_peer_offline(PeerId peer);
+  void on_peer_online(PeerId peer, Time now) override;
+  void on_peer_offline(PeerId peer) override;
 
   /// One gossip round for all online nodes at time `now` (runner calls this
   /// on a fixed period, e.g. every 60 s). `loss` is a per-dial drop
@@ -53,7 +53,7 @@ class NewscastPss final : public PeerSampler {
   /// round is byte-identical to the loss-free implementation. Each dropped
   /// dial increments *dropped when given.
   void gossip_round(Time now, double loss = 0.0,
-                    std::uint64_t* dropped = nullptr);
+                    std::uint64_t* dropped = nullptr) override;
 
   /// Random live view entry of `self`; falls back across stale entries.
   [[nodiscard]] PeerId sample(PeerId self) override;
@@ -61,7 +61,7 @@ class NewscastPss final : public PeerSampler {
   /// Telemetry probe counting completed view exchanges (merges). A
   /// default-constructed (null) probe is inert; counting never changes
   /// protocol behaviour or RNG draws.
-  void set_exchange_probe(telemetry::Counter probe) noexcept {
+  void set_exchange_probe(telemetry::Counter probe) noexcept override {
     exchange_probe_ = probe;
   }
 

@@ -3,18 +3,33 @@
 // Every protocol in the paper (ModerationCast, BallotBox, VoxPopuli,
 // BarterCast gossip) discovers counterparts exclusively through a PSS that
 // "periodically returns a random peer from the entire population of online
-// peers" (§III). Two implementations are provided:
+// peers" (§III). Three implementations are provided:
 //
-//   * OraclePss    — exact uniform sampling over the online set; matches the
-//                    paper's modelling assumption and is used by the main
-//                    experiments.
-//   * NewscastPss  — a gossip view-exchange PSS in the style of Newscast /
-//                    BuddyCast (Tribler's deployed PSS); used by the
-//                    abl_pss_comparison bench to show the results hold under
-//                    a real decentralized PSS.
+//   * OraclePss      — exact uniform sampling over the online set; matches
+//                      the paper's modelling assumption and is used by the
+//                      main experiments.
+//   * NewscastPss    — a gossip view-exchange PSS in the style of Newscast /
+//                      BuddyCast (Tribler's deployed PSS); used by the
+//                      abl_pss_comparison bench to show the results hold
+//                      under a real decentralized PSS.
+//   * net::PeerDirectory — the socket plane's sampler: the same Newscast
+//                      view, but maintained from Schnorr-signed descriptor
+//                      exchanges over TCP (PROTOCOL.md §8) instead of the
+//                      simulator's shared-memory merge.
+//
+// The base class carries the full lifecycle surface so a caller (the
+// ScenarioRunner, the socket EncounterScheduler) can hold one PeerSampler*
+// and drive any implementation: membership hooks, the proactive gossip
+// tick, and the telemetry probe are default-no-op virtuals — a sampler that
+// reads a shared directory (the oracle) or gossips over the wire (the
+// socket directory) simply ignores the ones it does not need.
 #pragma once
 
+#include <cstdint>
+
+#include "telemetry/registry.hpp"
 #include "util/ids.hpp"
+#include "util/time.hpp"
 
 namespace tribvote::pss {
 
@@ -25,6 +40,22 @@ class PeerSampler {
   /// Return a random *online* peer other than `self`, or kInvalidPeer when
   /// no such peer is known/available.
   [[nodiscard]] virtual PeerId sample(PeerId self) = 0;
+
+  /// Membership lifecycle (no-ops for samplers that read a shared
+  /// directory or learn membership from the wire).
+  virtual void on_peer_online(PeerId /*peer*/, Time /*now*/) {}
+  virtual void on_peer_offline(PeerId /*peer*/) {}
+
+  /// One proactive view-gossip tick for the whole population at `now`
+  /// (the sim Newscast's shared-memory merge). Samplers that gossip over a
+  /// transport — or need none at all — ignore it. `loss` is a per-dial
+  /// drop probability; each dropped dial increments *dropped when given.
+  virtual void gossip_round(Time /*now*/, double /*loss*/ = 0.0,
+                            std::uint64_t* /*dropped*/ = nullptr) {}
+
+  /// Telemetry probe counting completed view exchanges. A null probe is
+  /// inert; counting never changes protocol behaviour or RNG draws.
+  virtual void set_exchange_probe(telemetry::Counter /*probe*/) noexcept {}
 };
 
 }  // namespace tribvote::pss

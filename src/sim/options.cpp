@@ -71,6 +71,166 @@ telemetry::TelemetryConfig telemetry() {
   return config;
 }
 
+NetOptions net() {
+  NetOptions o;
+  o.view_size = env_size("TRIBVOTE_NET_VIEW", o.view_size);
+  o.shuffle_size = env_size("TRIBVOTE_NET_SHUFFLE", o.shuffle_size);
+  o.round_ms = static_cast<int>(
+      env_size("TRIBVOTE_NET_ROUND_MS",
+               static_cast<std::size_t>(o.round_ms)));
+  o.max_dials = env_size("TRIBVOTE_NET_DIALS", o.max_dials);
+  o.max_dial_failures =
+      env_size("TRIBVOTE_NET_DIAL_FAILS", o.max_dial_failures);
+  o.entry_ttl = static_cast<long>(
+      env_size("TRIBVOTE_NET_TTL", static_cast<std::size_t>(o.entry_ttl)));
+  return o;
+}
+
+void banner(const char* name,
+            const std::vector<std::pair<std::string, std::string>>& kv) {
+  std::fprintf(stderr, "%s:", name);
+  for (const auto& [k, v] : kv) {
+    std::fprintf(stderr, " %s=%s", k.c_str(), v.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+CliFlags::CliFlags(int argc, char** argv) {
+  args_.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+}
+
+bool CliFlags::next() {
+  if (error_ || pos_ >= args_.size()) return false;
+  flag_ = args_[pos_++];
+  have_flag_ = true;
+  return true;
+}
+
+void CliFlags::fail() {
+  error_ = true;
+  have_flag_ = false;
+}
+
+bool CliFlags::is_switch(const char* name) {
+  if (!have_flag_ || flag_ != name) return false;
+  have_flag_ = false;
+  return true;
+}
+
+bool CliFlags::take(const char* name, std::string& raw) {
+  if (!have_flag_ || flag_ != name) return false;
+  if (pos_ >= args_.size()) {
+    fail();
+    return false;
+  }
+  raw = args_[pos_++];
+  have_flag_ = false;
+  return true;
+}
+
+bool CliFlags::value(const char* name, std::string& out) {
+  return take(name, out);
+}
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool CliFlags::u64(const char* name, std::uint64_t& out) {
+  std::string raw;
+  if (!take(name, raw)) return false;
+  if (!parse_u64(raw, out)) fail();
+  return !error_;
+}
+
+bool CliFlags::u32(const char* name, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  std::string raw;
+  if (!take(name, raw)) return false;
+  if (!parse_u64(raw, v) || v > 0xffffffffULL) {
+    fail();
+  } else {
+    out = static_cast<std::uint32_t>(v);
+  }
+  return !error_;
+}
+
+bool CliFlags::u16(const char* name, std::uint16_t& out) {
+  std::uint64_t v = 0;
+  std::string raw;
+  if (!take(name, raw)) return false;
+  if (!parse_u64(raw, v) || v > 0xffffULL) {
+    fail();
+  } else {
+    out = static_cast<std::uint16_t>(v);
+  }
+  return !error_;
+}
+
+bool CliFlags::i32(const char* name, int& out) {
+  std::string raw;
+  if (!take(name, raw)) return false;
+  char* end = nullptr;
+  const long v = std::strtol(raw.c_str(), &end, 10);
+  if (raw.empty() || end == nullptr || *end != '\0') {
+    fail();
+  } else {
+    out = static_cast<int>(v);
+  }
+  return !error_;
+}
+
+bool CliFlags::f64(const char* name, double& out) {
+  std::string raw;
+  if (!take(name, raw)) return false;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end == nullptr || *end != '\0') {
+    fail();
+  } else {
+    out = v;
+  }
+  return !error_;
+}
+
+bool CliFlags::size(const char* name, std::size_t& out) {
+  std::uint64_t v = 0;
+  std::string raw;
+  if (!take(name, raw)) return false;
+  if (!parse_u64(raw, v)) {
+    fail();
+  } else {
+    out = static_cast<std::size_t>(v);
+  }
+  return !error_;
+}
+
+bool CliFlags::host_port(const char* name, std::string& host,
+                         std::uint16_t& port) {
+  std::string raw;
+  if (!take(name, raw)) return false;
+  const std::size_t colon = raw.rfind(':');
+  std::uint64_t p = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !parse_u64(raw.substr(colon + 1), p) || p == 0 || p > 65535) {
+    fail();
+    return !error_;
+  }
+  host = raw.substr(0, colon);
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
 bool gossip_cache() {
   const char* v = std::getenv("TRIBVOTE_GOSSIP_CACHE");
   if (v == nullptr) return true;

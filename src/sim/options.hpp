@@ -25,10 +25,26 @@
 //                          (default) or "off". Semantically transparent —
 //                          goldens are byte-identical either way; the knob
 //                          exists for A/B perf runs and identity smokes
+//   TRIBVOTE_NET_VIEW      socket-plane Newscast view size (default 20)
+//   TRIBVOTE_NET_SHUFFLE   descriptors per PEER_EXCHANGE (default 16)
+//   TRIBVOTE_NET_ROUND_MS  EncounterScheduler round period (default 100)
+//   TRIBVOTE_NET_DIALS     concurrent dials in flight (default 4)
+//   TRIBVOTE_NET_DIAL_FAILS consecutive dial failures before a descriptor
+//                          is evicted (default 3)
+//   TRIBVOTE_NET_TTL       descriptor TTL in protocol seconds (default 1800)
+//
+// This header also hosts the shared `--flag value` CLI scanner the net
+// binaries (tribvote_node, tribvote_load, tribvote_cluster) parse with —
+// one strict parser instead of three hand-rolled strtol loops, same spirit
+// as the env block above. Flags here are plain integers/strings; nothing
+// in sim depends on net::.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bt/ledger.hpp"
 #include "sim/fault_plane.hpp"
@@ -59,5 +75,76 @@ namespace tribvote::sim::options {
 /// TRIBVOTE_GOSSIP_CACHE ("on"/"off", also accepts 1/0/true/false); an
 /// unknown value falls back to on with a warning on stderr.
 [[nodiscard]] bool gossip_cache();
+
+/// Effective socket-plane configuration from the TRIBVOTE_NET_* knobs.
+/// Plain integers: the net:: structs are built from these by the binaries
+/// (sim never links net).
+struct NetOptions {
+  std::size_t view_size = 20;
+  std::size_t shuffle_size = 16;
+  int round_ms = 100;
+  std::size_t max_dials = 4;
+  std::size_t max_dial_failures = 3;
+  long entry_ttl = 1800;  ///< protocol seconds
+};
+
+[[nodiscard]] NetOptions net();
+
+/// One-line "name: k=v k=v ..." banner on `stderr`, echoing the effective
+/// configuration a binary runs with — every net binary prints one so a
+/// cluster log records which knobs each process resolved.
+void banner(const char* name,
+            const std::vector<std::pair<std::string, std::string>>& kv);
+
+/// Strict `--flag value` scanner shared by the net binaries. Usage:
+///
+///   CliFlags cli(argc, argv);
+///   while (cli.next()) {
+///     if (cli.is_switch("--oracle")) opt.oracle = true;
+///     else if (cli.u64("--seed", opt.seed)) {}
+///     else if (cli.i32("--rounds", opt.rounds)) {}
+///     else return usage();
+///   }
+///   if (cli.error()) return usage();
+///
+/// Each typed matcher returns true only when the current flag matches its
+/// name AND the value parses; a matching flag with a missing or malformed
+/// value sets error() and stops the scan (next() turns false).
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv);
+
+  /// Advance to the next flag. False when exhausted or after an error.
+  bool next();
+  [[nodiscard]] const std::string& flag() const noexcept { return flag_; }
+
+  /// Current flag equals `name` and takes no value.
+  bool is_switch(const char* name);
+
+  /// Current flag equals `name`; consume its raw value.
+  bool value(const char* name, std::string& out);
+
+  // Typed matchers over value().
+  bool u64(const char* name, std::uint64_t& out);
+  bool u32(const char* name, std::uint32_t& out);
+  bool u16(const char* name, std::uint16_t& out);
+  bool i32(const char* name, int& out);
+  bool f64(const char* name, double& out);
+  bool size(const char* name, std::size_t& out);
+  /// "HOST:PORT" (port in [1, 65535]).
+  bool host_port(const char* name, std::string& host, std::uint16_t& port);
+
+  [[nodiscard]] bool error() const noexcept { return error_; }
+
+ private:
+  bool take(const char* name, std::string& raw);
+  void fail();
+
+  std::vector<std::string> args_;
+  std::size_t pos_ = 0;
+  std::string flag_;
+  bool have_flag_ = false;
+  bool error_ = false;
+};
 
 }  // namespace tribvote::sim::options

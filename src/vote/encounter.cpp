@@ -4,20 +4,11 @@ namespace tribvote::vote {
 
 VoteEncounterOutcome vote_encounter(VoteAgent& initiator,
                                     VoteAgent& responder, Time now) {
-  VoteEncounterOutcome out;
-  out.forward = gossip_send(initiator, responder, now);
-  out.reverse = gossip_send(responder, initiator, now);
-
-  // VoxPopuli leg (Fig. 3a/3c): only while the initiator is bootstrapping —
-  // tested *after* both gossip legs, so a leg that lifts the box past B_min
-  // suppresses the request on every transport alike.
-  if (initiator.bootstrapping()) {
-    out.vox_requested = true;
-    RankedList topk = responder.answer_topk();
-    out.vox_topk = topk.size();
-    if (!topk.empty()) initiator.receive_topk(std::move(topk));
-  }
-  return out;
+  Encounter enc = Encounter::begin(initiator, now);
+  enc.record_forward(gossip_send(initiator, responder, now));
+  enc.record_reverse(gossip_send(responder, initiator, now));
+  if (enc.vox_pending()) enc.finish_vox(Encounter::answer_vox(responder));
+  return enc.finish();
 }
 
 }  // namespace tribvote::vote

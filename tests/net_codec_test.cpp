@@ -319,6 +319,68 @@ TEST(NetCodec, ModBatchRoundTripPreservesSignatureValidity) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST(NetCodec, PeerExchangeRoundTripPreservesSignatureValidity) {
+  util::Rng krng(9);
+  const crypto::KeyPair keys = crypto::generate_keypair(krng);
+  util::Rng sig_rng(10);
+  PeerExchangeMessage in;
+  in.reply_requested = true;
+  PeerDescriptor d;
+  d.peer = 42;
+  d.key = keys.pub;
+  d.ip = 0x7f000001;
+  d.port = 6881;
+  d.heartbeat = 123456;
+  d.signature = crypto::sign(keys, descriptor_digest(d), sig_rng);
+  in.descriptors.push_back(d);
+  d.peer = 43;
+  d.heartbeat = -7;  // Time is signed; negative stamps must survive
+  d.signature = crypto::sign(keys, descriptor_digest(d), sig_rng);
+  in.descriptors.push_back(d);
+
+  PeerExchangeMessage out;
+  ASSERT_TRUE(decode_peer_exchange(encode_peer_exchange(in), out));
+  EXPECT_TRUE(out.reply_requested);
+  ASSERT_EQ(out.descriptors.size(), 2u);
+  for (std::size_t i = 0; i < in.descriptors.size(); ++i) {
+    EXPECT_EQ(out.descriptors[i].peer, in.descriptors[i].peer);
+    EXPECT_EQ(out.descriptors[i].key.y, in.descriptors[i].key.y);
+    EXPECT_EQ(out.descriptors[i].ip, in.descriptors[i].ip);
+    EXPECT_EQ(out.descriptors[i].port, in.descriptors[i].port);
+    EXPECT_EQ(out.descriptors[i].heartbeat, in.descriptors[i].heartbeat);
+    EXPECT_EQ(descriptor_digest(out.descriptors[i]),
+              descriptor_digest(in.descriptors[i]));
+    EXPECT_TRUE(crypto::verify(out.descriptors[i].key,
+                               descriptor_digest(out.descriptors[i]),
+                               out.descriptors[i].signature));
+  }
+
+  PeerExchangeMessage empty;
+  ASSERT_TRUE(decode_peer_exchange(encode_peer_exchange(empty), out));
+  EXPECT_FALSE(out.reply_requested);
+  EXPECT_TRUE(out.descriptors.empty());
+}
+
+TEST(NetCodecStrict, PeerExchangeRejectsUnknownFlagsAndOversizedCount) {
+  PeerExchangeMessage in;
+  in.reply_requested = true;
+  in.descriptors.push_back(PeerDescriptor{});
+  std::vector<std::uint8_t> payload = encode_peer_exchange(in);
+  PeerExchangeMessage out;
+  ASSERT_TRUE(decode_peer_exchange(payload, out));
+
+  // Any flag bit beyond bit 0 is reserved-zero → malformed.
+  std::vector<std::uint8_t> bad_flags = payload;
+  bad_flags[0] = 0x03;
+  EXPECT_FALSE(decode_peer_exchange(bad_flags, out));
+
+  // count > kMaxPeerDescriptors rejects before any allocation.
+  std::vector<std::uint8_t> bad_count = payload;
+  bad_count[1] = 0xFF;
+  bad_count[2] = 0xFF;  // count = 65535 > 64
+  EXPECT_FALSE(decode_peer_exchange(bad_count, out));
+}
+
 // ---- strict decoding: truncation, trailing bytes, bad values ---------------
 
 /// Every strict decoder must reject every proper prefix and any payload
@@ -380,6 +442,13 @@ TEST(NetCodecStrict, TruncationAndTrailingBytesRejectEverywhere) {
   expect_exact_length(encode_mod_batch(batch), [](const auto& b) {
     std::vector<moderation::Moderation> m;
     return decode_mod_batch(b, m);
+  });
+  PeerExchangeMessage exchange;
+  exchange.descriptors.push_back(PeerDescriptor{});
+  exchange.descriptors.push_back(PeerDescriptor{});
+  expect_exact_length(encode_peer_exchange(exchange), [](const auto& b) {
+    PeerExchangeMessage m;
+    return decode_peer_exchange(b, m);
   });
 }
 

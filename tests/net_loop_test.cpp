@@ -1,0 +1,261 @@
+// EventLoop timers and the EncounterScheduler's failure paths: expiry
+// order, cancellation, the no-fd sleep path, same-pass cascade fencing,
+// exponential-backoff redial, and connection-table behaviour under
+// simultaneous dial/accept. Everything runs single-threaded on one loop —
+// the TSan shard exercises these alongside the sharded-runner tests.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+#include "net/encounter_scheduler.hpp"
+#include "net/event_loop.hpp"
+#include "net/node_service.hpp"
+#include "net/peer_directory.hpp"
+#include "util/rng.hpp"
+#include "vote/agent.hpp"
+
+namespace tribvote::net {
+namespace {
+
+constexpr int kStepMs = 5000;
+
+// ---- EventLoop timers ------------------------------------------------------
+
+TEST(EventLoopTimers, FireInDueThenIdOrderWithoutAnyFds) {
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.schedule_after(30, [&] { fired.push_back(3); });
+  loop.schedule_after(0, [&] { fired.push_back(1); });
+  loop.schedule_after(0, [&] { fired.push_back(2); });
+  ASSERT_TRUE(loop.run_until([&] { return fired.size() == 3; }, kStepMs));
+  // Same due time resolves by schedule order (id); a later due fires last
+  // — and all of it works with no descriptor registered at all.
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoopTimers, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  const EventLoop::TimerId id = loop.schedule_after(0, [&] { fired = true; });
+  EXPECT_EQ(loop.pending_timers(), 1u);
+  loop.cancel_timer(id);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+  loop.poll_once(20);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTimers, CallbackMayCancelAPendingSibling) {
+  EventLoop loop;
+  bool sibling_fired = false;
+  EventLoop::TimerId sibling = 0;
+  loop.schedule_after(0, [&] { loop.cancel_timer(sibling); });
+  sibling = loop.schedule_after(0, [&] { sibling_fired = true; });
+  loop.poll_once(20);
+  loop.poll_once(20);
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoopTimers, TimerScheduledFromCallbackWaitsForNextPass) {
+  EventLoop loop;
+  int cascade = 0;
+  loop.schedule_after(0, [&] {
+    ++cascade;
+    loop.schedule_after(0, [&] { ++cascade; });
+  });
+  loop.poll_once(20);
+  // The fence: a due-immediately timer armed inside a callback must not
+  // run in the same dispatch pass (no unbounded same-pass cascades).
+  EXPECT_EQ(cascade, 1);
+  loop.poll_once(20);
+  EXPECT_EQ(cascade, 2);
+}
+
+// ---- scheduler fixtures ----------------------------------------------------
+
+struct SchedNode {
+  std::unique_ptr<crypto::KeyPair> keys;
+  std::unique_ptr<vote::VoteAgent> vote;
+  std::unique_ptr<NodeService> svc;
+  std::unique_ptr<PeerDirectory> dir;
+};
+
+SchedNode make_sched_node(EventLoop& loop, PeerId id, std::uint64_t seed,
+                          PeerDirectoryConfig dconfig = {}) {
+  SchedNode n;
+  util::Rng krng(seed);
+  n.keys = std::make_unique<crypto::KeyPair>(crypto::generate_keypair(krng));
+  n.vote = std::make_unique<vote::VoteAgent>(
+      id, *n.keys, vote::VoteConfig{}, [](PeerId) { return true; },
+      util::Rng(seed * 7919 + 1));
+  n.svc = std::make_unique<NodeService>(loop, id, *n.keys, *n.vote, nullptr);
+  EXPECT_TRUE(n.svc->listen(0));
+  n.dir = std::make_unique<PeerDirectory>(id, *n.keys, 0x7f000001u,
+                                          n.svc->listen_port(), dconfig,
+                                          util::Rng(seed * 7919 + 3));
+  return n;
+}
+
+// A loopback port with nothing behind it: bind, read the port, close.
+std::uint16_t dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(EncounterSchedulerTest, BackoffRedialsThenDirectoryEvictsDeadPeer) {
+  EventLoop loop;
+  PeerDirectoryConfig dconfig;
+  dconfig.max_dial_failures = 3;
+  SchedNode a = make_sched_node(loop, 1, 51, dconfig);
+
+  // A descriptor whose address answers with a RST on every dial.
+  const std::uint16_t dead = dead_port();
+  util::Rng drng(52);
+  const crypto::KeyPair dead_keys = crypto::generate_keypair(drng);
+  util::Rng srng(53);
+  ASSERT_TRUE(a.dir->merge(
+      make_descriptor(7, dead_keys, 0x7f000001u, dead, 10, srng), 10));
+
+  EncounterSchedulerConfig sconfig;
+  sconfig.round_ms = 2;
+  sconfig.backoff_base_ms = 1;
+  sconfig.backoff_max_ms = 4;
+  EncounterScheduler sched(loop, *a.svc, *a.dir, sconfig);
+  sched.start();
+  ASSERT_TRUE(loop.run_until([&] { return a.dir->view_count() == 0; },
+                             kStepMs));
+  sched.stop();
+
+  // Three failed dials evicted the descriptor; each armed a backoff timer.
+  EXPECT_GE(sched.stats().dials, 3u);
+  EXPECT_EQ(sched.stats().dial_failures, 3u);
+  EXPECT_GE(sched.stats().redials_scheduled, 3u);
+  EXPECT_GE(sched.stats().empty_samples, 1u);  // view emptied, rounds go on
+}
+
+TEST(EncounterSchedulerTest, SeedBootstrapShufflesAndRunsEncounters) {
+  EventLoop loop;
+  SchedNode a = make_sched_node(loop, 1, 61);
+  SchedNode b = make_sched_node(loop, 2, 62);
+  b.svc->set_directory(b.dir.get(), [] { return Time{0}; });
+
+  EncounterSchedulerConfig sconfig;
+  sconfig.round_ms = 2;
+  EncounterScheduler sched(loop, *a.svc, *a.dir, sconfig);
+  sched.add_seed("127.0.0.1", b.svc->listen_port());
+  sched.start();
+  ASSERT_TRUE(loop.run_until(
+      [&] {
+        return a.dir->view_count() == 1 && b.dir->view_count() == 1 &&
+               a.svc->engine_totals().encounters_completed >= 2;
+      },
+      kStepMs));
+  sched.stop();
+
+  EXPECT_GE(sched.stats().shuffles, 1u);
+  EXPECT_GE(sched.stats().vote_encounters, 2u);
+  EXPECT_EQ(sched.stats().dial_failures, 0u);
+  PeerDescriptor d;
+  ASSERT_TRUE(a.dir->lookup(2, d));
+  EXPECT_EQ(d.port, b.svc->listen_port());
+}
+
+TEST(EncounterSchedulerTest, SimultaneousDialAndAcceptKeepBothTablesSane) {
+  EventLoop loop;
+  SchedNode a = make_sched_node(loop, 1, 71);
+  SchedNode b = make_sched_node(loop, 2, 72);
+
+  // Each node schedules against a view that already names the other, so
+  // both dial in the same rounds — crossing dials race with the accepts
+  // they trigger on the other side.
+  util::Rng sa(73), sb(74);
+  ASSERT_TRUE(a.dir->merge(make_descriptor(2, *b.keys, 0x7f000001u,
+                                           b.svc->listen_port(), 10, sb),
+                           10));
+  ASSERT_TRUE(b.dir->merge(make_descriptor(1, *a.keys, 0x7f000001u,
+                                           a.svc->listen_port(), 10, sa),
+                           10));
+
+  EncounterSchedulerConfig sconfig;
+  sconfig.round_ms = 2;
+  EncounterScheduler sched_a(loop, *a.svc, *a.dir, sconfig);
+  EncounterScheduler sched_b(loop, *b.svc, *b.dir, sconfig);
+  sched_a.start();
+  sched_b.start();
+  ASSERT_TRUE(loop.run_until(
+      [&] {
+        return a.svc->engine_totals().encounters_completed >= 3 &&
+               b.svc->engine_totals().encounters_completed >= 3;
+      },
+      kStepMs));
+  sched_a.stop();
+  sched_b.stop();
+
+  // The race must never surface as failures: no dial counted against the
+  // directory, no protocol errors, and every open connection is bound to
+  // the right peer.
+  EXPECT_EQ(sched_a.stats().dial_failures, 0u);
+  EXPECT_EQ(sched_b.stats().dial_failures, 0u);
+  EXPECT_EQ(a.svc->stats().protocol_errors, 0u);
+  EXPECT_EQ(b.svc->stats().protocol_errors, 0u);
+  EXPECT_EQ(a.dir->view_count(), 1u);
+  EXPECT_EQ(b.dir->view_count(), 1u);
+  for (const int c : a.svc->connections()) {
+    if (a.svc->ready(c)) {
+      EXPECT_EQ(a.svc->peer_of(c), 2u);
+    }
+  }
+  for (const int c : b.svc->connections()) {
+    if (b.svc->ready(c)) {
+      EXPECT_EQ(b.svc->peer_of(c), 1u);
+    }
+  }
+}
+
+TEST(EncounterSchedulerTest, PeerExitEvictsConnectionButNotDescriptor) {
+  EventLoop loop;
+  SchedNode a = make_sched_node(loop, 1, 81);
+  SchedNode b = make_sched_node(loop, 2, 82);
+  util::Rng sb(83);
+  ASSERT_TRUE(a.dir->merge(make_descriptor(2, *b.keys, 0x7f000001u,
+                                           b.svc->listen_port(), 10, sb),
+                           10));
+
+  EncounterSchedulerConfig sconfig;
+  sconfig.round_ms = 2;
+  EncounterScheduler sched(loop, *a.svc, *a.dir, sconfig);
+  sched.start();
+  ASSERT_TRUE(loop.run_until(
+      [&] { return a.svc->engine_totals().encounters_completed >= 1; },
+      kStepMs));
+
+  // b slams every connection shut. The established connection's close is
+  // not a *dial* failure — the descriptor survives and a redials.
+  for (const int c : b.svc->connections()) b.svc->close(c);
+  ASSERT_TRUE(loop.run_until(
+      [&] { return a.svc->stats().closes >= 1; }, kStepMs));
+  EXPECT_EQ(a.dir->view_count(), 1u);
+  const std::uint64_t dials_before = sched.stats().dials;
+  ASSERT_TRUE(loop.run_until(
+      [&] { return sched.stats().dials > dials_before; }, kStepMs));
+  sched.stop();
+  EXPECT_EQ(sched.stats().dial_failures, 0u);
+}
+
+}  // namespace
+}  // namespace tribvote::net

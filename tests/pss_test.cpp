@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "pss/factory.hpp"
 #include "pss/newscast.hpp"
 #include "pss/online_directory.hpp"
 #include "pss/oracle.hpp"
@@ -204,6 +205,46 @@ TEST(NewscastEdge, EmptyPopulation) {
   pss.on_peer_online(0, 0);
   EXPECT_EQ(pss.sample(0), kInvalidPeer);
   pss.gossip_round(60);  // must not crash
+}
+
+// ---- factory ---------------------------------------------------------------
+
+TEST(SamplerFactory, KindNamesRoundTrip) {
+  for (const SamplerKind kind : {SamplerKind::kOracle, SamplerKind::kNewscast}) {
+    const auto parsed = parse_sampler_kind(sampler_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_sampler_kind("buddycast").has_value());
+  EXPECT_FALSE(parse_sampler_kind("").has_value());
+}
+
+TEST(SamplerFactory, OracleSamplerMatchesDirectOracle) {
+  OnlineDirectory dir(6);
+  for (PeerId p = 0; p < 6; ++p) dir.set_online(p, true);
+  auto made = make_sampler(SamplerKind::kOracle, 6, dir, NewscastConfig{},
+                           util::Rng(99));
+  OraclePss direct(dir, util::Rng(99));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(made->sample(0), direct.sample(0));
+  }
+}
+
+TEST(SamplerFactory, NewscastSamplerBootstrapsAndExcludesSelf) {
+  OnlineDirectory dir(8);
+  auto made = make_sampler(SamplerKind::kNewscast, 8, dir, NewscastConfig{},
+                           util::Rng(7));
+  for (PeerId p = 0; p < 8; ++p) {
+    dir.set_online(p, true);
+    made->on_peer_online(p, 0);
+  }
+  made->gossip_round(60);
+  for (int i = 0; i < 200; ++i) {
+    const PeerId s = made->sample(3);
+    ASSERT_NE(s, kInvalidPeer);
+    EXPECT_NE(s, 3u);
+    EXPECT_LT(s, 8u);
+  }
 }
 
 }  // namespace
