@@ -27,6 +27,12 @@
 //     --max-delay S        delay bound in seconds              (")
 //     --crash-rate P       mid-encounter responder crash prob. (")
 //     --corrupt-rate P     payload truncation/corruption prob. (")
+//     --impair SPEC        transport chaos spec (DESIGN.md §16), mapped
+//                          onto the simulator's fault plane: stationary
+//                          loss (incl. the ge= Gilbert–Elliott average),
+//                          delay->delay-rate, corrupt+truncate->corrupt-
+//                          rate, stall->crash-rate. One spec string drives
+//                          the A11 sim sweep and the A12 TCP sweep alike
 //     --telemetry MODE     off|counters|trace        (default TRIBVOTE_TELEMETRY or off)
 //     --trace-out FILE     Chrome-trace JSON output  (default scenario_trace.json when tracing)
 //     --telemetry-csv FILE per-round counter CSV     (default: not written)
@@ -42,6 +48,7 @@
 
 #include "core/runner.hpp"
 #include "metrics/ordering.hpp"
+#include "net/impairment.hpp"
 #include "sim/options.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/generator.hpp"
@@ -80,7 +87,7 @@ struct Options {
                "[--gossip-cache on|off]\n"
                "          [--sample HOURS] [--csv FILE]\n"
                "          [--loss P] [--delay-rate P] [--max-delay S] "
-               "[--crash-rate P] [--corrupt-rate P]\n"
+               "[--crash-rate P] [--corrupt-rate P] [--impair SPEC]\n"
                "          [--telemetry off|counters|trace] [--trace-out FILE] "
                "[--telemetry-csv FILE]\n",
                argv0);
@@ -150,6 +157,29 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
         usage(argv[0]);
       }
+    } else if (!std::strcmp(arg, "--impair")) {
+      // Validate with the net:: parser, then project the chaos spec onto
+      // the sim fault plane so A11-class runs accept the A12 spec string.
+      net::ImpairConfig impair;
+      std::string error;
+      if (!net::parse_impair_spec(need_value(i), impair, &error)) {
+        std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
+        usage(argv[0]);
+      }
+      if (impair.ge_good_to_bad > 0.0) {
+        // Stationary average of the Gilbert–Elliott chain — the sim's
+        // i.i.d. loss at the same long-run rate.
+        const double pi = impair.ge_good_to_bad /
+                          (impair.ge_good_to_bad + impair.ge_bad_to_good);
+        opt.faults.loss =
+            pi * impair.ge_loss_bad + (1.0 - pi) * impair.ge_loss_good;
+      } else {
+        opt.faults.loss = impair.loss;
+      }
+      opt.faults.delay_rate = impair.delay_rate;
+      opt.faults.corrupt_rate =
+          std::min(1.0, impair.corrupt_rate + impair.truncate_rate);
+      opt.faults.crash_rate = impair.stall_rate;
     } else if (!std::strcmp(arg, "--telemetry")) {
       // Reuse the TRIBVOTE_TELEMETRY spec parser; the flag accepts the
       // full spec grammar, so "--telemetry trace,csv=rounds.csv" works.

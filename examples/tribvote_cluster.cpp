@@ -19,6 +19,16 @@
 // separate rng stream, so the per-node state digests of the two modes must
 // match byte for byte — scripts/cluster_smoke.sh and CI diff the
 // --state-out files (oracle shards 1 vs 4 vs tcp).
+//
+// --impair SPEC (tcp mode) threads every node's inbound byte stream
+// through a net::Impairment keyed off the cluster seed and arms the
+// encounter deadlines. Resets and stalls are then expected events: the
+// bootstrap pump redials dead seed connections and each encounter retries
+// through reconnects (vote merges are idempotent, so a half-finished
+// exchange redone from scratch converges to the same state). The schedule
+// — and therefore the byte streams and every verdict — stays a pure
+// function of (--seed, --impair), which is why CI can diff two impaired
+// runs against each other.
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -27,6 +37,7 @@
 
 #include "crypto/schnorr.hpp"
 #include "net/event_loop.hpp"
+#include "net/impairment.hpp"
 #include "net/node_service.hpp"
 #include "net/peer_directory.hpp"
 #include "pss/oracle.hpp"
@@ -49,6 +60,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::size_t shards = 1;
   std::string state_out;
+  std::string impair_spec;  // tcp mode only; empty = pristine transport
 };
 
 constexpr Time kRoundPeriod = 1000;
@@ -207,7 +219,22 @@ int run_tcp(const Options& opt) {
     nodes.push_back(make_node(id, node_seed(opt, id)));
   }
 
+  net::ImpairConfig icfg;
+  std::string ierr;
+  if (!opt.impair_spec.empty() &&
+      !net::parse_impair_spec(opt.impair_spec, icfg, &ierr)) {
+    std::fprintf(stderr, "tribvote_cluster: bad --impair spec: %s\n",
+                 ierr.c_str());
+    return 2;
+  }
+  const bool impaired = icfg.enabled();
+
   net::EventLoop loop;
+  // Every node's shim shares the *cluster* seed, so the partition
+  // schedule — keyed (seed, window, node) — is agreed on by all of them.
+  // Declared before the services: ~NodeService detaches its streams from
+  // the shim, so the shim must outlive it.
+  std::vector<std::unique_ptr<net::Impairment>> impairs;
   std::vector<std::unique_ptr<net::NodeService>> svcs;
   std::vector<std::unique_ptr<net::PeerDirectory>> dirs;
   net::PeerDirectoryConfig dcfg;
@@ -232,12 +259,21 @@ int run_tcp(const Options& opt) {
         util::Rng(node_seed(opt, id) * 7919 + 3)));
     // Bootstrap happens before round 0; protocol time starts at 0.
     svcs[i]->set_directory(dirs[i].get(), [] { return Time{0}; });
+    if (impaired) {
+      // Deadlines arm only alongside impairment: the pristine path must
+      // stay byte-identical to the pre-chaos harness.
+      impairs.push_back(std::make_unique<net::Impairment>(icfg, opt.seed, id));
+      svcs[i]->set_impairment(impairs[i].get());
+      svcs[i]->set_deadlines(2000, 2000);
+    }
   }
 
   // Bootstrap: everyone dials node 0 and pumps reply-requested shuffles at
-  // it until every directory holds full membership. Two pumps suffice
-  // (first registers every node with 0, second pulls 0's complete view),
-  // but the loop is bounded generously rather than exactly.
+  // it until every directory holds full membership. Two pumps suffice on a
+  // pristine transport (first registers every node with 0, second pulls 0's
+  // complete view); under impairment a seed connection can be reset at any
+  // point, so each pump redials dead connections and only shuffles over
+  // ready ones — the loop bound covers the retries.
   std::vector<int> seed_conns(opt.nodes, -1);
   for (std::size_t i = 1; i < opt.nodes; ++i) {
     std::string err;
@@ -249,27 +285,24 @@ int run_tcp(const Options& opt) {
       return 1;
     }
   }
-  const auto all_ready = [&] {
-    for (std::size_t i = 1; i < opt.nodes; ++i) {
-      if (!svcs[i]->ready(seed_conns[i])) return false;
-    }
-    return true;
-  };
-  if (!loop.run_until(all_ready, kStepMs)) {
-    std::fprintf(stderr, "tribvote_cluster: bootstrap HELLOs timed out\n");
-    return 1;
-  }
   const auto full_membership = [&] {
     for (const auto& d : dirs) {
       if (d->view_count() != opt.nodes - 1) return false;
     }
     return true;
   };
-  for (int pump = 0; pump < 20 && !full_membership(); ++pump) {
+  const int max_pumps = impaired ? 400 : 40;
+  for (int pump = 0; pump < max_pumps && !full_membership(); ++pump) {
     for (std::size_t i = 1; i < opt.nodes; ++i) {
-      (void)svcs[i]->send_peer_exchange(seed_conns[i], true);
+      if (seed_conns[i] < 0 || !svcs[i]->open(seed_conns[i])) {
+        seed_conns[i] = svcs[i]->connect("127.0.0.1", svcs[0]->listen_port());
+        continue;  // HELLO settles on a later pump
+      }
+      if (svcs[i]->ready(seed_conns[i])) {
+        (void)svcs[i]->send_peer_exchange(seed_conns[i], true);
+      }
     }
-    (void)loop.run_until(full_membership, 250);
+    (void)loop.run_until(full_membership, 100);
   }
   if (!full_membership()) {
     std::fprintf(stderr,
@@ -279,36 +312,65 @@ int run_tcp(const Options& opt) {
 
   // One encounter over real sockets, driven to completion — the serial
   // execution order ShardKernel's level schedule is provably equivalent to.
+  // Under impairment the exchange can die mid-flight (reset, stall +
+  // deadline); each attempt redials and re-runs the encounter from scratch,
+  // which is safe because vote merges are idempotent.
   const auto run_encounter = [&](PeerId initiator, PeerId responder,
                                  Time now) {
     net::NodeService& svc = *svcs[initiator];
-    int conn = svc.conn_for_peer(responder);
-    if (conn < 0) {
-      net::PeerDescriptor d;
-      if (!dirs[initiator]->lookup(responder, d)) return false;
-      conn = svc.connect(ip_string(d.ip), d.port);
-      if (conn < 0) return false;
-      if (!loop.run_until([&] { return svc.ready(conn); }, kStepMs)) {
-        return false;
+    const int max_attempts = impaired ? 16 : 1;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      int conn = svc.conn_for_peer(responder);
+      if (conn < 0) {
+        net::PeerDescriptor d;
+        if (!dirs[initiator]->lookup(responder, d)) return false;
+        conn = svc.connect(ip_string(d.ip), d.port);
+        if (conn < 0) continue;
+        if (!loop.run_until(
+                [&] { return svc.ready(conn) || !svc.open(conn); },
+                kStepMs)) {
+          return false;
+        }
+        if (!svc.open(conn)) continue;  // impaired away mid-HELLO; redial
+      }
+      const std::uint64_t want =
+          svc.engine_counters(conn)->encounters_completed + 1;
+      if (!svc.initiate_vote_encounter(conn, now)) {
+        svc.close(conn);  // wedged remnant of an earlier attempt
+        continue;
+      }
+      const auto settled = [&] {
+        if (!svc.open(conn)) return true;  // reset / deadline close
+        return svc.initiator_idle(conn) &&
+               svc.engine_counters(conn)->encounters_completed >= want;
+      };
+      if (!loop.run_until(settled, kStepMs)) return false;
+      if (svc.open(conn) &&
+          svc.engine_counters(conn)->encounters_completed >= want) {
+        return true;
       }
     }
-    const std::uint64_t want =
-        svc.engine_counters(conn)->encounters_completed + 1;
-    if (!svc.initiate_vote_encounter(conn, now)) return false;
-    return loop.run_until(
-        [&] {
-          return svc.initiator_idle(conn) &&
-                 svc.engine_counters(conn)->encounters_completed >= want;
-        },
-        kStepMs);
+    return false;
   };
 
   std::vector<pss::PeerSampler*> samplers;
   for (const auto& d : dirs) samplers.push_back(d.get());
+  long partition_skips = 0;
   const long executed = run_schedule(
       opt, nodes, samplers,
       [&](const std::vector<sim::Encounter>& encounters, Time now) {
+        // Advance every shim's partition clock to this round; an encounter
+        // with either endpoint inside a window is skipped, not failed —
+        // exactly what the sim's fault plane does with offline peers.
+        const auto round =
+            static_cast<std::uint64_t>(now / kRoundPeriod) - 1;
+        for (const auto& im : impairs) im->set_round(round);
         for (const sim::Encounter& e : encounters) {
+          if (impaired && (impairs[e.initiator]->self_offline() ||
+                           impairs[e.initiator]->offline(e.responder))) {
+            ++partition_skips;
+            continue;
+          }
           if (!run_encounter(e.initiator, e.responder, now)) {
             std::fprintf(stderr,
                          "tribvote_cluster: encounter %u -> %u failed\n",
@@ -334,6 +396,38 @@ int run_tcp(const Options& opt) {
                        "(%llu frames_in, %llu peer_exchanges_in)\n",
                executed, static_cast<unsigned long long>(frames),
                static_cast<unsigned long long>(px_in));
+  if (impaired) {
+    std::uint64_t resets = 0, hello_to = 0, enc_to = 0;
+    net::ImpairStats is;
+    for (const auto& svc : svcs) {
+      resets += svc->stats().impair_resets;
+      hello_to += svc->stats().hello_timeouts;
+      enc_to += svc->stats().encounter_timeouts;
+    }
+    for (const auto& im : impairs) {
+      const net::ImpairStats& s = im->stats();
+      is.chunks += s.chunks;
+      is.dropped += s.dropped;
+      is.delayed += s.delayed;
+      is.corrupted += s.corrupted;
+      is.truncated += s.truncated;
+      is.stalled += s.stalled;
+    }
+    std::fprintf(
+        stderr,
+        "tribvote_cluster: impair chunks %llu dropped %llu delayed %llu "
+        "corrupted %llu truncated %llu stalled %llu resets %llu "
+        "timeouts %llu/%llu partition_skips %ld\n",
+        static_cast<unsigned long long>(is.chunks),
+        static_cast<unsigned long long>(is.dropped),
+        static_cast<unsigned long long>(is.delayed),
+        static_cast<unsigned long long>(is.corrupted),
+        static_cast<unsigned long long>(is.truncated),
+        static_cast<unsigned long long>(is.stalled),
+        static_cast<unsigned long long>(resets),
+        static_cast<unsigned long long>(hello_to),
+        static_cast<unsigned long long>(enc_to), partition_skips);
+  }
   return write_reports(opt, nodes);
 }
 
@@ -341,7 +435,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: tribvote_cluster --mode oracle|tcp [--nodes N]"
                " [--rounds R] [--casts K] [--seed S] [--shards M]"
-               " [--state-out F]\n");
+               " [--state-out F] [--impair SPEC]\n");
   return 2;
 }
 
@@ -358,6 +452,7 @@ int main(int argc, char** argv) {
     } else if (cli.u64("--seed", opt.seed)) {
     } else if (cli.size("--shards", opt.shards)) {
     } else if (cli.value("--state-out", opt.state_out)) {
+    } else if (cli.value("--impair", opt.impair_spec)) {
     } else {
       return usage();
     }
@@ -372,6 +467,8 @@ int main(int argc, char** argv) {
                         {"rounds", std::to_string(opt.rounds)},
                         {"casts", std::to_string(opt.casts)},
                         {"seed", std::to_string(opt.seed)},
-                        {"shards", std::to_string(opt.shards)}});
+                        {"shards", std::to_string(opt.shards)},
+                        {"impair", opt.impair_spec.empty() ? "off"
+                                                           : opt.impair_spec}});
   return opt.mode == "oracle" ? run_oracle(opt) : run_tcp(opt);
 }

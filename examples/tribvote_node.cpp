@@ -34,6 +34,7 @@
 #include "moderation/moderationcast.hpp"
 #include "net/encounter_scheduler.hpp"
 #include "net/event_loop.hpp"
+#include "net/impairment.hpp"
 #include "net/node_service.hpp"
 #include "net/peer_directory.hpp"
 #include "sim/options.hpp"
@@ -63,6 +64,7 @@ struct Options {
   std::string state_out;
   std::string port_file;
   bool telemetry = false;
+  std::string impair_spec;  // --impair overrides TRIBVOTE_NET_IMPAIR
 };
 
 constexpr Time kRoundPeriod = 1000;
@@ -320,6 +322,26 @@ int run_swarm(const Options& opt) {
   Endpoint self = make_endpoint(opt.id, opt.seed);
   net::EventLoop loop;
   telemetry::Registry registry(1);
+
+  // The chaos plane: --impair wins over TRIBVOTE_NET_IMPAIR; an empty spec
+  // leaves the shim detached (the inert path — byte-identical to a build
+  // without it). Constructed before the NodeService because ~NodeService
+  // detaches its streams from the shim.
+  const sim::options::NetOptions nopt = sim::options::net();
+  const std::string spec =
+      !opt.impair_spec.empty() ? opt.impair_spec : nopt.impair_spec;
+  net::ImpairConfig icfg;
+  std::string ierr;
+  if (!spec.empty() && !net::parse_impair_spec(spec, icfg, &ierr)) {
+    std::fprintf(stderr, "tribvote_node: bad --impair spec: %s\n",
+                 ierr.c_str());
+    return 2;
+  }
+  std::unique_ptr<net::Impairment> impair;
+  if (icfg.enabled()) {
+    impair = std::make_unique<net::Impairment>(icfg, opt.seed, opt.id);
+  }
+
   net::NodeService svc(loop, opt.id, self.keys, *self.vote, self.mod.get(),
                        &registry);
   std::string err;
@@ -334,23 +356,29 @@ int run_swarm(const Options& opt) {
   std::printf("listening %u\n", svc.listen_port());
   std::fflush(stdout);
 
-  const sim::options::NetOptions nopt = sim::options::net();
   net::PeerDirectoryConfig dcfg;
   dcfg.view_size = nopt.view_size;
   dcfg.shuffle_size = nopt.shuffle_size;
   dcfg.max_dial_failures = nopt.max_dial_failures;
   dcfg.entry_ttl = nopt.entry_ttl;
+  dcfg.quarantine_ttl = nopt.quarantine_ttl;
   net::PeerDirectory dir(opt.id, self.keys, parse_ipv4(opt.advertise_ip),
                          svc.listen_port(), dcfg,
                          util::Rng(opt.seed * 7919 + 3));
   dir.set_exchange_probe(
       telemetry::Counter(&registry, registry.counter("pss.exchanges")));
 
+  // Encounter deadlines are on by default in swarm mode: a free-running
+  // harness must survive half-open peers unattended.
+  if (impair != nullptr) svc.set_impairment(impair.get());
+  svc.set_deadlines(nopt.hello_timeout_ms, nopt.encounter_timeout_ms);
+
   net::EncounterSchedulerConfig scfg;
   scfg.round_ms = nopt.round_ms;
   scfg.max_dials = nopt.max_dials;
   scfg.mod_every = opt.mods > 0 ? 4 : 0;
   net::EncounterScheduler sched(loop, svc, dir, scfg);
+  if (impair != nullptr) sched.set_impairment(impair.get());
   if (!opt.connect_host.empty()) {
     sched.add_seed(opt.connect_host, opt.connect_port);
   }
@@ -415,6 +443,32 @@ int run_swarm(const Options& opt) {
         static_cast<unsigned long long>(svc.stats().peer_exchanges_in),
         static_cast<unsigned long long>(
             registry.total_by_name("pss.exchanges")));
+    std::fprintf(
+        f,
+        "node %u timeouts hello %llu encounter %llu impair_resets %llu "
+        "sched_timeouts %llu partition_skips %llu quarantined %zu\n",
+        opt.id, static_cast<unsigned long long>(svc.stats().hello_timeouts),
+        static_cast<unsigned long long>(svc.stats().encounter_timeouts),
+        static_cast<unsigned long long>(svc.stats().impair_resets),
+        static_cast<unsigned long long>(ss.encounter_timeouts),
+        static_cast<unsigned long long>(ss.partition_skips),
+        dir.quarantined_count());
+    if (impair != nullptr) {
+      const net::ImpairStats& is = impair->stats();
+      std::fprintf(
+          f,
+          "node %u impair chunks %llu dropped %llu delayed %llu "
+          "corrupted %llu truncated %llu stalled %llu ge_bad %llu "
+          "part %llu\n",
+          opt.id, static_cast<unsigned long long>(is.chunks),
+          static_cast<unsigned long long>(is.dropped),
+          static_cast<unsigned long long>(is.delayed),
+          static_cast<unsigned long long>(is.corrupted),
+          static_cast<unsigned long long>(is.truncated),
+          static_cast<unsigned long long>(is.stalled),
+          static_cast<unsigned long long>(is.ge_bad_chunks),
+          static_cast<unsigned long long>(is.partition_drops));
+    }
   };
   emit(stdout);
   if (!opt.state_out.empty()) {
@@ -447,7 +501,7 @@ int usage() {
       "  tribvote_node --swarm --id N --seed S --listen PORT --rounds R\n"
       "                [--bootstrap HOST:PORT] [--advertise-ip A.B.C.D]\n"
       "                [--max-ms T] [--casts K] [--mods M] [--state-out F]\n"
-      "                [--port-file F] [--telemetry]\n");
+      "                [--port-file F] [--telemetry] [--impair SPEC]\n");
   return 2;
 }
 
@@ -480,6 +534,7 @@ int main(int argc, char** argv) {
     } else if (cli.i32("--mods", opt.mods)) {
     } else if (cli.i32("--max-ms", opt.max_ms)) {
     } else if (cli.value("--advertise-ip", opt.advertise_ip)) {
+    } else if (cli.value("--impair", opt.impair_spec)) {
     } else if (cli.value("--state-out", opt.state_out)) {
     } else if (cli.value("--port-file", opt.port_file)) {
     } else {
@@ -503,7 +558,10 @@ int main(int argc, char** argv) {
        {"view", std::to_string(nopt.view_size)},
        {"shuffle", std::to_string(nopt.shuffle_size)},
        {"round_ms", std::to_string(nopt.round_ms)},
-       {"dials", std::to_string(nopt.max_dials)}});
+       {"dials", std::to_string(nopt.max_dials)},
+       {"impair", opt.impair_spec.empty()
+                      ? (nopt.impair_spec.empty() ? "off" : nopt.impair_spec)
+                      : opt.impair_spec}});
 
   if (opt.swarm) return run_swarm(opt);
   if (opt.oracle) return run_oracle(opt);

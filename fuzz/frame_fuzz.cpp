@@ -24,6 +24,7 @@
 
 #include "net/codec.hpp"
 #include "net/frame.hpp"
+#include "net/impairment.hpp"
 
 namespace {
 
@@ -296,6 +297,59 @@ std::vector<std::vector<std::uint8_t>> make_seeds() {
     encode_frame(f, input);
     input.resize(input.size() - 5);
     seeds.push_back(input);
+  }
+
+  // Impairment artifacts (DESIGN.md §16): the same healthy multi-frame
+  // stream pushed through the transport chaos shim at full corruption /
+  // truncation / GE-loss rates. These are the exact byte patterns an
+  // impaired NodeService hands its FrameReader — bit-flipped chunks the
+  // CRC must reject, a mid-frame prefix from a truncate-then-reset, and a
+  // burst-loss stream that dies between chunk boundaries.
+  {
+    std::vector<std::uint8_t> healthy;
+    Frame f;
+    f.type = FrameType::kHello;
+    f.payload = encode_hello(hello);
+    encode_frame(f, healthy);
+    vote::VoteListMessage big;
+    big.voter = 3;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      big.votes.push_back(vote::VoteEntry{
+          static_cast<ModeratorId>(1 + i % 24),
+          (i % 2 == 0) ? Opinion::kPositive : Opinion::kNegative,
+          static_cast<Time>(100 + i)});
+    }
+    f.type = FrameType::kVoteFull;
+    f.channel = 1;
+    f.payload = encode_vote_full(big);
+    encode_frame(f, healthy);  // > 2 chunks: verdicts land mid-frame
+    f.type = FrameType::kPeerExchange;
+    f.payload = encode_peer_exchange(exchange);
+    encode_frame(f, healthy);
+
+    const auto add_impaired = [&seeds, &healthy](ImpairConfig icfg,
+                                                 std::uint64_t seed) {
+      Impairment shim(icfg, seed, 1);
+      const std::uint64_t key = shim.open_stream();
+      std::vector<Impairment::Action> actions;
+      shim.ingest(key, healthy.data(), healthy.size(), actions);
+      std::vector<std::uint8_t> input;
+      input.push_back(0);  // stream mode
+      for (const Impairment::Action& a : actions) {
+        input.insert(input.end(), a.bytes.begin(), a.bytes.end());
+      }
+      if (input.size() > 1) seeds.push_back(input);
+    };
+    ImpairConfig corrupt;
+    corrupt.corrupt_rate = 1.0;
+    add_impaired(corrupt, 11);
+    ImpairConfig truncate;
+    truncate.truncate_rate = 1.0;
+    add_impaired(truncate, 12);
+    ImpairConfig bursty;
+    bursty.ge_good_to_bad = 0.4;
+    bursty.ge_loss_good = 0.05;
+    add_impaired(bursty, 13);
   }
   return seeds;
 }

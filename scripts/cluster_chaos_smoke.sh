@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Free-running multi-process cluster smoke under transport chaos
+# (DESIGN.md §16, EXPERIMENTS.md A12): the cluster_smoke.sh topology — N
+# tribvote_node --swarm OS processes bootstrapping a Newscast directory
+# from one seed node — but every node's inbound byte stream runs through
+# the deterministic impairment shim at ~30 % Gilbert–Elliott chunk loss
+# plus delay, corruption, truncation and half-open stalls. Asserts the
+# stack *degrades instead of wedging*:
+#   - every node still converged to a usable view (>= half the cluster)
+#   - every node completed encounters and holds ballots from > N/2 peers
+#   - the chaos actually ran: impairment verdict counters are nonzero
+#     cluster-wide, and no node sat on a wedged half-open slot (the
+#     deadline path evicted every stall)
+#
+# usage: scripts/cluster_chaos_smoke.sh [BUILD_DIR] [N] [ROUNDS]
+#        (defaults: build 8 40)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+N="${2:-8}"
+ROUNDS="${3:-40}"
+NODE="$BUILD_DIR/examples/tribvote_node"
+[ -x "$NODE" ] || { echo "cluster_chaos_smoke: $NODE not built" >&2; exit 1; }
+[ "$N" -ge 2 ] || { echo "cluster_chaos_smoke: need N >= 2" >&2; exit 1; }
+
+WORK="$(mktemp -d)"
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+CASTS=2
+BUDGET_MS=120000
+IMPAIR="ge=0.3,delay=0.1,max_delay_ms=20,corrupt=0.01,truncate=0.01,stall=0.005"
+
+# Node 1 is the seed everyone bootstraps from.
+"$NODE" --swarm --id 1 --seed 101 --listen 0 --rounds "$ROUNDS" \
+        --casts "$CASTS" --max-ms "$BUDGET_MS" --impair "$IMPAIR" \
+        --port-file "$WORK/port.txt" --state-out "$WORK/node1.txt" \
+        > "$WORK/node1.log" 2>&1 &
+PIDS+=($!)
+
+for _ in $(seq 1 100); do [ -s "$WORK/port.txt" ] && break; sleep 0.1; done
+[ -s "$WORK/port.txt" ] || { echo "cluster_chaos_smoke: seed never bound" >&2; exit 1; }
+PORT="$(cat "$WORK/port.txt")"
+
+for i in $(seq 2 "$N"); do
+  "$NODE" --swarm --id "$i" --seed "$((100 + i))" --listen 0 \
+          --rounds "$ROUNDS" --casts "$CASTS" --max-ms "$BUDGET_MS" \
+          --impair "$IMPAIR" \
+          --bootstrap "127.0.0.1:$PORT" --state-out "$WORK/node$i.txt" \
+          > "$WORK/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+RC=0
+for p in "${PIDS[@]}"; do wait "$p" || RC=1; done
+PIDS=()
+if [ "$RC" -ne 0 ]; then
+  echo "cluster_chaos_smoke: FAIL — a node exited nonzero (wedged?)" >&2
+  tail -n 6 "$WORK"/node*.log >&2 || true
+  exit 1
+fi
+
+FULL=$((N - 1))
+MIN_VIEW=$((FULL / 2))
+fail() { echo "cluster_chaos_smoke: FAIL — $1" >&2; cat "$WORK"/node*.txt >&2; exit 1; }
+
+CHUNKS=0; IMPAIRED=0
+for i in $(seq 1 "$N"); do
+  S="$WORK/node$i.txt"
+  [ -s "$S" ] || fail "node $i wrote no state"
+
+  view="$(awk '/ view /{print $NF}' "$S")"
+  [ "$view" -ge "$MIN_VIEW" ] || fail "node $i view $view < $MIN_VIEW (no usable convergence)"
+
+  completed="$(awk '/ completed /{for(f=1;f<NF;f++) if($f=="completed") print $(f+1)}' "$S")"
+  [ "$completed" -gt 0 ] || fail "node $i completed no encounters"
+
+  ballots="$(awk '/ ballots /{print $NF}' "$S")"
+  [ "$ballots" -gt 0 ] || fail "node $i holds no ballots"
+
+  # Vote sampling still reached most of the cluster through the chaos.
+  voters="$(awk '/ unique_voters /{print $NF}' "$S")"
+  [ "$voters" -gt $((N / 2)) ] || fail "node $i unique_voters $voters <= N/2"
+
+  c="$(awk '/ impair chunks /{for(f=1;f<NF;f++) if($f=="chunks") print $(f+1)}' "$S")"
+  d="$(awk '/ impair chunks /{for(f=1;f<NF;f++) if($f=="dropped") print $(f+1)}' "$S")"
+  CHUNKS=$((CHUNKS + ${c:-0}))
+  IMPAIRED=$((IMPAIRED + ${d:-0}))
+done
+
+# The chaos plane must have actually bitten: verdicts were drawn and some
+# chunks were dropped somewhere in the cluster.
+[ "$CHUNKS" -gt 0 ] || fail "no impairment verdicts drawn anywhere"
+[ "$IMPAIRED" -gt 0 ] || fail "impairment on but zero chunks dropped"
+
+echo "cluster_chaos_smoke: OK — $N nodes converged through ~30% GE loss" \
+     "($CHUNKS chunks judged, $IMPAIRED dropped)"

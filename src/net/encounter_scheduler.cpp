@@ -24,8 +24,9 @@ EncounterScheduler::EncounterScheduler(EventLoop& loop, NodeService& service,
       directory_(&directory),
       config_(config) {
   service_->set_directory(directory_, [this] { return now(); });
-  service_->set_closed_hook(
-      [this](int conn, PeerId peer) { on_closed(conn, peer); });
+  service_->set_closed_hook([this](int conn, PeerId peer, CloseReason reason) {
+    on_closed(conn, peer, reason);
+  });
 }
 
 EncounterScheduler::~EncounterScheduler() {
@@ -72,6 +73,21 @@ void EncounterScheduler::stop() {
 void EncounterScheduler::tick() {
   tick_timer_ = 0;
   const Time t = now();
+  if (impair_ != nullptr) {
+    impair_->set_round(stats_.rounds);
+    if (impair_->self_offline()) {
+      // Inside our partition window: the shim resets every inbound stream,
+      // so spending dials would only feed the failure accounting. Idle the
+      // round; the window ends on the shared schedule.
+      ++stats_.partition_skips;
+      ++stats_.rounds;
+      if (running_) {
+        tick_timer_ =
+            loop_->schedule_after(config_.round_ms, [this] { tick(); });
+      }
+      return;
+    }
+  }
   stats_.ttl_evictions += directory_->evict_expired(t);
   settle_dials();
 
@@ -95,6 +111,8 @@ void EncounterScheduler::tick() {
   const PeerId target = directory_->sample(service_->self());
   if (target == kInvalidPeer) {
     ++stats_.empty_samples;
+  } else if (impair_ != nullptr && impair_->offline(target)) {
+    ++stats_.partition_skips;  // partitioned peer: dialing it is a reset
   } else {
     const int conn = service_->conn_for_peer(target);
     if (conn >= 0 && service_->ready(conn)) {
@@ -167,27 +185,44 @@ void EncounterScheduler::try_dial(PeerId peer) {
   dialing_[conn] = peer;
 }
 
-void EncounterScheduler::on_closed(int conn, PeerId peer) {
-  (void)peer;
+void EncounterScheduler::on_closed(int conn, PeerId peer, CloseReason reason) {
   for (Seed& s : seeds_) {
     if (s.conn == conn) {
       s.shuffled = false;  // redialed on the seed cadence
       return;
     }
   }
-  // Only a dial that never reached HELLO counts as a failure; a close of
-  // an established connection just lets the next sample redial fresh.
+  // A dial that never reached HELLO counts as a failure whatever killed it
+  // — refusal, reset, or the HELLO deadline — and feeds the directory's
+  // quarantine accounting: from out here an unreachable address and a
+  // black-holed one are the same thing.
   const auto it = dialing_.find(conn);
-  if (it == dialing_.end()) return;
-  const PeerId intended = it->second;
-  dialing_.erase(it);
-  note_failure(intended);
+  if (it != dialing_.end()) {
+    const PeerId intended = it->second;
+    dialing_.erase(it);
+    note_failure(intended);
+    return;
+  }
+  // An established peer that stalled out mid-encounter is live-but-sick:
+  // its descriptor stays (the address demonstrably works), but we back off
+  // before re-dialing so a half-open peer cannot monopolize the sampler
+  // (PROTOCOL.md §8.2: established-close is not a dial failure).
+  if (reason == CloseReason::kTimeout && peer != kInvalidPeer) {
+    ++stats_.encounter_timeouts;
+    apply_backoff(peer);
+  }
 }
 
 void EncounterScheduler::note_failure(PeerId peer) {
   ++stats_.dial_failures;
-  directory_->note_dial_failure(peer);  // evicts after max_dial_failures
+  // Quarantines after max_dial_failures — the directory's rule.
+  directory_->note_dial_failure(peer, now());
+  apply_backoff(peer);
+}
+
+void EncounterScheduler::apply_backoff(PeerId peer) {
   Backoff& b = backoff_[peer];
+  if (b.timer != 0) loop_->cancel_timer(b.timer);  // extend, don't race
   ++b.failures;
   const int shift =
       static_cast<int>(std::min<std::size_t>(b.failures - 1, 16));

@@ -54,6 +54,9 @@ class EncounterScheduler {
     std::uint64_t redials_scheduled = 0;  ///< backoff timers armed
     std::uint64_t ttl_evictions = 0;
     std::uint64_t empty_samples = 0;  ///< sampler had nobody to offer
+    std::uint64_t encounter_timeouts = 0;  ///< established peer stalled out
+                                           ///< (backoff, no dial-failure)
+    std::uint64_t partition_skips = 0;  ///< rounds/targets skipped offline
   };
 
   /// All three must outlive the scheduler. Installs itself as the
@@ -83,6 +86,12 @@ class EncounterScheduler {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Wire the chaos shim's partition schedule into the round loop: each
+  /// tick advances the shim's round clock; while we are inside a partition
+  /// window the round idles (no sample, no dial), and partitioned targets
+  /// are skipped rather than dialed into a guaranteed reset.
+  void set_impairment(Impairment* impair) { impair_ = impair; }
+
  private:
   struct Backoff {
     std::size_t failures = 0;
@@ -99,13 +108,15 @@ class EncounterScheduler {
   void tick();
   void settle_dials();
   void try_dial(PeerId peer);
-  void on_closed(int conn, PeerId peer);
+  void on_closed(int conn, PeerId peer, CloseReason reason);
   void note_failure(PeerId peer);
+  void apply_backoff(PeerId peer);
 
   EventLoop* loop_;
   NodeService* service_;
   PeerDirectory* directory_;
   EncounterSchedulerConfig config_;
+  Impairment* impair_ = nullptr;
   bool running_ = false;
   EventLoop::TimerId tick_timer_ = 0;
   std::map<int, PeerId> dialing_;  ///< conn -> intended peer

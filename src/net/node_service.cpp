@@ -33,6 +33,16 @@ NodeService::NodeService(EventLoop& loop, PeerId self,
     t_px_out_ = registry_->counter("net.peer_exchanges_out");
     t_desc_accepted_ = registry_->counter("net.descriptors_accepted");
     t_desc_forged_ = registry_->counter("net.descriptors_forged");
+    t_hello_to_ = registry_->counter("net.timeout.hello");
+    t_enc_to_ = registry_->counter("net.timeout.encounter");
+    t_imp_chunks_ = registry_->counter("net.impair.chunks");
+    t_imp_dropped_ = registry_->counter("net.impair.dropped");
+    t_imp_delayed_ = registry_->counter("net.impair.delayed");
+    t_imp_corrupted_ = registry_->counter("net.impair.corrupted");
+    t_imp_truncated_ = registry_->counter("net.impair.truncated");
+    t_imp_stalled_ = registry_->counter("net.impair.stalled");
+    t_imp_ge_bad_ = registry_->counter("net.impair.ge_bad_chunks");
+    t_imp_part_ = registry_->counter("net.impair.partition_drops");
   }
 }
 
@@ -64,6 +74,19 @@ void NodeService::mirror_telemetry() {
   registry_->set_total(t_px_out_, stats_.peer_exchanges_out);
   registry_->set_total(t_desc_accepted_, stats_.descriptors_accepted);
   registry_->set_total(t_desc_forged_, stats_.descriptors_forged);
+  registry_->set_total(t_hello_to_, stats_.hello_timeouts);
+  registry_->set_total(t_enc_to_, stats_.encounter_timeouts);
+  if (impair_ != nullptr && impair_->enabled()) {
+    const ImpairStats& s = impair_->stats();
+    registry_->set_total(t_imp_chunks_, s.chunks);
+    registry_->set_total(t_imp_dropped_, s.dropped);
+    registry_->set_total(t_imp_delayed_, s.delayed);
+    registry_->set_total(t_imp_corrupted_, s.corrupted);
+    registry_->set_total(t_imp_truncated_, s.truncated);
+    registry_->set_total(t_imp_stalled_, s.stalled);
+    registry_->set_total(t_imp_ge_bad_, s.ge_bad_chunks);
+    registry_->set_total(t_imp_part_, s.partition_drops);
+  }
 }
 
 bool NodeService::listen(std::uint16_t port, std::string* err) {
@@ -105,8 +128,12 @@ int NodeService::adopt(int fd, bool outbound, const std::string& host,
                                               outbound ? std::uint8_t{0}
                                                        : std::uint8_t{1});
   c.engine->set_begin_hook(begin_hook_);
+  if (impair_ != nullptr && impair_->enabled()) {
+    c.impair_key = impair_->open_stream();
+  }
   attach(c);
   send_hello(c);
+  arm_watchdog(c);
   return id;
 }
 
@@ -133,8 +160,12 @@ bool NodeService::reconnect(int conn, std::string* err) {
   c->out_cursor = 0;
   c->engine = std::make_unique<ExchangeEngine>(*vote_, mod_, std::uint8_t{0});
   c->engine->set_begin_hook(begin_hook_);
+  if (impair_ != nullptr && impair_->enabled()) {
+    c->impair_key = impair_->open_stream();  // fresh verdict stream
+  }
   attach(*c);
   send_hello(*c);
+  arm_watchdog(*c);
   mirror_telemetry();
   return true;
 }
@@ -192,6 +223,7 @@ bool NodeService::initiate_vote_encounter(int conn, Time now) {
   std::vector<Frame> out;
   if (!c->engine->begin_vote_encounter(now, out)) return false;
   for (const Frame& f : out) send_frame(*c, f);
+  if (!c->closed) arm_watchdog(*c);
   mirror_telemetry();
   return true;
 }
@@ -202,6 +234,7 @@ bool NodeService::initiate_moderation_encounter(int conn, Time now) {
   std::vector<Frame> out;
   if (!c->engine->begin_moderation_encounter(now, out)) return false;
   for (const Frame& f : out) send_frame(*c, f);
+  if (!c->closed) arm_watchdog(*c);
   mirror_telemetry();
   return true;
 }
@@ -321,7 +354,7 @@ void NodeService::flush(Connection& c) {
       loop_->set_want_write(c.fd, true);
       return;
     }
-    close_internal(c, true);
+    close_internal(c, true, CloseReason::kReset);
     return;
   }
   c.outbuf.clear();
@@ -342,8 +375,7 @@ void NodeService::on_readable(int conn) {
     const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       stats_.bytes_in += static_cast<std::uint64_t>(n);
-      c->reader.feed(buf, static_cast<std::size_t>(n));
-      pump_frames(*c);
+      ingest_bytes(*c, buf, static_cast<std::size_t>(n));
       if (c->closed) return;
       continue;
     }
@@ -352,10 +384,125 @@ void NodeService::on_readable(int conn) {
     // peer truncated mid-frame — the PR 4 truncation verdict on a real
     // stream; nothing partial was ever delivered upward.
     if (c->reader.pending_bytes() > 0) ++stats_.truncated;
-    close_internal(*c, true);
+    close_internal(*c, true, CloseReason::kReset);
     mirror_telemetry();
     return;
   }
+  if (c->watchdog == 0) arm_watchdog(*c);
+  mirror_telemetry();
+}
+
+void NodeService::ingest_bytes(Connection& c, const std::uint8_t* data,
+                               std::size_t n) {
+  if (impair_ == nullptr || c.impair_key == 0) {
+    // The inert path: byte-identical to the pre-chaos-plane service.
+    feed_reader(c, data, n);
+    return;
+  }
+  std::vector<Impairment::Action> actions;
+  impair_->ingest(c.impair_key, data, n, actions);
+  const int id = c.id;
+  for (Impairment::Action& a : actions) {
+    Connection* cc = get(id);  // feed_reader may have closed us mid-list
+    if (cc == nullptr || cc->closed) return;
+    switch (a.op) {
+      case Impairment::Op::kDeliver:
+        if (!cc->delay_q.empty()) {
+          // A delayed chunk is ahead of us; preserve stream order.
+          cc->delay_q.emplace_back(std::move(a.bytes), 0);
+        } else {
+          feed_reader(*cc, a.bytes.data(), a.bytes.size());
+        }
+        break;
+      case Impairment::Op::kDelay:
+        cc->delay_q.emplace_back(std::move(a.bytes), a.delay_ms);
+        if (cc->delay_timer == 0) arm_delay(*cc);
+        break;
+      case Impairment::Op::kReset:
+        ++stats_.impair_resets;
+        close_internal(*cc, true, CloseReason::kReset);
+        return;
+      case Impairment::Op::kStall:
+        // Half-open from here on: the socket stays up, nothing more is
+        // delivered. Only the progress watchdog can reclaim the slot.
+        break;
+    }
+  }
+}
+
+void NodeService::feed_reader(Connection& c, const std::uint8_t* data,
+                              std::size_t n) {
+  c.rx_bytes += n;
+  c.reader.feed(data, n);
+  pump_frames(c);
+}
+
+void NodeService::arm_delay(Connection& c) {
+  if (c.delay_q.empty()) {
+    c.delay_timer = 0;
+    return;
+  }
+  const int id = c.id;
+  const std::uint64_t epoch = c.epoch;
+  c.delay_timer = loop_->schedule_after(
+      c.delay_q.front().second, [this, id, epoch] { on_delay(id, epoch); });
+}
+
+void NodeService::on_delay(int conn, std::uint64_t epoch) {
+  Connection* c = get(conn);
+  if (c == nullptr || c->closed || c->epoch != epoch) return;
+  c->delay_timer = 0;
+  if (c->delay_q.empty()) return;
+  std::vector<std::uint8_t> bytes = std::move(c->delay_q.front().first);
+  c->delay_q.pop_front();
+  feed_reader(*c, bytes.data(), bytes.size());
+  c = get(conn);  // the frames may have closed the connection
+  if (c == nullptr || c->closed) return;
+  arm_delay(*c);
+  mirror_telemetry();
+}
+
+void NodeService::arm_watchdog(Connection& c) {
+  // Pick the deadline for the connection's current phase: awaiting HELLO,
+  // or mid-encounter on either side. An established idle connection has
+  // no deadline — persistent connections are the PR 7 contract.
+  int delay = 0;
+  if (!c.hello_received) {
+    delay = hello_timeout_ms_;
+  } else if (!c.engine->idle() || !c.engine->responder_idle()) {
+    delay = encounter_timeout_ms_;
+  }
+  if (delay <= 0) {
+    if (c.watchdog != 0) {
+      loop_->cancel_timer(c.watchdog);
+      c.watchdog = 0;
+    }
+    return;
+  }
+  if (c.watchdog != 0) loop_->cancel_timer(c.watchdog);
+  c.rx_marker = c.rx_bytes;
+  const int id = c.id;
+  const std::uint64_t epoch = c.epoch;
+  c.watchdog =
+      loop_->schedule_after(delay, [this, id, epoch] { on_watchdog(id, epoch); });
+}
+
+void NodeService::on_watchdog(int conn, std::uint64_t epoch) {
+  Connection* c = get(conn);
+  if (c == nullptr || c->closed || c->epoch != epoch) return;
+  c->watchdog = 0;
+  if (c->rx_bytes != c->rx_marker) {
+    arm_watchdog(*c);  // progress since the arm: fresh deadline
+    return;
+  }
+  if (!c->hello_received) {
+    ++stats_.hello_timeouts;
+  } else if (!c->engine->idle() || !c->engine->responder_idle()) {
+    ++stats_.encounter_timeouts;
+  } else {
+    return;  // became idle: nothing to evict
+  }
+  close_internal(*c, true, CloseReason::kTimeout);
   mirror_telemetry();
 }
 
@@ -365,7 +512,7 @@ void NodeService::pump_frames(Connection& c) {
     ++stats_.frames_in;
     if (!handle_frame(c, f)) {
       ++stats_.protocol_errors;
-      close_internal(c, true);
+      close_internal(c, true, CloseReason::kProtocol);
       return;
     }
   }
@@ -375,7 +522,7 @@ void NodeService::pump_frames(Connection& c) {
     // wire analogue of the fault plane's corruption verdict (§5).
     stats_.checksum_rejects += c.reader.stats().checksum_rejects;
     stats_.malformed += c.reader.stats().malformed;
-    close_internal(c, true);
+    close_internal(c, true, CloseReason::kProtocol);
   }
 }
 
@@ -425,15 +572,31 @@ bool NodeService::handle_frame(Connection& c, const Frame& frame) {
   return true;
 }
 
-void NodeService::close_internal(Connection& c, bool count_close) {
+void NodeService::close_internal(Connection& c, bool count_close,
+                                 CloseReason reason) {
   if (c.closed) return;
   loop_->remove(c.fd);
   ::close(c.fd);
   c.closed = true;
+  ++c.epoch;  // strands every pending watchdog/delay callback
+  if (c.watchdog != 0) {
+    loop_->cancel_timer(c.watchdog);
+    c.watchdog = 0;
+  }
+  if (c.delay_timer != 0) {
+    loop_->cancel_timer(c.delay_timer);
+    c.delay_timer = 0;
+  }
+  c.delay_q.clear();
+  if (c.impair_key != 0) {
+    if (impair_ != nullptr) impair_->close_stream(c.impair_key);
+    c.impair_key = 0;
+  }
   if (count_close) ++stats_.closes;
   if (closed_hook_) {
-    closed_hook_(c.id, c.engine->has_peer() ? c.engine->peer()
-                                            : kInvalidPeer);
+    closed_hook_(c.id,
+                 c.engine->has_peer() ? c.engine->peer() : kInvalidPeer,
+                 reason);
   }
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,11 +29,23 @@
 #include "net/engine.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
+#include "net/impairment.hpp"
 #include "net/peer_directory.hpp"
 #include "telemetry/registry.hpp"
 #include "vote/agent.hpp"
 
 namespace tribvote::net {
+
+/// Why a connection died — handed to the closed hook so the scheduler can
+/// tell a dead address (dial-failure accounting, directory quarantine)
+/// from a stalled-but-live peer (backoff only) and from our own choice
+/// (PROTOCOL.md §5 error taxonomy).
+enum class CloseReason : std::uint8_t {
+  kLocal,     ///< we closed deliberately (BYE'd quiescence, shutdown)
+  kReset,     ///< stream died under us: EOF, ECONNRESET, send failure
+  kProtocol,  ///< framing/CRC/state-machine violation — connection-fatal
+  kTimeout,   ///< deadline watchdog: HELLO or encounter made no progress
+};
 
 /// Monotone transport counters (engine-level protocol counters live in
 /// ExchangeEngine::Counters). Mirrored into the telemetry registry.
@@ -53,6 +66,9 @@ struct NetStats {
   std::uint64_t peer_exchanges_out = 0;  ///< shuffles + replies sent
   std::uint64_t descriptors_accepted = 0;
   std::uint64_t descriptors_forged = 0;  ///< bad signature, dropped item-wise
+  std::uint64_t hello_timeouts = 0;      ///< watchdog fired awaiting HELLO
+  std::uint64_t encounter_timeouts = 0;  ///< watchdog fired mid-encounter
+  std::uint64_t impair_resets = 0;       ///< closes forced by the chaos shim
 };
 
 class NodeService {
@@ -142,12 +158,34 @@ class NodeService {
   [[nodiscard]] PeerId self() const noexcept { return self_; }
 
   /// Hook fired after a connection closes for any reason (error, protocol
-  /// violation, explicit close). `peer` is kInvalidPeer when the HELLO
-  /// never completed. The EncounterScheduler uses this for dial-failure
-  /// accounting; fired from inside the poll loop, so the hook must not
-  /// re-enter the service for this connection.
-  void set_closed_hook(std::function<void(int, PeerId)> hook) {
+  /// violation, timeout, explicit close). `peer` is kInvalidPeer when the
+  /// HELLO never completed. The EncounterScheduler uses this for
+  /// dial-failure accounting; fired from inside the poll loop, so the hook
+  /// must not re-enter the service for this connection.
+  void set_closed_hook(std::function<void(int, PeerId, CloseReason)> hook) {
     closed_hook_ = std::move(hook);
+  }
+
+  // ---- transport chaos plane (DESIGN.md §16) -------------------------------
+
+  /// Attach the deterministic impairment shim. Inbound bytes of every
+  /// connection adopted after this call pass through it before the
+  /// FrameReader; its verdict counters mirror into telemetry as
+  /// net.impair.*. Null (the default) is the guaranteed-inert path: no
+  /// extra branches beyond one pointer test, no RNG draws.
+  void set_impairment(Impairment* impair) { impair_ = impair; }
+  [[nodiscard]] Impairment* impairment() const noexcept { return impair_; }
+
+  /// Arm per-connection progress watchdogs: a connection whose HELLO has
+  /// not landed within `hello_ms`, or that sits mid-encounter (either
+  /// side's engine busy) for `encounter_ms` without a single delivered
+  /// byte, is closed with CloseReason::kTimeout — a stalled half-open
+  /// peer frees its channel slot instead of wedging it. 0 disables the
+  /// respective deadline (the default: established idle connections never
+  /// expire, matching PR 7/8 behavior).
+  void set_deadlines(int hello_ms, int encounter_ms) {
+    hello_timeout_ms_ = hello_ms;
+    encounter_timeout_ms_ = encounter_ms;
   }
 
  private:
@@ -166,6 +204,17 @@ class NodeService {
     std::vector<std::uint8_t> outbuf;
     std::size_t out_cursor = 0;
     std::unique_ptr<ExchangeEngine> engine;
+    // Chaos-plane state. `epoch` invalidates watchdog/delay timer
+    // callbacks that outlive a close or reconnect; `rx_bytes` counts
+    // bytes actually delivered to the FrameReader (post-impairment) —
+    // the watchdog's definition of progress.
+    std::uint64_t epoch = 0;
+    std::uint64_t impair_key = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t rx_marker = 0;  ///< rx_bytes snapshot at watchdog arm
+    EventLoop::TimerId watchdog = 0;
+    std::deque<std::pair<std::vector<std::uint8_t>, int>> delay_q;
+    EventLoop::TimerId delay_timer = 0;
   };
 
   Connection* get(int conn);
@@ -175,12 +224,19 @@ class NodeService {
   void attach(Connection& c);
   void on_readable(int conn);
   void on_writable(int conn);
+  void ingest_bytes(Connection& c, const std::uint8_t* data, std::size_t n);
+  void feed_reader(Connection& c, const std::uint8_t* data, std::size_t n);
+  void arm_delay(Connection& c);
+  void on_delay(int conn, std::uint64_t epoch);
+  void arm_watchdog(Connection& c);
+  void on_watchdog(int conn, std::uint64_t epoch);
   void pump_frames(Connection& c);
   bool handle_frame(Connection& c, const Frame& frame);
   void send_frame(Connection& c, const Frame& frame);
   void send_hello(Connection& c);
   void flush(Connection& c);
-  void close_internal(Connection& c, bool count_close);
+  void close_internal(Connection& c, bool count_close,
+                      CloseReason reason = CloseReason::kLocal);
   void mirror_telemetry();
 
   EventLoop* loop_;
@@ -196,14 +252,20 @@ class NodeService {
   std::map<int, Connection> conns_;
   NetStats stats_;
   std::function<void(std::uint8_t, Time)> begin_hook_;
-  std::function<void(int, PeerId)> closed_hook_;
+  std::function<void(int, PeerId, CloseReason)> closed_hook_;
   PeerDirectory* directory_ = nullptr;
   std::function<Time()> clock_;
+  Impairment* impair_ = nullptr;
+  int hello_timeout_ms_ = 0;
+  int encounter_timeout_ms_ = 0;
 
   telemetry::CounterId t_frames_in_{}, t_frames_out_{}, t_bytes_in_{},
       t_bytes_out_{}, t_checksum_{}, t_malformed_{}, t_truncated_{},
       t_reconnects_{}, t_closes_{}, t_protocol_errors_{}, t_px_in_{},
-      t_px_out_{}, t_desc_accepted_{}, t_desc_forged_{};
+      t_px_out_{}, t_desc_accepted_{}, t_desc_forged_{}, t_hello_to_{},
+      t_enc_to_{}, t_imp_chunks_{}, t_imp_dropped_{}, t_imp_delayed_{},
+      t_imp_corrupted_{}, t_imp_truncated_{}, t_imp_stalled_{},
+      t_imp_ge_bad_{}, t_imp_part_{};
 };
 
 }  // namespace tribvote::net

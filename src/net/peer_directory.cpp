@@ -62,13 +62,15 @@ void PeerDirectory::erase(PeerId peer) {
 }
 
 void PeerDirectory::enforce_cap() {
-  // Evict the stalest remote (oldest heartbeat; ties drop the larger id)
-  // until the remote count fits the view — Newscast's keep-the-freshest
-  // rule, made deterministic for the equivalence tests.
+  // Evict the stalest active remote (oldest heartbeat; ties drop the
+  // larger id) until the active count fits the view — Newscast's
+  // keep-the-freshest rule, made deterministic for the equivalence tests.
+  // Quarantined tombstones live outside the view cap (their population is
+  // bounded by quarantine_ttl instead).
   while (view_count() > config_.view_size) {
     const Record* victim = nullptr;
     for (const Record& r : records_) {
-      if (r.d.peer == self_) continue;
+      if (r.d.peer == self_ || r.quarantined) continue;
       if (victim == nullptr || r.d.heartbeat < victim->d.heartbeat ||
           (r.d.heartbeat == victim->d.heartbeat &&
            r.d.peer > victim->d.peer)) {
@@ -86,9 +88,13 @@ bool PeerDirectory::merge(const PeerDescriptor& d, Time now) {
   const std::size_t i = index_of(d.peer);
   if (i < records_.size()) {
     if (d.heartbeat <= records_[i].d.heartbeat) return false;  // stale
+    // A quarantined entry rejects everything above, so only a *strictly
+    // fresher* heartbeat — the peer re-announcing itself — reaches here
+    // and lifts the quarantine with a clean dial slate.
     records_[i].d = d;
-    // A fresher stamp (possibly a new address) resets dial accounting.
     records_[i].dial_failures = 0;
+    records_[i].quarantined = false;
+    records_[i].quarantined_at = 0;
     return true;
   }
   Record r;
@@ -124,10 +130,12 @@ PeerExchangeMessage PeerDirectory::build_shuffle(Time now,
   PeerExchangeMessage m;
   m.reply_requested = reply_requested;
   m.descriptors.push_back(refresh_self(now));
-  // Freshest remotes first (ties: smaller id), capped at shuffle_size.
+  // Freshest active remotes first (ties: smaller id), capped at
+  // shuffle_size. Quarantined descriptors are never re-gossiped — we will
+  // not advertise an address we could not reach.
   std::vector<const Record*> remotes;
   for (const Record& r : records_) {
-    if (r.d.peer != self_) remotes.push_back(&r);
+    if (r.d.peer != self_ && !r.quarantined) remotes.push_back(&r);
   }
   std::sort(remotes.begin(), remotes.end(),
             [](const Record* a, const Record* b) {
@@ -146,16 +154,22 @@ PeerExchangeMessage PeerDirectory::build_shuffle(Time now,
 std::size_t PeerDirectory::evict_expired(Time now) {
   const std::size_t before = records_.size();
   std::erase_if(records_, [&](const Record& r) {
-    return r.d.peer != self_ && r.d.heartbeat + config_.entry_ttl < now;
+    if (r.d.peer == self_) return false;
+    if (r.quarantined) {
+      return r.quarantined_at + config_.quarantine_ttl < now;
+    }
+    return r.d.heartbeat + config_.entry_ttl < now;
   });
   return before - records_.size();
 }
 
-bool PeerDirectory::note_dial_failure(PeerId peer) {
+bool PeerDirectory::note_dial_failure(PeerId peer, Time now) {
   const std::size_t i = index_of(peer);
   if (i >= records_.size() || peer == self_) return false;
+  if (records_[i].quarantined) return false;  // already demoted
   if (++records_[i].dial_failures >= config_.max_dial_failures) {
-    erase(peer);
+    records_[i].quarantined = true;
+    records_[i].quarantined_at = now;
     return true;
   }
   return false;
@@ -168,7 +182,7 @@ void PeerDirectory::note_dial_success(PeerId peer) {
 
 bool PeerDirectory::lookup(PeerId peer, PeerDescriptor& out) const {
   const std::size_t i = index_of(peer);
-  if (i >= records_.size()) return false;
+  if (i >= records_.size() || records_[i].quarantined) return false;
   out = records_[i].d;
   return true;
 }
@@ -176,7 +190,15 @@ bool PeerDirectory::lookup(PeerId peer, PeerDescriptor& out) const {
 std::size_t PeerDirectory::view_count() const noexcept {
   std::size_t n = 0;
   for (const Record& r : records_) {
-    if (r.d.peer != self_) ++n;
+    if (r.d.peer != self_ && !r.quarantined) ++n;
+  }
+  return n;
+}
+
+std::size_t PeerDirectory::quarantined_count() const noexcept {
+  std::size_t n = 0;
+  for (const Record& r : records_) {
+    if (r.quarantined) ++n;
   }
   return n;
 }
@@ -185,21 +207,29 @@ std::vector<PeerId> PeerDirectory::known_peers() const {
   std::vector<PeerId> ids;
   ids.reserve(records_.size());
   for (const Record& r : records_) {
-    if (r.d.peer != self_) ids.push_back(r.d.peer);
+    if (r.d.peer != self_ && !r.quarantined) ids.push_back(r.d.peer);
   }
   return ids;  // records_ is id-sorted
 }
 
 PeerId PeerDirectory::sample(PeerId self) {
   // OnlineDirectory::sample_online's draw sequence over the sorted id set:
-  // uniform index draw, retry while the draw lands on self.
+  // uniform index draw, retry while the draw lands on self (or on a
+  // quarantined tombstone — absent at full healthy membership, so the
+  // oracle equivalence contract is untouched).
   const std::size_t n = records_.size();
   if (n == 0) return kInvalidPeer;
-  const bool self_present = index_of(self) < n;
-  if (self_present && n == 1) return kInvalidPeer;
+  bool sampleable = false;
+  for (const Record& r : records_) {
+    if (r.d.peer != self && !r.quarantined) {
+      sampleable = true;
+      break;
+    }
+  }
+  if (!sampleable) return kInvalidPeer;
   for (;;) {
-    const PeerId pick = records_[sample_rng_.next_below(n)].d.peer;
-    if (pick != self) return pick;
+    const Record& pick = records_[sample_rng_.next_below(n)];
+    if (pick.d.peer != self && !pick.quarantined) return pick.d.peer;
   }
 }
 

@@ -44,9 +44,19 @@ struct PeerDirectoryConfig {
   /// Descriptors whose heartbeat is older than this are dead (same
   /// role as NewscastConfig::entry_ttl).
   Duration entry_ttl = 30 * kMinute;
-  /// Consecutive failed dials after which a descriptor is evicted —
-  /// the wire replacement for the sim's "offline entry" staleness.
+  /// Consecutive failed dials after which a descriptor is quarantined —
+  /// the wire replacement for the sim's "offline entry" staleness, and
+  /// the fast demotion path for NAT-shaped unreachable dial-back
+  /// addresses (an address that refuses K dials in a row is presumed
+  /// unreachable, not merely busy).
   std::size_t max_dial_failures = 3;
+  /// How long a quarantined descriptor lingers (invisible to sampling,
+  /// shuffles and lookup) before it is dropped outright. While it
+  /// lingers, only a strictly fresher heartbeat — proof the peer is back
+  /// and re-announcing — lifts the quarantine. That memory is the point:
+  /// a plain eviction lets the next gossiped copy of the same dead
+  /// descriptor start a fresh K-dial probation at full price.
+  Duration quarantine_ttl = 10 * kMinute;
   /// Descriptors per outgoing PEER_EXCHANGE (<= kMaxPeerDescriptors).
   std::size_t shuffle_size = 16;
 };
@@ -94,21 +104,29 @@ class PeerDirectory final : public pss::PeerSampler {
   [[nodiscard]] PeerExchangeMessage build_shuffle(Time now,
                                                   bool reply_requested);
 
-  /// Drop every remote entry whose heartbeat aged past entry_ttl.
+  /// Drop every remote entry whose heartbeat aged past entry_ttl, and
+  /// every quarantined entry whose quarantine aged past quarantine_ttl.
   /// Returns the number evicted.
   std::size_t evict_expired(Time now);
 
   /// Dial feedback from the scheduler: max_dial_failures consecutive
-  /// failures evict the descriptor (returns true when it did).
-  bool note_dial_failure(PeerId peer);
+  /// failures quarantine the descriptor (returns true when it did) —
+  /// it vanishes from sampling, shuffles, lookup and view_count, but the
+  /// tombstone remembers the heartbeat so re-gossiped copies of the same
+  /// stale descriptor cannot resurrect it; only a strictly fresher one
+  /// can. `now` stamps the quarantine for quarantine_ttl expiry.
+  bool note_dial_failure(PeerId peer, Time now = 0);
   void note_dial_success(PeerId peer);
 
-  /// Find a peer's descriptor (dial address lookup). False if unknown.
+  /// Find an *active* peer's descriptor (dial address lookup). False if
+  /// unknown or quarantined — the scheduler must not redial quarantine.
   [[nodiscard]] bool lookup(PeerId peer, PeerDescriptor& out) const;
 
-  /// Remote entries currently held (self excluded).
+  /// Active remote entries currently held (self and quarantined excluded).
   [[nodiscard]] std::size_t view_count() const noexcept;
-  /// Sorted remote peer ids, for reports and tests.
+  /// Quarantined tombstones currently held, for reports and tests.
+  [[nodiscard]] std::size_t quarantined_count() const noexcept;
+  /// Sorted active remote peer ids, for reports and tests.
   [[nodiscard]] std::vector<PeerId> known_peers() const;
 
   // pss::PeerSampler ---------------------------------------------------------
@@ -123,6 +141,8 @@ class PeerDirectory final : public pss::PeerSampler {
   struct Record {
     PeerDescriptor d;
     std::size_t dial_failures = 0;
+    bool quarantined = false;
+    Time quarantined_at = 0;
   };
 
   /// Index of `peer` in the sorted records_, or records_.size().

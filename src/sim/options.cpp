@@ -71,6 +71,19 @@ telemetry::TelemetryConfig telemetry() {
   return config;
 }
 
+namespace {
+
+/// Like env_size but 0 is a valid value (deadline knobs use 0 = off).
+long env_nonneg(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0' && parsed >= 0) ? parsed : fallback;
+}
+
+}  // namespace
+
 NetOptions net() {
   NetOptions o;
   o.view_size = env_size("TRIBVOTE_NET_VIEW", o.view_size);
@@ -83,6 +96,15 @@ NetOptions net() {
       env_size("TRIBVOTE_NET_DIAL_FAILS", o.max_dial_failures);
   o.entry_ttl = static_cast<long>(
       env_size("TRIBVOTE_NET_TTL", static_cast<std::size_t>(o.entry_ttl)));
+  o.quarantine_ttl =
+      env_nonneg("TRIBVOTE_NET_QUARANTINE_TTL", o.quarantine_ttl);
+  if (const char* v = std::getenv("TRIBVOTE_NET_IMPAIR"); v != nullptr) {
+    o.impair_spec = v;  // validated by net::parse_impair_spec downstream
+  }
+  o.hello_timeout_ms = static_cast<int>(
+      env_nonneg("TRIBVOTE_NET_HELLO_MS", o.hello_timeout_ms));
+  o.encounter_timeout_ms = static_cast<int>(
+      env_nonneg("TRIBVOTE_NET_DEADLINE_MS", o.encounter_timeout_ms));
   return o;
 }
 

@@ -30,8 +30,23 @@
 //   TRIBVOTE_NET_ROUND_MS  EncounterScheduler round period (default 100)
 //   TRIBVOTE_NET_DIALS     concurrent dials in flight (default 4)
 //   TRIBVOTE_NET_DIAL_FAILS consecutive dial failures before a descriptor
-//                          is evicted (default 3)
+//                          is quarantined (default 3)
 //   TRIBVOTE_NET_TTL       descriptor TTL in protocol seconds (default 1800)
+//   TRIBVOTE_NET_QUARANTINE_TTL quarantine tombstone TTL in protocol
+//                          seconds (default 600)
+//   TRIBVOTE_NET_IMPAIR    transport chaos spec (DESIGN.md §16), e.g.
+//                          "loss=0.1,delay=0.2,max_delay_ms=40,
+//                          corrupt=0.01,truncate=0.01,stall=0.005,ge=0.3,
+//                          part_period=64,part_width=8,part_frac=0.25"
+//                          (default: off — the goldens' setting). Parsed
+//                          by net::parse_impair_spec in the binaries; sim
+//                          carries it as an opaque string
+//   TRIBVOTE_NET_HELLO_MS  HELLO deadline per connection in wall ms
+//                          (default 2000 in the free-running harnesses;
+//                          0 disables)
+//   TRIBVOTE_NET_DEADLINE_MS mid-encounter progress deadline in wall ms
+//                          (default 2000 in the free-running harnesses;
+//                          0 disables)
 //
 // This header also hosts the shared `--flag value` CLI scanner the net
 // binaries (tribvote_node, tribvote_load, tribvote_cluster) parse with —
@@ -85,7 +100,13 @@ struct NetOptions {
   int round_ms = 100;
   std::size_t max_dials = 4;
   std::size_t max_dial_failures = 3;
-  long entry_ttl = 1800;  ///< protocol seconds
+  long entry_ttl = 1800;       ///< protocol seconds
+  long quarantine_ttl = 600;   ///< protocol seconds
+  /// Opaque TRIBVOTE_NET_IMPAIR chaos spec — handed to
+  /// net::parse_impair_spec by the binaries (sim never links net::).
+  std::string impair_spec;
+  int hello_timeout_ms = 2000;      ///< 0 disables the HELLO deadline
+  int encounter_timeout_ms = 2000;  ///< 0 disables the progress deadline
 };
 
 [[nodiscard]] NetOptions net();

@@ -147,6 +147,101 @@ TEST(PeerDirectory, DialFailuresEvictAndSuccessResets) {
   EXPECT_FALSE(dir.note_dial_failure(2));
 }
 
+// ---- quarantine invariants (DESIGN.md §16) ---------------------------------
+
+TEST(PeerDirectory, QuarantineHidesPeerFromEveryReadPath) {
+  PeerDirectoryConfig config;
+  config.max_dial_failures = 2;
+  PeerDirectory dir = make_directory(1, keys_for(1), config);
+  dir.merge(descriptor_for(2, keys_for(2), 10), 10);
+  dir.merge(descriptor_for(3, keys_for(3), 10), 10);
+
+  EXPECT_FALSE(dir.note_dial_failure(2, 50));
+  EXPECT_TRUE(dir.note_dial_failure(2, 60));  // second strike: quarantined
+
+  // The tombstone is invisible on every read path the runtime uses to pick
+  // peers — a black-holed address must not keep soaking up dial slots.
+  EXPECT_EQ(dir.view_count(), 1u);
+  EXPECT_EQ(dir.quarantined_count(), 1u);
+  PeerDescriptor out;
+  EXPECT_FALSE(dir.lookup(2, out));
+  EXPECT_EQ(dir.known_peers(), (std::vector<PeerId>{3}));
+  const PeerExchangeMessage m = dir.build_shuffle(70, false);
+  for (const PeerDescriptor& d : m.descriptors) EXPECT_NE(d.peer, 2u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(dir.sample(1), 3u);
+}
+
+TEST(PeerDirectory, QuarantineLiftsOnlyForStrictlyFresherDescriptor) {
+  PeerDirectoryConfig config;
+  config.max_dial_failures = 1;
+  PeerDirectory dir = make_directory(1, keys_for(1), config);
+  dir.merge(descriptor_for(2, keys_for(2), 10), 10);
+  EXPECT_TRUE(dir.note_dial_failure(2, 20));
+
+  // Re-gossiped copies of the descriptor we already failed to dial must
+  // not resurrect the peer — that replay loop is what quarantine exists
+  // to break. Only the peer itself can mint a fresher heartbeat.
+  EXPECT_FALSE(dir.merge(descriptor_for(2, keys_for(2), 5), 20));
+  EXPECT_FALSE(dir.merge(descriptor_for(2, keys_for(2), 10), 20));
+  EXPECT_EQ(dir.view_count(), 0u);
+  EXPECT_EQ(dir.quarantined_count(), 1u);
+
+  EXPECT_TRUE(dir.merge(descriptor_for(2, keys_for(2), 30), 30));
+  EXPECT_EQ(dir.view_count(), 1u);
+  EXPECT_EQ(dir.quarantined_count(), 0u);
+  PeerDescriptor out;
+  EXPECT_TRUE(dir.lookup(2, out));
+  EXPECT_EQ(out.heartbeat, 30);
+  // Resurrection wipes the failure streak: the next miss is judged as a
+  // brand-new peer's first (which, at max_dial_failures = 1, quarantines
+  // again — but from a streak of zero, not the old one carried over).
+  EXPECT_TRUE(dir.note_dial_failure(2, 40));
+}
+
+TEST(PeerDirectory, QuarantineTtlExpiresTheTombstone) {
+  PeerDirectoryConfig config;
+  config.max_dial_failures = 1;
+  config.quarantine_ttl = 100;
+  config.entry_ttl = 1000000;
+  PeerDirectory dir = make_directory(1, keys_for(1), config);
+  dir.merge(descriptor_for(2, keys_for(2), 10), 10);
+  EXPECT_TRUE(dir.note_dial_failure(2, 50));
+  EXPECT_EQ(dir.quarantined_count(), 1u);
+
+  EXPECT_EQ(dir.evict_expired(149), 0u);  // still inside quarantine_ttl
+  EXPECT_EQ(dir.quarantined_count(), 1u);
+  EXPECT_EQ(dir.evict_expired(151), 1u);
+  EXPECT_EQ(dir.quarantined_count(), 0u);
+
+  // Once the tombstone ages out, its replay memory goes with it: the same
+  // stale descriptor is admissible again (and gets probed again).
+  EXPECT_TRUE(dir.merge(descriptor_for(2, keys_for(2), 10), 151));
+  EXPECT_EQ(dir.view_count(), 1u);
+}
+
+TEST(PeerDirectory, CapEvictionSkipsQuarantinedTombstones) {
+  PeerDirectoryConfig config;
+  config.view_size = 2;
+  config.max_dial_failures = 1;
+  PeerDirectory dir = make_directory(1, keys_for(1), config);
+  dir.merge(descriptor_for(2, keys_for(2), 10), 10);
+  dir.merge(descriptor_for(3, keys_for(3), 30), 30);
+  EXPECT_TRUE(dir.note_dial_failure(2, 40));
+
+  // Overflowing the view must evict the stalest *active* entry, never the
+  // tombstone (evicting it would forget the replay protection) — and must
+  // terminate even though the tombstone is unevictable.
+  dir.merge(descriptor_for(4, keys_for(4), 20), 40);
+  dir.merge(descriptor_for(5, keys_for(5), 40), 40);
+  EXPECT_EQ(dir.view_count(), 2u);
+  EXPECT_EQ(dir.quarantined_count(), 1u);
+  PeerDescriptor out;
+  EXPECT_FALSE(dir.lookup(4, out));  // stalest active went
+  EXPECT_TRUE(dir.lookup(3, out));
+  EXPECT_TRUE(dir.lookup(5, out));
+  EXPECT_FALSE(dir.merge(descriptor_for(2, keys_for(2), 10), 40));
+}
+
 TEST(PeerDirectory, ShuffleLeadsWithFreshSelfThenFreshestRemotes) {
   PeerDirectoryConfig config;
   config.shuffle_size = 3;

@@ -13,8 +13,11 @@
 #include <vector>
 
 #include "crypto/schnorr.hpp"
+#include "net/codec.hpp"
 #include "net/encounter_scheduler.hpp"
 #include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/impairment.hpp"
 #include "net/node_service.hpp"
 #include "net/peer_directory.hpp"
 #include "util/rng.hpp"
@@ -255,6 +258,158 @@ TEST(EncounterSchedulerTest, PeerExitEvictsConnectionButNotDescriptor) {
       [&] { return sched.stats().dials > dials_before; }, kStepMs));
   sched.stop();
   EXPECT_EQ(sched.stats().dial_failures, 0u);
+}
+
+// ---- encounter deadlines: half-open peers must not wedge a slot ------------
+
+/// A listening socket the test drives by hand — the half-open peer.
+struct RawServer {
+  int listen_fd = -1;
+  int peer_fd = -1;
+
+  RawServer() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    EXPECT_EQ(::listen(listen_fd, 4), 0);
+  }
+  ~RawServer() {
+    if (peer_fd >= 0) ::close(peer_fd);
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  std::uint16_t port() const {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd,
+                            reinterpret_cast<sockaddr*>(
+                                const_cast<sockaddr_in*>(&addr)),
+                            &len),
+              0);
+    return ntohs(addr.sin_port);
+  }
+
+  void accept_one() {
+    peer_fd = ::accept(listen_fd, nullptr, nullptr);
+    EXPECT_GE(peer_fd, 0);
+  }
+
+  void send_frame(const Frame& f) {
+    std::vector<std::uint8_t> wire;
+    encode_frame(f, wire);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::send(peer_fd, wire.data() + sent, wire.size() - sent, 0);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+// The PR 9 regression: a peer that completes HELLO and then goes silent
+// mid-encounter used to hold its channel slot forever — only the
+// progress-deadline watchdog can evict a half-open TCP peer.
+TEST(NetDeadlines, SilentMidEncounterPeerIsEvictedNotWedged) {
+  EventLoop loop;
+  SchedNode a = make_sched_node(loop, 1, 91);
+  a.svc->set_deadlines(/*hello_ms=*/2000, /*encounter_ms=*/50);
+
+  RawServer server;
+  const int c = a.svc->connect("127.0.0.1", server.port());
+  ASSERT_GE(c, 0);
+  ASSERT_TRUE(loop.run_until([&] { return a.svc->open(c); }, kStepMs));
+  server.accept_one();
+
+  // The half-open peer answers the HELLO like a healthy node would...
+  util::Rng krng(92);
+  const crypto::KeyPair peer_keys = crypto::generate_keypair(krng);
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.payload = encode_hello({9, peer_keys.pub});
+  server.send_frame(hello);
+  ASSERT_TRUE(loop.run_until([&] { return a.svc->ready(c); }, kStepMs));
+
+  // ...then never speaks again. The initiated encounter makes no progress,
+  // so the deadline must close the connection and free the slot.
+  ASSERT_TRUE(a.svc->initiate_vote_encounter(c, 100));
+  ASSERT_TRUE(loop.run_until([&] { return !a.svc->open(c); }, kStepMs))
+      << "half-open peer wedged the connection slot";
+  EXPECT_EQ(a.svc->stats().encounter_timeouts, 1u);
+  EXPECT_EQ(a.svc->stats().hello_timeouts, 0u);
+  EXPECT_EQ(a.svc->connection_count(), 0u);
+}
+
+TEST(NetDeadlines, MissingHelloTimesOutSeparately) {
+  EventLoop loop;
+  SchedNode a = make_sched_node(loop, 1, 93);
+  a.svc->set_deadlines(/*hello_ms=*/50, /*encounter_ms=*/0);
+
+  RawServer server;  // accepts, never sends a byte
+  const int c = a.svc->connect("127.0.0.1", server.port());
+  ASSERT_GE(c, 0);
+  ASSERT_TRUE(loop.run_until([&] { return !a.svc->open(c); }, kStepMs));
+  EXPECT_EQ(a.svc->stats().hello_timeouts, 1u);
+  EXPECT_EQ(a.svc->stats().encounter_timeouts, 0u);
+  EXPECT_EQ(a.svc->connection_count(), 0u);
+}
+
+// ---- scheduler accounting under sustained impairment -----------------------
+
+TEST(EncounterSchedulerTest, ImpairedStallsFeedBackoffAndMatchTimeoutStats) {
+  EventLoop loop;
+  // Only a's inbound side is impaired: streams stall at random chunks, so
+  // some HELLOs die (dial failures) and some established encounters hang
+  // until the deadline evicts them (encounter timeouts). The shim is
+  // declared before the nodes: ~NodeService detaches its streams from it.
+  ImpairConfig icfg;
+  icfg.stall_rate = 0.3;
+  Impairment impair(icfg, 4242, 1);
+
+  PeerDirectoryConfig dconfig;
+  dconfig.max_dial_failures = 1000;  // keep the descriptor; test backoff
+  SchedNode a = make_sched_node(loop, 1, 95, dconfig);
+  SchedNode b = make_sched_node(loop, 2, 96);
+  b.svc->set_directory(b.dir.get(), [] { return Time{0}; });
+  a.svc->set_impairment(&impair);
+  a.svc->set_deadlines(/*hello_ms=*/100, /*encounter_ms=*/60);
+
+  util::Rng sb(97);
+  ASSERT_TRUE(a.dir->merge(make_descriptor(2, *b.keys, 0x7f000001u,
+                                           b.svc->listen_port(), 10, sb),
+                           10));
+
+  EncounterSchedulerConfig sconfig;
+  sconfig.round_ms = 2;
+  sconfig.backoff_base_ms = 1;
+  sconfig.backoff_max_ms = 8;
+  EncounterScheduler sched(loop, *a.svc, *a.dir, sconfig);
+  sched.set_impairment(&impair);
+  sched.start();
+  ASSERT_TRUE(loop.run_until(
+      [&] {
+        return a.svc->engine_totals().encounters_completed >= 3 &&
+               sched.stats().encounter_timeouts >= 1;
+      },
+      kStepMs))
+      << "scheduler never recovered encounters through the stalls";
+  sched.stop();
+
+  // The accounting must line up across the layers with nothing counted
+  // twice: every established-timeout close the service saw is exactly one
+  // scheduler encounter_timeout, every HELLO-phase death exactly one dial
+  // failure — and a live-but-sick peer is backed off, never demoted.
+  EXPECT_EQ(sched.stats().encounter_timeouts,
+            a.svc->stats().encounter_timeouts);
+  EXPECT_EQ(sched.stats().dial_failures, a.svc->stats().hello_timeouts);
+  EXPECT_GE(sched.stats().redials_scheduled, 1u);
+  EXPECT_EQ(a.dir->view_count(), 1u);  // descriptor survived every stall
+  EXPECT_EQ(a.dir->quarantined_count(), 0u);
 }
 
 }  // namespace
