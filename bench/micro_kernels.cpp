@@ -17,7 +17,9 @@
 #include "bt/swarm.hpp"
 #include "bt/transfer_ledger.hpp"
 #include "core/node.hpp"
+#include "core/runner.hpp"
 #include "crypto/schnorr.hpp"
+#include "trace/generator.hpp"
 #include "metrics/cev.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/shard_kernel.hpp"
@@ -605,6 +607,43 @@ void BM_TelemetryOverhead(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Arg(2);
+
+/// End-to-end scenario cost with the adversary plane off vs on. Arg 0 runs
+/// an empty roster: the engine is never constructed and every round pays
+/// exactly one null-pointer branch — this row must match a build without
+/// the plane. Arg 1 drives an attrition flood, arg 2 a mixed
+/// attrition+sybil roster (serial hook work: presence draws, floods,
+/// ledger credit). One "item" is a full simulated day of one small
+/// population.
+void BM_AdversaryOverhead(benchmark::State& state) {
+  trace::GeneratorParams params;
+  params.n_peers = 30;
+  params.n_swarms = 3;
+  params.duration = kDay;
+  const trace::Trace tr = trace::generate_trace(params, 17);
+  core::ScenarioConfig config;
+  std::string error;
+  const char* specs[] = {"", "attrition:n=6,rate=4",
+                         "attrition:n=6,rate=4;sybil:n=8,region=4"};
+  if (!adversary::parse_adversary_spec(
+          specs[static_cast<std::size_t>(state.range(0))], config.adversary,
+          &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  for (auto _ : state) {
+    core::ScenarioRunner runner(tr, config, 23);
+    runner.run_until(tr.duration);
+    benchmark::DoNotOptimize(runner.stats().vote_exchanges);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdversaryOverhead)
+    ->ArgNames({"roster"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -28,11 +28,18 @@
 //     --crash-rate P       mid-encounter responder crash prob. (")
 //     --corrupt-rate P     payload truncation/corruption prob. (")
 //     --impair SPEC        transport chaos spec (DESIGN.md §16), mapped
-//                          onto the simulator's fault plane: stationary
-//                          loss (incl. the ge= Gilbert–Elliott average),
+//                          onto the simulator's fault plane: Gilbert–
+//                          Elliott and scheduled partitions natively (the
+//                          sim plane speaks both since the adversary PR),
 //                          delay->delay-rate, corrupt+truncate->corrupt-
 //                          rate, stall->crash-rate. One spec string drives
 //                          the A11 sim sweep and the A12 TCP sweep alike
+//     --adversary SPEC     adversary-plane roster (DESIGN.md §17), e.g.
+//                          "attrition:n=20,rate=4;sybil:n=16,region=4"
+//                          (default TRIBVOTE_ADVERSARY or off)
+//     --streaming SPEC     streaming-swarm workload: on|off|
+//                          "window=8,startup=4,kbps=512"
+//                          (default TRIBVOTE_STREAMING or off)
 //     --telemetry MODE     off|counters|trace        (default TRIBVOTE_TELEMETRY or off)
 //     --trace-out FILE     Chrome-trace JSON output  (default scenario_trace.json when tracing)
 //     --telemetry-csv FILE per-round counter CSV     (default: not written)
@@ -76,6 +83,8 @@ struct Options {
   std::string csv = "scenario_cli.csv";
   sim::FaultConfig faults = sim::options::faults();
   telemetry::TelemetryConfig telemetry = sim::options::telemetry();
+  adversary::AdversaryConfig adversary = sim::options::adversary();
+  bt::StreamingConfig streaming = sim::options::streaming();
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -88,6 +97,7 @@ struct Options {
                "          [--sample HOURS] [--csv FILE]\n"
                "          [--loss P] [--delay-rate P] [--max-delay S] "
                "[--crash-rate P] [--corrupt-rate P] [--impair SPEC]\n"
+               "          [--adversary SPEC] [--streaming SPEC]\n"
                "          [--telemetry off|counters|trace] [--trace-out FILE] "
                "[--telemetry-csv FILE]\n",
                argv0);
@@ -166,20 +176,34 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
         usage(argv[0]);
       }
-      if (impair.ge_good_to_bad > 0.0) {
-        // Stationary average of the Gilbert–Elliott chain — the sim's
-        // i.i.d. loss at the same long-run rate.
-        const double pi = impair.ge_good_to_bad /
-                          (impair.ge_good_to_bad + impair.ge_bad_to_good);
-        opt.faults.loss =
-            pi * impair.ge_loss_bad + (1.0 - pi) * impair.ge_loss_good;
-      } else {
-        opt.faults.loss = impair.loss;
-      }
+      // The sim plane speaks Gilbert–Elliott and scheduled partitions
+      // natively now, so the chaos spec projects without averaging.
+      opt.faults.loss = impair.loss;
+      opt.faults.ge_good_to_bad = impair.ge_good_to_bad;
+      opt.faults.ge_bad_to_good = impair.ge_bad_to_good;
+      opt.faults.ge_loss_good = impair.ge_loss_good;
+      opt.faults.ge_loss_bad = impair.ge_loss_bad;
+      opt.faults.partition_period = impair.partition_period;
+      opt.faults.partition_width = impair.partition_width;
+      opt.faults.partition_frac = impair.partition_frac;
       opt.faults.delay_rate = impair.delay_rate;
       opt.faults.corrupt_rate =
           std::min(1.0, impair.corrupt_rate + impair.truncate_rate);
       opt.faults.crash_rate = impair.stall_rate;
+    } else if (!std::strcmp(arg, "--adversary")) {
+      std::string error;
+      opt.adversary = adversary::AdversaryConfig{};  // flag overrides env
+      if (!adversary::parse_adversary_spec(need_value(i), opt.adversary,
+                                           &error)) {
+        std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
+        usage(argv[0]);
+      }
+    } else if (!std::strcmp(arg, "--streaming")) {
+      std::string error;
+      if (!bt::parse_streaming_spec(need_value(i), opt.streaming, &error)) {
+        std::fprintf(stderr, "bad %s: %s\n", arg, error.c_str());
+        usage(argv[0]);
+      }
     } else if (!std::strcmp(arg, "--telemetry")) {
       // Reuse the TRIBVOTE_TELEMETRY spec parser; the flag accepts the
       // full spec grammar, so "--telemetry trace,csv=rounds.csv" works.
@@ -246,6 +270,8 @@ int main(int argc, char** argv) {
   config.vote.gossip_cache = opt.gossip_cache;
   config.faults = opt.faults;
   config.telemetry = opt.telemetry;
+  config.adversary = opt.adversary;
+  config.streaming = opt.streaming;
   if (config.telemetry.tracing() && config.telemetry.trace_out.empty()) {
     config.telemetry.trace_out = "scenario_trace.json";
   }
@@ -254,7 +280,7 @@ int main(int argc, char** argv) {
   // including the effective fault and telemetry configuration.
   std::printf("run: seed=%llu scenario-seed=%llu shards=%zu ledger=%s "
               "gossip_cache=%s threshold=%g pss=%s%s faults=%s "
-              "telemetry=%s\n",
+              "telemetry=%s adversary=%s streaming=%s\n",
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.seed ^ 0xC11),
               runner.shard_count(), bt::ledger_backend_name(opt.ledger),
@@ -262,7 +288,9 @@ int main(int argc, char** argv) {
               opt.newscast ? "newscast" : "oracle",
               opt.adaptive ? " adaptive" : "",
               sim::describe(opt.faults).c_str(),
-              telemetry::describe(config.telemetry).c_str());
+              telemetry::describe(config.telemetry).c_str(),
+              adversary::describe(config.adversary).c_str(),
+              bt::describe(config.streaming).c_str());
 
   // Standard script: three moderators, 20% voters; optional attack core.
   const auto firsts = trace::earliest_arrivals(tr, 3);
@@ -328,6 +356,31 @@ int main(int argc, char** argv) {
 
   runner.run_until(tr.duration);
   std::printf("\ncsv written: %s\n", opt.csv.c_str());
+
+  if (runner.adversary() != nullptr) {
+    const adversary::AdversaryStats as = runner.adversary_stats();
+    std::printf("adversary: floods=%llu (rejected=%llu) nuisance_flips=%llu "
+                "credit_transfers=%llu credit_mb=%.0f presence_flips=%llu\n",
+                static_cast<unsigned long long>(as.floods_sent),
+                static_cast<unsigned long long>(as.flood_rejected),
+                static_cast<unsigned long long>(as.nuisance_flips),
+                static_cast<unsigned long long>(as.credit_transfers),
+                as.credit_mb,
+                static_cast<unsigned long long>(as.presence_flips));
+  }
+  if (config.streaming.enabled) {
+    const bt::StreamingTotals stot = runner.streaming_totals();
+    const std::uint64_t played = stot.pieces_on_time + stot.deadline_misses;
+    std::printf("streaming: started=%llu finished=%llu on_time=%llu "
+                "misses=%llu (miss rate %.3f)\n",
+                static_cast<unsigned long long>(stot.started),
+                static_cast<unsigned long long>(stot.finished),
+                static_cast<unsigned long long>(stot.pieces_on_time),
+                static_cast<unsigned long long>(stot.deadline_misses),
+                played > 0 ? static_cast<double>(stot.deadline_misses) /
+                                 static_cast<double>(played)
+                           : 0.0);
+  }
 
   // Telemetry exports — the harness writes files, never the runner.
   if (telemetry::Telemetry* tel = runner.telemetry()) {

@@ -1,0 +1,171 @@
+#include "adversary/config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tribvote::adversary {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+bool kind_from(const std::string& name, StrategyKind& out) {
+  if (name == "colluder") {
+    out = StrategyKind::kColluder;
+  } else if (name == "front" || name == "front_peer") {
+    out = StrategyKind::kFrontPeer;
+  } else if (name == "attrition") {
+    out = StrategyKind::kAttrition;
+  } else if (name == "nuisance") {
+    out = StrategyKind::kNuisance;
+  } else if (name == "sybil") {
+    out = StrategyKind::kSybil;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_strategy(const std::string& text, StrategySpec& spec,
+                    std::string* error) {
+  const std::size_t colon = text.find(':');
+  const std::string name = text.substr(0, colon);
+  if (!kind_from(name, spec.kind)) {
+    return set_error(error, "unknown strategy kind '" + name + "'");
+  }
+  if (colon == std::string::npos) return true;
+
+  std::istringstream in(text.substr(colon + 1));
+  std::string field;
+  while (std::getline(in, field, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return set_error(error, "expected key=value, got '" + field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return set_error(error, "bad value for " + key + ": '" + value + "'");
+    }
+    auto probability = [&](double& slot) {
+      if (v < 0.0 || v > 1.0) {
+        return set_error(error, key + " must be in [0, 1]");
+      }
+      slot = v;
+      return true;
+    };
+    if (key == "n" || key == "agents") {
+      if (v < 0.0) return set_error(error, "n must be >= 0");
+      spec.agents = static_cast<std::size_t>(v);
+    } else if (key == "start") {
+      if (v < 0.0) return set_error(error, "start must be >= 0");
+      spec.start = static_cast<Time>(v);
+    } else if (key == "duty") {
+      if (v <= 0.0 || v > 1.0) {
+        return set_error(error, "duty must be in (0, 1]");
+      }
+      spec.duty = v;
+    } else if (key == "session") {
+      if (v < 1.0) return set_error(error, "session must be >= 1");
+      spec.session_mean = static_cast<Duration>(v);
+    } else if (key == "rate") {
+      if (v < 1.0) return set_error(error, "rate must be >= 1");
+      spec.rate = static_cast<std::size_t>(v);
+    } else if (key == "flip") {
+      if (!probability(spec.flip)) return false;
+    } else if (key == "region") {
+      if (v < 2.0) return set_error(error, "region must be >= 2");
+      spec.region = static_cast<std::size_t>(v);
+    } else if (key == "credit") {
+      if (v < 0.0) return set_error(error, "credit must be >= 0");
+      spec.credit_mb = v;
+    } else if (key == "fake_exp") {
+      spec.fake_experience = v != 0.0;
+    } else if (key == "fake_mb") {
+      if (v < 0.0) return set_error(error, "fake_mb must be >= 0");
+      spec.fake_mb = v;
+    } else if (key == "victim") {
+      if (v < 0.0) return set_error(error, "victim must be >= 0");
+      spec.victim = static_cast<ModeratorId>(v);
+    } else {
+      return set_error(error, "unknown adversary key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kColluder: return "colluder";
+    case StrategyKind::kFrontPeer: return "front";
+    case StrategyKind::kAttrition: return "attrition";
+    case StrategyKind::kNuisance: return "nuisance";
+    case StrategyKind::kSybil: return "sybil";
+  }
+  return "?";
+}
+
+bool parse_adversary_spec(const std::string& spec, AdversaryConfig& out,
+                          std::string* error) {
+  std::istringstream in(spec);
+  std::string entry;
+  while (std::getline(in, entry, ';')) {
+    if (entry.empty()) continue;
+    StrategySpec s;
+    if (!parse_strategy(entry, s, error)) return false;
+    out.roster.push_back(s);
+  }
+  return true;
+}
+
+std::string describe(const AdversaryConfig& config) {
+  if (!config.enabled()) return "off";
+  std::string out;
+  char buf[96];
+  for (const StrategySpec& s : config.roster) {
+    if (s.agents == 0) continue;
+    if (!out.empty()) out += ';';
+    std::snprintf(buf, sizeof(buf), "%s:n=%zu", to_string(s.kind), s.agents);
+    out += buf;
+    if (s.start != 0) {
+      std::snprintf(buf, sizeof(buf), ",start=%lld",
+                    static_cast<long long>(s.start));
+      out += buf;
+    }
+    if (s.duty < 1.0) {
+      std::snprintf(buf, sizeof(buf), ",duty=%g", s.duty);
+      out += buf;
+    }
+    switch (s.kind) {
+      case StrategyKind::kAttrition:
+        std::snprintf(buf, sizeof(buf), ",rate=%zu", s.rate);
+        out += buf;
+        break;
+      case StrategyKind::kNuisance:
+        std::snprintf(buf, sizeof(buf), ",flip=%g,credit=%g", s.flip,
+                      s.credit_mb);
+        out += buf;
+        break;
+      case StrategyKind::kSybil:
+        std::snprintf(buf, sizeof(buf), ",region=%zu,credit=%g", s.region,
+                      s.credit_mb);
+        out += buf;
+        break;
+      case StrategyKind::kColluder:
+      case StrategyKind::kFrontPeer:
+        break;
+    }
+  }
+  return out.empty() ? "off" : out;
+}
+
+}  // namespace tribvote::adversary

@@ -1,5 +1,6 @@
 #include "bt/piece_picker.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -53,6 +54,34 @@ std::size_t PiecePicker::pick(const Bitfield& uploader_has,
   std::size_t best = kNoPiece;
   std::uint64_t ties = 0;
   for (std::size_t p = 0; p < avail_.size(); ++p) {
+    if (!uploader_has.test(p) || downloader_has.test(p) || in_flight[p]) {
+      continue;
+    }
+    if (avail_[p] < best_avail) {
+      best_avail = avail_[p];
+      best = p;
+      ties = 1;
+    } else if (avail_[p] == best_avail) {
+      ++ties;
+      if (rng.next_below(ties) == 0) best = p;
+    }
+  }
+  return best;
+}
+
+std::size_t PiecePicker::pick_window(const Bitfield& uploader_has,
+                                     const Bitfield& downloader_has,
+                                     const std::vector<bool>& in_flight,
+                                     std::size_t lo, std::size_t hi,
+                                     util::Rng& rng) const {
+  assert(uploader_has.size() == avail_.size());
+  assert(downloader_has.size() == avail_.size());
+  assert(in_flight.size() == avail_.size());
+  hi = std::min(hi, avail_.size());
+  std::uint32_t best_avail = std::numeric_limits<std::uint32_t>::max();
+  std::size_t best = kNoPiece;
+  std::uint64_t ties = 0;
+  for (std::size_t p = lo; p < hi; ++p) {
     if (!uploader_has.test(p) || downloader_has.test(p) || in_flight[p]) {
       continue;
     }

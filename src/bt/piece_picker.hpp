@@ -39,6 +39,16 @@ class PiecePicker {
                                  const std::vector<bool>& in_flight,
                                  util::Rng& rng) const;
 
+  /// Like pick(), but restricted to pieces in [lo, hi) — the streaming
+  /// workload's playback window. Rarest-first within the window, same
+  /// random tie-break. Returns kNoPiece when nothing in the window
+  /// qualifies (callers fall back to the unrestricted pick for the tail).
+  [[nodiscard]] std::size_t pick_window(const Bitfield& uploader_has,
+                                        const Bitfield& downloader_has,
+                                        const std::vector<bool>& in_flight,
+                                        std::size_t lo, std::size_t hi,
+                                        util::Rng& rng) const;
+
   [[nodiscard]] std::size_t piece_count() const noexcept {
     return avail_.size();
   }

@@ -1,0 +1,70 @@
+#include "bt/streaming.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tribvote::bt {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+bool parse_streaming_spec(const std::string& spec, StreamingConfig& out,
+                          std::string* error) {
+  out = StreamingConfig{};
+  if (spec.empty() || spec == "off" || spec == "0" || spec == "false") {
+    return true;
+  }
+  if (spec == "on" || spec == "1" || spec == "true") {
+    out.enabled = true;
+    return true;
+  }
+  StreamingConfig parsed;
+  parsed.enabled = true;  // a key=value list implies "on"
+  std::istringstream in(spec);
+  std::string field;
+  while (std::getline(in, field, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return set_error(error, "expected key=value, got '" + field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return set_error(error, "bad value for " + key + ": '" + value + "'");
+    }
+    if (key == "window") {
+      if (v < 1.0) return set_error(error, "window must be >= 1");
+      parsed.window = static_cast<std::size_t>(v);
+    } else if (key == "startup") {
+      if (v < 1.0) return set_error(error, "startup must be >= 1");
+      parsed.startup_pieces = static_cast<std::size_t>(v);
+    } else if (key == "kbps") {
+      if (v <= 0.0) return set_error(error, "kbps must be > 0");
+      parsed.playback_kbps = v;
+    } else {
+      return set_error(error, "unknown streaming key '" + key + "'");
+    }
+  }
+  out = parsed;
+  return true;
+}
+
+std::string describe(const StreamingConfig& config) {
+  if (!config.enabled) return "off";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "window=%zu,startup=%zu,kbps=%g",
+                config.window, config.startup_pieces, config.playback_kbps);
+  return buf;
+}
+
+}  // namespace tribvote::bt

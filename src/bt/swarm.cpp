@@ -16,7 +16,7 @@ constexpr double kWindowFloor = 1024.0;
 Swarm::Swarm(const trace::SwarmSpec& spec,
              std::span<const trace::PeerProfile> peers,
              LedgerSink& ledger, BandwidthAllocator& bandwidth,
-             util::Rng rng)
+             util::Rng rng, StreamingConfig streaming)
     : spec_(spec),
       peers_(peers),
       ledger_(&ledger),
@@ -24,8 +24,14 @@ Swarm::Swarm(const trace::SwarmSpec& spec,
       rng_(rng),
       piece_bytes_(static_cast<double>(spec.piece_kb) * 1024.0),
       n_pieces_(static_cast<std::size_t>(spec.piece_count())),
+      streaming_(streaming),
       picker_(n_pieces_) {
   assert(n_pieces_ > 0);
+  if (streaming_.enabled) {
+    assert(streaming_.playback_kbps > 0.0);
+    piece_seconds_ = piece_bytes_ * 8.0 / (streaming_.playback_kbps * 1000.0);
+    if (streaming_.window == 0) streaming_.window = 1;
+  }
 }
 
 void Swarm::add_member(PeerId peer, bool as_seed) {
@@ -37,6 +43,8 @@ void Swarm::add_member(PeerId peer, bool as_seed) {
   if (as_seed) {
     m.have.set_all();
     m.completed = true;
+    // Seeds have nothing to play back; their clock never runs.
+    m.play_pos = n_pieces_;
   }
   m.active = true;
   picker_.add_bitfield(m.have);
@@ -92,6 +100,11 @@ bool Swarm::has_completed(PeerId peer) const {
   return it != members_.end() && it->second.completed;
 }
 
+std::size_t Swarm::playback_pos(PeerId peer) const {
+  const auto it = members_.find(peer);
+  return it == members_.end() ? n_pieces_ : it->second.play_pos;
+}
+
 double Swarm::progress(PeerId peer) const {
   const auto it = members_.find(peer);
   if (it == members_.end()) return 0.0;
@@ -133,7 +146,61 @@ void Swarm::complete_piece(PeerId peer, Member& m, std::size_t piece) {
   }
 }
 
+std::size_t Swarm::pick_piece(const Member& uploader,
+                              const Member& downloader) {
+  if (streaming_.enabled && downloader.play_pos < n_pieces_) {
+    // Windowed pick just ahead of the player; fall back to global
+    // rarest-first so tail pieces (already skipped or far ahead) still
+    // get fetched and the download completes.
+    const std::size_t lo = downloader.play_pos;
+    const std::size_t p =
+        picker_.pick_window(uploader.have, downloader.have,
+                            downloader.in_flight, lo,
+                            lo + streaming_.window, rng_);
+    if (p != kNoPiece) return p;
+  }
+  return picker_.pick(uploader.have, downloader.have, downloader.in_flight,
+                      rng_);
+}
+
+void Swarm::advance_playback(Member& m, double dt) {
+  if (m.play_pos >= n_pieces_) return;
+  if (!m.playing) {
+    // Startup buffering: playback begins once the first startup_pieces
+    // are contiguously present.
+    const std::size_t need = std::min(streaming_.startup_pieces, n_pieces_);
+    for (std::size_t p = 0; p < need; ++p) {
+      if (!m.have.test(p)) return;
+    }
+    m.playing = true;
+    m.play_carry = 0.0;
+    ++streaming_totals_.started;
+  }
+  m.play_carry += dt;
+  while (m.play_carry >= piece_seconds_ && m.play_pos < n_pieces_) {
+    m.play_carry -= piece_seconds_;
+    if (m.have.test(m.play_pos)) {
+      ++streaming_totals_.pieces_on_time;
+      probes.pieces_on_time.add();
+    } else {
+      // Stall-free skip model: the player drops the piece and keeps
+      // going; the piece stays fetchable, it just can't be on time.
+      ++streaming_totals_.deadline_misses;
+      probes.deadline_misses.add();
+    }
+    ++m.play_pos;
+  }
+  if (m.play_pos >= n_pieces_) ++streaming_totals_.finished;
+}
+
 void Swarm::tick(double dt) {
+  // Playback clocks run against the state left by the *previous* round:
+  // a piece must be present before the deadline tick to count.
+  if (streaming_.enabled) {
+    for (auto& [id, m] : members_) {
+      if (m.active) advance_playback(m, dt);
+    }
+  }
   if (active_count_ < 2) return;
   probes.ticks.add();
   probes.active_members.observe(static_cast<double>(active_count_));
@@ -195,8 +262,7 @@ void Swarm::tick(double dt) {
 
       Link& link = down.links[uploader_id];
       if (link.piece == kNoPiece) {
-        link.piece =
-            picker_.pick(uploader.have, down.have, down.in_flight, rng_);
+        link.piece = pick_piece(uploader, down);
         if (link.piece == kNoPiece) {
           down.links.erase(uploader_id);
           continue;  // nothing useful on this link right now
@@ -223,7 +289,7 @@ void Swarm::tick(double dt) {
           link_gone = true;  // links cleared by complete_piece
           break;
         }
-        piece = picker_.pick(uploader.have, down.have, down.in_flight, rng_);
+        piece = pick_piece(uploader, down);
         if (piece == kNoPiece) {
           down.links.erase(uploader_id);
           link_gone = true;

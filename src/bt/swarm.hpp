@@ -29,6 +29,7 @@
 #include "bt/choker.hpp"
 #include "bt/ledger.hpp"
 #include "bt/piece_picker.hpp"
+#include "bt/streaming.hpp"
 #include "telemetry/registry.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
@@ -45,14 +46,19 @@ struct SwarmProbes {
   telemetry::Counter ticks;
   telemetry::Counter pieces_completed;
   telemetry::Histogram active_members;  ///< observed once per tick
+  telemetry::Counter pieces_on_time;    ///< streaming: met deadlines
+  telemetry::Counter deadline_misses;   ///< streaming: skipped pieces
 };
 
 class Swarm {
  public:
   /// `peers` must outlive the swarm (owned by the scenario runner).
+  /// `streaming` defaults to off, which preserves the download workload
+  /// byte-for-byte.
   Swarm(const trace::SwarmSpec& spec,
         std::span<const trace::PeerProfile> peers, LedgerSink& ledger,
-        BandwidthAllocator& bandwidth, util::Rng rng);
+        BandwidthAllocator& bandwidth, util::Rng rng,
+        StreamingConfig streaming = {});
 
   Swarm(const Swarm&) = delete;
   Swarm& operator=(const Swarm&) = delete;
@@ -93,6 +99,16 @@ class Swarm {
   [[nodiscard]] double progress(PeerId peer) const;
   [[nodiscard]] const trace::SwarmSpec& spec() const noexcept { return spec_; }
 
+  [[nodiscard]] const StreamingConfig& streaming() const noexcept {
+    return streaming_;
+  }
+  [[nodiscard]] const StreamingTotals& streaming_totals() const noexcept {
+    return streaming_totals_;
+  }
+  /// Next piece the member's player needs (== piece_count() when playback
+  /// finished or the member was a seed). Only meaningful when streaming.
+  [[nodiscard]] std::size_t playback_pos(PeerId peer) const;
+
  private:
   struct Link {
     std::size_t piece = kNoPiece;
@@ -108,12 +124,21 @@ class Swarm {
     std::unordered_map<PeerId, double> rx_window;  // recent bytes from peer
     std::unordered_map<PeerId, double> tx_window;  // recent bytes to peer
     Choker choker;
+    // Streaming playback state (inert unless streaming_.enabled).
+    std::size_t play_pos = 0;   // next piece the player consumes
+    bool playing = false;       // startup buffer filled, clock running
+    double play_carry = 0.0;    // seconds accumulated toward the next piece
   };
 
   [[nodiscard]] bool link_allowed(PeerId a, PeerId b) const;
   void drop_links_to(PeerId uploader);
   void clear_own_links(Member& m);
   void complete_piece(PeerId peer, Member& m, std::size_t piece);
+  /// Streaming-aware piece selection for a (downloader <- uploader) link.
+  [[nodiscard]] std::size_t pick_piece(const Member& uploader,
+                                       const Member& downloader);
+  /// Advance one member's playback clock by dt seconds.
+  void advance_playback(Member& m, double dt);
 
   trace::SwarmSpec spec_;
   std::span<const trace::PeerProfile> peers_;
@@ -122,6 +147,9 @@ class Swarm {
   util::Rng rng_;
   double piece_bytes_;
   std::size_t n_pieces_;
+  StreamingConfig streaming_;
+  double piece_seconds_ = 0.0;  // playback time one piece covers
+  StreamingTotals streaming_totals_;
   PiecePicker picker_;
   // std::map for deterministic iteration order (PeerId ascending).
   std::map<PeerId, Member> members_;

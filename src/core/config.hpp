@@ -5,9 +5,11 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "adversary/config.hpp"
 #include "bartercast/experience.hpp"
 #include "bartercast/protocol.hpp"
 #include "bt/ledger.hpp"
+#include "bt/streaming.hpp"
 #include "moderation/moderationcast.hpp"
 #include "pss/newscast.hpp"
 #include "sim/fault_plane.hpp"
@@ -94,6 +96,17 @@ struct ScenarioConfig {
   PssKind pss = PssKind::kOracle;
   pss::NewscastConfig newscast;
   AttackConfig attack;
+
+  /// Adversary plane (src/adversary/, DESIGN.md "Adversary plane"). An
+  /// empty roster (the default) is fully inert: no engine, no extra
+  /// identities, runs byte-identical to pre-adversary builds. The legacy
+  /// AttackConfig above keeps driving the Fig. 8 reproduction verbatim;
+  /// the roster composes with it (adversary ids follow the crowd's).
+  adversary::AdversaryConfig adversary;
+
+  /// Streaming-swarm workload (bt/streaming.hpp). Off by default — the
+  /// download workload every golden was recorded on.
+  bt::StreamingConfig streaming;
 };
 
 }  // namespace tribvote::core

@@ -2,9 +2,32 @@
 
 namespace tribvote::core {
 
+namespace {
+/// The legacy (role, AttackConfig)-driven selection: colluders lie about
+/// votes and optionally fake experience over the whole crowd.
+AgentSelection legacy_selection(NodeRole role, const ScenarioConfig& config,
+                                const attack::ColluderPlan& plan,
+                                const std::vector<PeerId>& clique) {
+  AgentSelection sel;
+  if (role == NodeRole::kColluder) {
+    sel.spam_votes = true;
+    sel.fake_experience = config.attack.fake_experience;
+    sel.fake_mb = config.attack.fake_mb;
+    sel.plan = plan;
+    sel.clique = clique;
+  }
+  return sel;
+}
+}  // namespace
+
 Node::Node(PeerId id, NodeRole role, const ScenarioConfig& config,
            util::Rng rng, const attack::ColluderPlan& plan,
            const std::vector<PeerId>& clique)
+    : Node(id, role, config, rng, legacy_selection(role, config, plan,
+                                                   clique)) {}
+
+Node::Node(PeerId id, NodeRole role, const ScenarioConfig& config,
+           util::Rng rng, const AgentSelection& selection)
     : id_(id),
       role_(role),
       threshold_mb_(config.adaptive_threshold
@@ -15,11 +38,11 @@ Node::Node(PeerId id, NodeRole role, const ScenarioConfig& config,
   util::Rng key_rng = rng.derive(0x6b657973);  // "keys"
   keys_ = crypto::generate_keypair(key_rng);
 
-  // BarterCast agent (honest, or front-peer when the attack fakes
+  // BarterCast agent (honest, or front-peer when the selection fakes
   // experience).
-  if (role == NodeRole::kColluder && config.attack.fake_experience) {
+  if (selection.fake_experience) {
     barter_ = std::make_unique<attack::FrontPeerBarterAgent>(
-        id, config.barter, clique, config.attack.fake_mb);
+        id, config.barter, selection.clique, selection.fake_mb);
   } else {
     barter_ = std::make_unique<bartercast::BarterAgent>(id, config.barter);
   }
@@ -27,9 +50,10 @@ Node::Node(PeerId id, NodeRole role, const ScenarioConfig& config,
   // Vote agent; its experience callback reads this node's current
   // (possibly adaptive) threshold.
   auto experience_cb = [this](PeerId j) { return experienced(j); };
-  if (role == NodeRole::kColluder) {
+  if (selection.spam_votes) {
     vote_ = std::make_unique<attack::ColluderVoteAgent>(
-        id, keys_, config.vote, experience_cb, rng.derive(0x766f7465), plan);
+        id, keys_, config.vote, experience_cb, rng.derive(0x766f7465),
+        selection.plan);
   } else {
     vote_ = std::make_unique<vote::VoteAgent>(
         id, keys_, config.vote, experience_cb, rng.derive(0x766f7465));

@@ -24,6 +24,19 @@ namespace tribvote::core {
 
 enum class NodeRole : std::uint8_t { kHonest, kColluder };
 
+/// Which agent implementations a node runs — the bridge between the
+/// adversary plane's per-strategy profiles and the Node constructor. An
+/// all-default selection is a fully honest node.
+struct AgentSelection {
+  /// Install attack::ColluderVoteAgent driven by `plan`.
+  bool spam_votes = false;
+  /// Install attack::FrontPeerBarterAgent over `clique`.
+  bool fake_experience = false;
+  double fake_mb = 1000.0;
+  attack::ColluderPlan plan;
+  std::vector<PeerId> clique;
+};
+
 class Node {
  public:
   /// `plan` is consulted only for colluders. `clique` (colluder ids,
@@ -31,6 +44,13 @@ class Node {
   Node(PeerId id, NodeRole role, const ScenarioConfig& config, util::Rng rng,
        const attack::ColluderPlan& plan = {},
        const std::vector<PeerId>& clique = {});
+
+  /// Adversary-plane construction: agents are selected per node from the
+  /// strategy profile rather than from the scenario-wide AttackConfig.
+  /// The honest selection takes exactly the honest path of the legacy
+  /// constructor (same derive keys, same agent types).
+  Node(PeerId id, NodeRole role, const ScenarioConfig& config, util::Rng rng,
+       const AgentSelection& selection);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;

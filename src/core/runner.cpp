@@ -104,10 +104,14 @@ ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
       config_(config),
       rng_(seed),
       ledger_(bt::make_ledger(
-          config.ledger, trace_.peers.size() + config.attack.crowd_size,
+          config.ledger,
+          trace_.peers.size() + config.attack.crowd_size +
+              config.adversary.total_agents(),
           std::max<std::size_t>(1, config.shards))),
-      online_(trace_.peers.size() + config.attack.crowd_size),
-      scripted_votes_(trace_.peers.size() + config.attack.crowd_size) {
+      online_(trace_.peers.size() + config.attack.crowd_size +
+              config.adversary.total_agents()),
+      scripted_votes_(trace_.peers.size() + config.attack.crowd_size +
+                      config.adversary.total_agents()) {
   build_population(seed);
   const std::size_t shards = std::max<std::size_t>(1, config_.shards);
   if (shards > 1) shard_pool_ = std::make_unique<util::ThreadPool>(shards);
@@ -118,6 +122,13 @@ ScenarioRunner::ScenarioRunner(trace::Trace trace, ScenarioConfig config,
   // perturbs nothing.
   fault_plane_ = std::make_unique<sim::FaultPlane>(
       config_.faults, rng_.derive(0x6661756c74), shards);
+  // "advs". Constructed only for a non-empty roster; deriving is a pure
+  // read of rng_'s state, so a disabled plane perturbs nothing.
+  if (config_.adversary.enabled()) {
+    adversary_ = std::make_unique<adversary::AdversaryEngine>(
+        config_.adversary, adv_layout_, rng_.derive(0x61647673),
+        make_adversary_host());
+  }
   init_telemetry();
 }
 
@@ -180,6 +191,21 @@ void ScenarioRunner::init_telemetry() {
       telemetry::Counter(&reg, reg.counter("bt.pieces_completed"));
   swarm_probes_.active_members = telemetry::Histogram(
       &reg, reg.histogram("bt.active_members", {1, 2, 5, 10, 20, 50, 100}));
+  if (config_.streaming.enabled) {
+    // Deadline accounting only exists under the streaming workload, so an
+    // adversary-free download run keeps its historical CSV columns.
+    swarm_probes_.pieces_on_time =
+        telemetry::Counter(&reg, reg.counter("bt.pieces_on_time"));
+    swarm_probes_.deadline_misses =
+        telemetry::Counter(&reg, reg.counter("bt.deadline_misses"));
+  }
+  if (adversary_) {
+    mirrors_.adv_floods = reg.counter("adv.floods_sent");
+    mirrors_.adv_flood_rejected = reg.counter("adv.flood_rejected");
+    mirrors_.adv_nuisance_flips = reg.counter("adv.nuisance_flips");
+    mirrors_.adv_credit_transfers = reg.counter("adv.credit_transfers");
+    mirrors_.adv_presence_flips = reg.counter("adv.presence_flips");
+  }
   if (config_.pss == PssKind::kNewscast) {
     sampler_->set_exchange_probe(
         telemetry::Counter(&reg, reg.counter("pss.exchanges")));
@@ -218,6 +244,14 @@ void ScenarioRunner::telemetry_round_sample() {
   reg.set_total(mirrors_.kernel_levels, ks.levels);
   reg.set_total(mirrors_.kernel_local, ks.local);
   reg.set_total(mirrors_.kernel_mailed, ks.mailed);
+  if (adversary_) {
+    const adversary::AdversaryStats& as = adversary_->stats();
+    reg.set_total(mirrors_.adv_floods, as.floods_sent);
+    reg.set_total(mirrors_.adv_flood_rejected, as.flood_rejected);
+    reg.set_total(mirrors_.adv_nuisance_flips, as.nuisance_flips);
+    reg.set_total(mirrors_.adv_credit_transfers, as.credit_transfers);
+    reg.set_total(mirrors_.adv_presence_flips, as.presence_flips);
+  }
   metrics::update_degradation(reg, fault_counter_ids_, fault_plane_->stats());
   reg.merge_lanes();
   telemetry_->sample_round(telemetry_round_++,
@@ -226,7 +260,12 @@ void ScenarioRunner::telemetry_round_sample() {
 
 void ScenarioRunner::build_population(std::uint64_t seed) {
   const std::size_t n_trace = trace_.peers.size();
-  const std::size_t n_total = n_trace + config_.attack.crowd_size;
+  const std::size_t n_crowd = n_trace + config_.attack.crowd_size;
+  const std::size_t n_total = n_crowd + config_.adversary.total_agents();
+
+  // Adversary agents occupy the dense id block after the legacy crowd.
+  adv_layout_ =
+      adversary::Layout(config_.adversary, static_cast<PeerId>(n_crowd));
 
   // Physical capacities for the bandwidth allocator.
   std::vector<double> up(n_total, kColluderUploadKbps);
@@ -254,11 +293,35 @@ void ScenarioRunner::build_population(std::uint64_t seed) {
   util::Rng node_rng = rng_.derive(0x6e6f6465);  // "node"
   nodes_.reserve(n_total);
   for (PeerId id = 0; id < n_total; ++id) {
-    const NodeRole role =
-        id < n_trace ? NodeRole::kHonest : NodeRole::kColluder;
-    nodes_.push_back(std::make_unique<Node>(id, role, config_,
-                                            node_rng.derive(id), plan,
-                                            colluders_));
+    if (adv_layout_.is_adversary(id)) {
+      // Adversary agents select their agent subclasses from the strategy
+      // profile; honest-behaving strategies (attrition, nuisance) take
+      // exactly the honest construction path.
+      const adversary::AgentProfile& p = adv_layout_.profile(id);
+      const adversary::StrategySpec& spec =
+          config_.adversary.roster[p.strategy];
+      AgentSelection sel;
+      sel.spam_votes = p.spam_votes;
+      sel.fake_experience = p.fake_experience;
+      sel.fake_mb = spec.fake_mb;
+      if (p.spam_votes) {
+        sel.plan.spam_moderator = adv_layout_.spam_moderator();
+        sel.plan.victim_moderator = spec.victim;
+        if (spec.victim != kInvalidModerator) {
+          sel.plan.decoys.push_back(spec.victim);
+        }
+      }
+      if (sel.fake_experience) sel.clique = adv_layout_.clique_of(p.strategy);
+      nodes_.push_back(std::make_unique<Node>(id, NodeRole::kColluder,
+                                              config_, node_rng.derive(id),
+                                              sel));
+    } else {
+      const NodeRole role =
+          id < n_trace ? NodeRole::kHonest : NodeRole::kColluder;
+      nodes_.push_back(std::make_unique<Node>(id, role, config_,
+                                              node_rng.derive(id), plan,
+                                              colluders_));
+    }
     // Wire scripted vote-on-receipt behaviour for every node up front; the
     // scripts themselves are registered later via script_vote_on_receipt.
     Node* node = nodes_.back().get();
@@ -300,6 +363,49 @@ void ScenarioRunner::build_population(std::uint64_t seed) {
 
 PeerId ScenarioRunner::sample_peer(PeerId self) {
   return sampler_->sample(self);
+}
+
+adversary::AdversaryEngine::Host ScenarioRunner::make_adversary_host() {
+  // Every callback runs serially on the simulator thread (the engine's
+  // hooks fire outside kernel rounds), so none of them needs locking. The
+  // only global stream any of them touches is via rng_.derive — a pure
+  // read, so honest-run RNG sequences stay untouched.
+  adversary::AdversaryEngine::Host host;
+  host.vote_agent = [this](PeerId id) -> vote::VoteAgent& {
+    return nodes_[id]->vote();
+  };
+  host.cast_vote = [this](PeerId peer, ModeratorId m, Opinion o, Time now) {
+    nodes_[peer]->user_vote(m, o, now);
+    note_vote_cast(o);
+  };
+  host.known_moderators = [this](PeerId peer) {
+    return nodes_[peer]->mod().db().known_moderators();
+  };
+  host.publish_moderation = [this](PeerId peer,
+                                   const std::string& description, Time now) {
+    util::Rng ih = rng_.derive(0x696e666f ^ peer);  // "info", as scripted
+    nodes_[peer]->mod().publish(ih(), description, now);
+    note_moderation_published(peer);
+  };
+  host.is_online = [this](PeerId id) { return online_.is_online(id); };
+  host.set_online = [this](PeerId id, bool on) {
+    // Route through the regular session paths so the PSS lifecycle hooks
+    // and swarm (re)activation fire exactly as for trace churn.
+    if (on) {
+      peer_online(id);
+    } else {
+      peer_offline(id);
+    }
+  };
+  host.online_honest = [this] {
+    std::vector<PeerId> honest = online_.online_ids();
+    std::sort(honest.begin(), honest.end());
+    std::erase_if(honest,
+                  [n = trace_.peers.size()](PeerId id) { return id >= n; });
+    return honest;
+  };
+  host.ledger = ledger_.get();
+  return host;
 }
 
 // ---- scripting --------------------------------------------------------------
@@ -439,7 +545,17 @@ void ScenarioRunner::run_until(Time t) {
 
 bool ScenarioRunner::has_arrived(PeerId id, Time t) const {
   if (id < trace_.peers.size()) return trace_.peers[id].arrival <= t;
+  if (adv_layout_.is_adversary(id)) {
+    return config_.adversary.roster[adv_layout_.profile(id).strategy].start <=
+           t;
+  }
   return !colluders_.empty() && config_.attack.start <= t;
+}
+
+bt::StreamingTotals ScenarioRunner::streaming_totals() const {
+  bt::StreamingTotals totals;
+  for (const auto& [sid, swarm] : swarms_) totals += swarm->streaming_totals();
+  return totals;
 }
 
 std::vector<const bartercast::BarterAgent*> ScenarioRunner::barter_agents()
@@ -487,7 +603,7 @@ void ScenarioRunner::peer_offline(PeerId id) {
 void ScenarioRunner::swarm_created(const trace::SwarmSpec& spec) {
   auto swarm = std::make_unique<bt::Swarm>(
       spec, std::span<const trace::PeerProfile>(trace_.peers), *ledger_,
-      *bandwidth_, rng_.derive(0x7377 ^ spec.id));
+      *bandwidth_, rng_.derive(0x7377 ^ spec.id), config_.streaming);
   swarm->probes = swarm_probes_;
   swarm->on_complete = [this, sid = spec.id](PeerId peer) {
     ++stats_.downloads_completed;
@@ -524,6 +640,9 @@ void ScenarioRunner::bt_round() {
   telemetry::Span span(telemetry_.get(), "bt.round");
   const double dt = static_cast<double>(config_.periods.bt_round);
   for (auto& [sid, swarm] : swarms_) swarm->tick(dt);
+  // Adversary credit drips land before the flush, so the gossip rounds that
+  // follow see the plane's ledger writes alongside the swarms'.
+  if (adversary_) adversary_->on_bt_round(sim_.now());
   ledger_->flush();
 }
 
@@ -569,6 +688,10 @@ void ScenarioRunner::vote_round() {
   // verbatim and the plane is never consulted.
   const Time now = sim_.now();
   telemetry::Span span(telemetry_.get(), "vote.round");
+  // Adversary hook before pairing: presence flips apply before the round
+  // pairs (a dark agent is neither sampled nor initiates) and floods are
+  // serial, so the round stays shard-invariant.
+  if (adversary_) adversary_->on_vote_round(now);
   const std::vector<sim::Encounter> encounters = pair_round();
   if (!fault_plane_->enabled()) {
     kernel_->run_round(

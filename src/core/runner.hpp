@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/engine.hpp"
 #include "bt/bandwidth.hpp"
 #include "bt/ledger.hpp"
 #include "bt/swarm.hpp"
@@ -59,8 +60,10 @@ class ScenarioRunner {
 
   // ---- population layout ---------------------------------------------------
 
-  /// Trace peers occupy ids [0, trace_peer_count()); colluders, if any,
-  /// occupy [trace_peer_count(), population_size()).
+  /// Trace peers occupy ids [0, trace_peer_count()); legacy attack
+  /// colluders, if any, occupy the next crowd_size ids; adversary-plane
+  /// agents (roster order, agent order) fill the tail up to
+  /// population_size().
   [[nodiscard]] std::size_t trace_peer_count() const noexcept {
     return trace_.peers.size();
   }
@@ -150,6 +153,23 @@ class ScenarioRunner {
     return telemetry_.get();
   }
 
+  /// Adversary plane of this run, or nullptr when the roster is empty
+  /// (an empty roster constructs no engine — the inert-when-off contract).
+  [[nodiscard]] const adversary::AdversaryEngine* adversary() const noexcept {
+    return adversary_.get();
+  }
+  /// Static id layout of the adversary population (empty when disabled).
+  [[nodiscard]] const adversary::Layout& adversary_layout() const noexcept {
+    return adv_layout_;
+  }
+  /// Serial work counters of the adversary plane (all-zero when disabled).
+  [[nodiscard]] adversary::AdversaryStats adversary_stats() const {
+    return adversary_ ? adversary_->stats() : adversary::AdversaryStats{};
+  }
+  /// Playback outcomes aggregated over every swarm (all-zero under the
+  /// download workload).
+  [[nodiscard]] bt::StreamingTotals streaming_totals() const;
+
   // ---- queries for metrics --------------------------------------------------
 
   [[nodiscard]] bool is_online(PeerId id) const {
@@ -206,6 +226,9 @@ class ScenarioRunner {
                          util::Rng rng);
   void launch_attack();
   void schedule_colluder_churn(PeerId colluder, bool currently_online);
+  /// Population-access callbacks handed to the adversary engine; every one
+  /// is invoked serially from the engine's round hooks.
+  [[nodiscard]] adversary::AdversaryEngine::Host make_adversary_host();
   [[nodiscard]] PeerId sample_peer(PeerId self);
 
   /// Serial pairing phase shared by every gossip round: shuffle the online
@@ -279,6 +302,12 @@ class ScenarioRunner {
   std::unique_ptr<pss::PeerSampler> sampler_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<PeerId> colluders_;
+  // Adversary plane (inert unless the roster is non-empty: no engine is
+  // constructed, the layout is empty, and no code path draws an extra
+  // random number). Engine traffic deliberately bypasses the fault plane —
+  // it models application-level attack behaviour, not the network.
+  adversary::Layout adv_layout_;
+  std::unique_ptr<adversary::AdversaryEngine> adversary_;
   std::map<SwarmId, std::unique_ptr<bt::Swarm>> swarms_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> loops_;
   // Scripted votes: voter -> (moderator -> opinion), consumed on receipt.
@@ -327,6 +356,10 @@ class ScenarioRunner {
     telemetry::CounterId vox_answered, vox_null;
     telemetry::CounterId mod_exchanges, barter_exchanges, bt_completed;
     telemetry::CounterId kernel_levels, kernel_local, kernel_mailed;
+    // Adversary-plane mirrors (registered only when the roster is
+    // non-empty, so an adversary-free telemetry CSV keeps its columns).
+    telemetry::CounterId adv_floods, adv_flood_rejected, adv_nuisance_flips;
+    telemetry::CounterId adv_credit_transfers, adv_presence_flips;
   };
   Mirrors mirrors_{};
   std::vector<telemetry::CounterId> fault_counter_ids_;

@@ -17,18 +17,19 @@ namespace tribvote::metrics {
 
 /// The degradation column names, in CSV column order. Part of the
 /// abl_fault_sweep.csv golden schema — append-only.
-inline constexpr std::array<const char*, 15> kDegradationColumnNames = {
+inline constexpr std::array<const char*, 17> kDegradationColumnNames = {
     "encounters_hit",  "dropped_requests", "dropped_replies",
     "delayed",         "late_drops",       "crashes",
     "unreachable",     "corrupted",        "rejected",
     "one_sided",       "vp_timeouts",      "vp_retries",
     "vp_retry_successes", "mod_reoffers",  "pss_drops",
+    "partitioned",     "ge_bad_encounters",
 };
 
 /// The degradation values of one run, in kDegradationColumnNames order:
 /// totals over every protocol plus the counters that only one protocol
 /// owns (VoxPopuli retries, ModerationCast re-offers).
-[[nodiscard]] inline std::array<std::uint64_t, 15> degradation_values(
+[[nodiscard]] inline std::array<std::uint64_t, 17> degradation_values(
     const sim::FaultStats& stats) {
   const sim::FaultCounters t = stats.total();
   return {
@@ -47,6 +48,8 @@ inline constexpr std::array<const char*, 15> kDegradationColumnNames = {
       stats.vox.retry_successes,
       stats.moderation.reoffers,
       stats.newscast.dropped_requests,
+      t.partitioned,
+      t.ge_bad_encounters,
   };
 }
 
@@ -54,7 +57,7 @@ inline constexpr std::array<const char*, 15> kDegradationColumnNames = {
 /// CSV output and bench tables.
 [[nodiscard]] inline std::vector<std::pair<std::string, std::uint64_t>>
 degradation_columns(const sim::FaultStats& stats) {
-  const std::array<std::uint64_t, 15> values = degradation_values(stats);
+  const std::array<std::uint64_t, 17> values = degradation_values(stats);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(values.size());
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -80,7 +83,7 @@ degradation_columns(const sim::FaultStats& stats) {
 inline void update_degradation(telemetry::Registry& registry,
                                const std::vector<telemetry::CounterId>& ids,
                                const sim::FaultStats& stats) {
-  const std::array<std::uint64_t, 15> values = degradation_values(stats);
+  const std::array<std::uint64_t, 17> values = degradation_values(stats);
   for (std::size_t i = 0; i < ids.size() && i < values.size(); ++i) {
     registry.set_total(ids[i], values[i]);
   }

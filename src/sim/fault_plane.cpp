@@ -61,6 +61,33 @@ bool parse_fault_spec(const std::string& spec, FaultConfig& out,
     } else if (key == "retry_base") {
       if (v < 1.0) return set_error(error, "retry_base must be >= 1");
       out.vp_retry_base = static_cast<Duration>(v);
+    } else if (key == "ge") {
+      // Shorthand: tune the chain for a stationary loss rate of v, the
+      // same solver as net::parse_impair_spec so A11/A12 sweep one axis.
+      if (v < 0.0 || v >= 0.8) {
+        return set_error(error, "ge must be in [0, 0.8)");
+      }
+      out.ge_loss_bad = 0.8;
+      out.ge_loss_good = v / 10.0;
+      out.ge_bad_to_good = 0.25;
+      const double pi = 0.9 * v / (0.8 - 0.1 * v);
+      out.ge_good_to_bad = out.ge_bad_to_good * pi / (1.0 - pi);
+    } else if (key == "ge_p") {
+      if (!probability(out.ge_good_to_bad)) return false;
+    } else if (key == "ge_r") {
+      if (!probability(out.ge_bad_to_good)) return false;
+    } else if (key == "ge_loss_good") {
+      if (!probability(out.ge_loss_good)) return false;
+    } else if (key == "ge_loss_bad") {
+      if (!probability(out.ge_loss_bad)) return false;
+    } else if (key == "part_period") {
+      if (v < 0.0) return set_error(error, "part_period must be >= 0");
+      out.partition_period = static_cast<std::uint64_t>(v);
+    } else if (key == "part_width") {
+      if (v < 1.0) return set_error(error, "part_width must be >= 1");
+      out.partition_width = static_cast<std::uint64_t>(v);
+    } else if (key == "part_frac") {
+      if (!probability(out.partition_frac)) return false;
     } else {
       return set_error(error, "unknown fault key '" + key + "'");
     }
@@ -77,7 +104,21 @@ std::string describe(const FaultConfig& config) {
                 static_cast<long long>(config.max_delay), config.crash_rate,
                 config.corrupt_rate, config.vp_retry_budget,
                 static_cast<long long>(config.vp_retry_base));
-  return buf;
+  std::string out = buf;
+  if (config.ge_good_to_bad > 0.0) {
+    std::snprintf(buf, sizeof(buf), " ge=%g/%g(%g,%g)", config.ge_good_to_bad,
+                  config.ge_bad_to_good, config.ge_loss_good,
+                  config.ge_loss_bad);
+    out += buf;
+  }
+  if (config.partition_period > 0 && config.partition_frac > 0.0) {
+    std::snprintf(buf, sizeof(buf), " part=%llu/%llux%g",
+                  static_cast<unsigned long long>(config.partition_period),
+                  static_cast<unsigned long long>(config.partition_width),
+                  config.partition_frac);
+    out += buf;
+  }
+  return out;
 }
 
 // ---- counters --------------------------------------------------------------
@@ -97,6 +138,8 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& o) noexcept {
   retries += o.retries;
   retry_successes += o.retry_successes;
   reoffers += o.reoffers;
+  partitioned += o.partitioned;
+  ge_bad_encounters += o.ge_bad_encounters;
   return *this;
 }
 
@@ -145,6 +188,23 @@ FaultPlane::FaultPlane(FaultConfig config, util::Rng stream,
   lane_vp_failures_.resize(n);
 }
 
+bool FaultPlane::partitioned(std::uint64_t round, PeerId node) const {
+  if (config_.partition_period == 0 || config_.partition_frac <= 0.0) {
+    return false;
+  }
+  // The first window opens one full period in, so cold-start rounds are
+  // never dark (mirrors net::Impairment::offline).
+  if (round < config_.partition_period) return false;
+  if (round % config_.partition_period >= config_.partition_width) {
+    return false;
+  }
+  const std::uint64_t window = round / config_.partition_period;
+  constexpr std::uint64_t kPartitionStream = 0x70617274;  // "part"
+  util::Rng r = stream_.derive(util::digest_fields(
+      {kPartitionStream, window, static_cast<std::uint64_t>(node)}));
+  return r.next_bool(config_.partition_frac);
+}
+
 util::Rng FaultPlane::encounter_stream(Protocol proto, std::uint64_t round,
                                        std::uint32_t seq) const {
   // Pure function of (plane seed, protocol, round, seq): the same triple
@@ -169,9 +229,24 @@ const std::vector<EncounterFaults>& FaultPlane::draw_round(
     return std::binary_search(crashed_set_.begin(), crashed_set_.end(), id);
   };
 
+  const bool partitions_on =
+      config_.partition_period > 0 && config_.partition_frac > 0.0;
+  const bool ge_on = config_.ge_good_to_bad > 0.0;
+  bool& ge_bad = ge_bad_[static_cast<std::size_t>(proto)];
+
   for (const Encounter& e : encounters) {
     assert(e.seq < table_.size());
     EncounterFaults& f = table_[e.seq];
+    // A dark endpoint voids the encounter like a crash does: the dial
+    // fails outright and the downstream unreachable handling applies.
+    if (partitions_on && (partitioned(current_round_, e.initiator) ||
+                          partitioned(current_round_, e.responder))) {
+      f.unreachable = true;
+      ++c.partitioned;
+      ++c.unreachable;
+      ++c.encounters_hit;
+      continue;
+    }
     if (!crashed_set_.empty() &&
         (is_crashed(e.initiator) || is_crashed(e.responder))) {
       f.unreachable = true;
@@ -180,8 +255,20 @@ const std::vector<EncounterFaults>& FaultPlane::draw_round(
       continue;
     }
     util::Rng r = encounter_stream(proto, current_round_, e.seq);
-    f.drop_request = r.next_bool(config_.loss);
-    f.drop_reply = r.next_bool(config_.loss);
+    double loss_p = config_.loss;
+    if (ge_on) {
+      // Advance the two-state chain once per encounter, in seq order —
+      // this loop is serial, so the chain trajectory is shard-invariant.
+      if (ge_bad) {
+        if (r.next_bool(config_.ge_bad_to_good)) ge_bad = false;
+      } else {
+        if (r.next_bool(config_.ge_good_to_bad)) ge_bad = true;
+      }
+      if (ge_bad) ++c.ge_bad_encounters;
+      loss_p = ge_bad ? config_.ge_loss_bad : config_.ge_loss_good;
+    }
+    f.drop_request = r.next_bool(loss_p);
+    f.drop_reply = r.next_bool(loss_p);
     f.crash_responder = r.next_bool(config_.crash_rate);
     const bool delay_drawn = r.next_bool(config_.delay_rate);
     f.request_payload = r.next_bool(config_.corrupt_rate)

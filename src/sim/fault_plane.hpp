@@ -62,9 +62,32 @@ struct FaultConfig {
   std::size_t vp_retry_budget = 4;
   Duration vp_retry_base = 15;
 
+  /// Gilbert–Elliott bursty loss, mirroring net::Impairment (DESIGN.md
+  /// §16) so A11 and A12 sweep the same correlated-loss axis. When
+  /// ge_good_to_bad > 0 the chain is on: it advances once per encounter
+  /// (in seq order, during the serial draw) and the per-leg drop
+  /// probability follows the chain state instead of the i.i.d. `loss`.
+  /// The `ge=L` spec shorthand tunes the chain so the stationary loss
+  /// rate equals L (same solver as the net plane).
+  double ge_good_to_bad = 0.0;  ///< P(good -> bad) per encounter
+  double ge_bad_to_good = 0.25; ///< P(bad -> good) per encounter
+  double ge_loss_good = 0.0;    ///< per-leg loss in the good state
+  double ge_loss_bad = 0.8;     ///< per-leg loss in the bad state
+
+  /// Scheduled partitions: every partition_period protocol rounds a
+  /// window of partition_width rounds opens; inside it each node is
+  /// unreachable with probability partition_frac, keyed (plane seed,
+  /// window index, node id) — a pure function, so protocols whose gossip
+  /// periods coincide (vote/moderation/newscast at the default 60 s)
+  /// see the same nodes dark. 0 period = no partitions.
+  std::uint64_t partition_period = 0;
+  std::uint64_t partition_width = 1;
+  double partition_frac = 0.0;
+
   [[nodiscard]] bool enabled() const noexcept {
     return loss > 0.0 || delay_rate > 0.0 || crash_rate > 0.0 ||
-           corrupt_rate > 0.0;
+           corrupt_rate > 0.0 || ge_good_to_bad > 0.0 ||
+           (partition_period > 0 && partition_frac > 0.0);
   }
 };
 
@@ -135,6 +158,8 @@ struct FaultCounters {
   std::uint64_t retries = 0;      ///< retry attempts issued (VoxPopuli)
   std::uint64_t retry_successes = 0;  ///< retries that produced an answer
   std::uint64_t reoffers = 0;  ///< moderation items queued for re-offer
+  std::uint64_t partitioned = 0;  ///< encounters voided by a partition window
+  std::uint64_t ge_bad_encounters = 0;  ///< encounters drawn in the GE bad state
 
   FaultCounters& operator+=(const FaultCounters& o) noexcept;
 };
@@ -231,6 +256,12 @@ class FaultPlane {
   [[nodiscard]] FaultStats& serial_stats() noexcept { return stats_; }
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
 
+  /// Whether `node` is dark during protocol round `round` under the
+  /// scheduled-partition schedule. Pure function of (plane seed, window
+  /// index, node) — protocol deliberately absent from the key, so
+  /// protocols sharing a gossip period see aligned partition windows.
+  [[nodiscard]] bool partitioned(std::uint64_t round, PeerId node) const;
+
  private:
   [[nodiscard]] util::Rng encounter_stream(Protocol proto,
                                            std::uint64_t round,
@@ -239,6 +270,9 @@ class FaultPlane {
   FaultConfig config_;
   util::Rng stream_;
   std::uint64_t round_counter_[kProtocolCount] = {};
+  /// Gilbert–Elliott chain state, one chain per protocol; advanced
+  /// serially in seq order inside draw_round (so shard-invariant).
+  bool ge_bad_[kProtocolCount] = {};
   // Round currently being executed (set by draw_round, read by
   // finish_round to key retry streams).
   Protocol current_proto_ = Protocol::kVote;

@@ -253,6 +253,36 @@ bool CliFlags::host_port(const char* name, std::string& host,
   return true;
 }
 
+adversary::AdversaryConfig adversary() {
+  adversary::AdversaryConfig config;
+  const char* v = std::getenv("TRIBVOTE_ADVERSARY");
+  if (v == nullptr) return config;
+  std::string error;
+  if (!adversary::parse_adversary_spec(v, config, &error)) {
+    std::fprintf(stderr,
+                 "warning: TRIBVOTE_ADVERSARY=%s is not an adversary spec "
+                 "(%s); running adversary-free\n",
+                 v, error.c_str());
+    return adversary::AdversaryConfig{};
+  }
+  return config;
+}
+
+bt::StreamingConfig streaming() {
+  bt::StreamingConfig config;
+  const char* v = std::getenv("TRIBVOTE_STREAMING");
+  if (v == nullptr) return config;
+  std::string error;
+  if (!bt::parse_streaming_spec(v, config, &error)) {
+    std::fprintf(stderr,
+                 "warning: TRIBVOTE_STREAMING=%s is not a streaming spec "
+                 "(%s); running the download workload\n",
+                 v, error.c_str());
+    return bt::StreamingConfig{};
+  }
+  return config;
+}
+
 bool gossip_cache() {
   const char* v = std::getenv("TRIBVOTE_GOSSIP_CACHE");
   if (v == nullptr) return true;

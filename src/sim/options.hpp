@@ -25,6 +25,12 @@
 //                          (default) or "off". Semantically transparent —
 //                          goldens are byte-identical either way; the knob
 //                          exists for A/B perf runs and identity smokes
+//   TRIBVOTE_ADVERSARY     adversary-plane roster spec, e.g.
+//                          "attrition:n=20,rate=4;sybil:n=16,region=4"
+//                          (default: empty — no plane, the goldens'
+//                          setting)
+//   TRIBVOTE_STREAMING     streaming-swarm workload: "off" (default),
+//                          "on", or "window=8,startup=4,kbps=512"
 //   TRIBVOTE_NET_VIEW      socket-plane Newscast view size (default 20)
 //   TRIBVOTE_NET_SHUFFLE   descriptors per PEER_EXCHANGE (default 16)
 //   TRIBVOTE_NET_ROUND_MS  EncounterScheduler round period (default 100)
@@ -61,7 +67,9 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/config.hpp"
 #include "bt/ledger.hpp"
+#include "bt/streaming.hpp"
 #include "sim/fault_plane.hpp"
 #include "telemetry/config.hpp"
 
@@ -90,6 +98,14 @@ namespace tribvote::sim::options {
 /// TRIBVOTE_GOSSIP_CACHE ("on"/"off", also accepts 1/0/true/false); an
 /// unknown value falls back to on with a warning on stderr.
 [[nodiscard]] bool gossip_cache();
+
+/// TRIBVOTE_ADVERSARY parsed via adversary::parse_adversary_spec; a
+/// malformed spec falls back to an empty roster with a warning on stderr.
+[[nodiscard]] adversary::AdversaryConfig adversary();
+
+/// TRIBVOTE_STREAMING parsed via bt::parse_streaming_spec; a malformed
+/// spec falls back to the download workload with a warning on stderr.
+[[nodiscard]] bt::StreamingConfig streaming();
 
 /// Effective socket-plane configuration from the TRIBVOTE_NET_* knobs.
 /// Plain integers: the net:: structs are built from these by the binaries

@@ -101,6 +101,51 @@ TEST(FaultConfig, DescribeIsOffWhenDisabledAndNamesRatesWhenNot) {
   EXPECT_NE(s.find("loss=0.3"), std::string::npos) << s;
 }
 
+TEST(FaultConfig, ParseGeShorthandSolvesForStationaryLoss) {
+  FaultConfig f;
+  std::string error;
+  ASSERT_TRUE(parse_fault_spec("ge=0.3", f, &error)) << error;
+  EXPECT_TRUE(f.enabled());
+  EXPECT_DOUBLE_EQ(f.ge_loss_bad, 0.8);
+  EXPECT_DOUBLE_EQ(f.ge_loss_good, 0.03);
+  EXPECT_DOUBLE_EQ(f.ge_bad_to_good, 0.25);
+  EXPECT_GT(f.ge_good_to_bad, 0.0);
+  // The chain's stationary loss rate must equal the requested 0.3 (same
+  // solver as net::parse_impair_spec, so A11 and A12 sweep one axis).
+  const double pi_bad =
+      f.ge_good_to_bad / (f.ge_good_to_bad + f.ge_bad_to_good);
+  EXPECT_NEAR(pi_bad * f.ge_loss_bad + (1.0 - pi_bad) * f.ge_loss_good, 0.3,
+              1e-12);
+}
+
+TEST(FaultConfig, ParseRejectsGeAtOrAboveBadStateLoss) {
+  FaultConfig f;
+  EXPECT_FALSE(parse_fault_spec("ge=0.8", f, nullptr));
+  EXPECT_FALSE(parse_fault_spec("ge=-0.1", f, nullptr));
+}
+
+TEST(FaultConfig, ParsePartitionKeys) {
+  FaultConfig f;
+  ASSERT_TRUE(
+      parse_fault_spec("part_period=64,part_width=8,part_frac=0.25", f));
+  EXPECT_EQ(f.partition_period, 64u);
+  EXPECT_EQ(f.partition_width, 8u);
+  EXPECT_DOUBLE_EQ(f.partition_frac, 0.25);
+  EXPECT_TRUE(f.enabled());
+  // A fraction without a period schedules nothing and stays disabled.
+  FaultConfig g;
+  ASSERT_TRUE(parse_fault_spec("part_frac=0.5", g));
+  EXPECT_FALSE(g.enabled());
+}
+
+TEST(FaultConfig, DescribeNamesGeAndPartitions) {
+  FaultConfig f;
+  ASSERT_TRUE(parse_fault_spec("ge=0.3,part_period=64,part_frac=0.25", f));
+  const std::string s = describe(f);
+  EXPECT_NE(s.find("ge="), std::string::npos) << s;
+  EXPECT_NE(s.find("part=64/"), std::string::npos) << s;
+}
+
 // ---- verdict drawing -------------------------------------------------------
 
 TEST(FaultPlane, DrawIsAPureFunctionOfSeedProtocolRoundSeq) {
@@ -205,6 +250,99 @@ TEST(FaultPlane, CrashMakesLaterEncountersWithThatPeerUnreachable) {
   EXPECT_EQ(outcome.crashed, (std::vector<PeerId>{1, 5}));
   EXPECT_EQ(plane.stats().vote.crashes, 2u);
   EXPECT_EQ(plane.stats().vote.unreachable, 2u);
+}
+
+// ---- Gilbert–Elliott bursty loss and scheduled partitions -------------------
+
+TEST(FaultPlane, GeChainIsDeterministicAndLaneCountInvariant) {
+  FaultConfig config;
+  std::string error;
+  ASSERT_TRUE(parse_fault_spec("ge=0.3", config, &error)) << error;
+  const auto encounters = ring_round(128);
+  FaultPlane one(config, util::Rng(42), 1);
+  FaultPlane eight(config, util::Rng(42), 8);
+  for (int round = 0; round < 6; ++round) {
+    // The chain advances once per encounter in seq order during the
+    // serial draw, so the trajectory must not depend on the lane count.
+    const auto& t1 = one.draw_round(Protocol::kVote, encounters);
+    const auto& t8 = eight.draw_round(Protocol::kVote, encounters);
+    ASSERT_EQ(t1.size(), t8.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+      EXPECT_TRUE(same_verdict(t1[i], t8[i])) << "round " << round
+                                              << " seq " << i;
+    }
+  }
+  EXPECT_GT(one.stats().vote.ge_bad_encounters, 0u);
+  EXPECT_EQ(one.stats().vote.ge_bad_encounters,
+            eight.stats().vote.ge_bad_encounters);
+}
+
+TEST(FaultPlane, GeBadStateDropsInBursts) {
+  // With an always-bad chain (g2b=1, b2g=0) every leg sees the bad-state
+  // loss; with loss_bad=1 every request drops.
+  FaultConfig config;
+  config.ge_good_to_bad = 1.0;
+  config.ge_bad_to_good = 0.0;
+  config.ge_loss_good = 0.0;
+  config.ge_loss_bad = 1.0;
+  FaultPlane plane(config, util::Rng(9), 1);
+  const auto encounters = ring_round(32);
+  for (const auto& f : plane.draw_round(Protocol::kBarter, encounters)) {
+    EXPECT_TRUE(f.drop_request);
+  }
+  EXPECT_EQ(plane.stats().barter.ge_bad_encounters, 32u);
+}
+
+TEST(FaultPlane, PartitionsSkipColdStartAndFollowTheWindow) {
+  FaultConfig config;
+  ASSERT_TRUE(
+      parse_fault_spec("part_period=4,part_width=2,part_frac=1.0", config));
+  FaultPlane plane(config, util::Rng(7), 1);
+  // The first window opens one full period in; then rounds r with
+  // r % period < width are dark for every node at frac=1.
+  for (std::uint64_t round = 0; round < 12; ++round) {
+    const bool dark = round >= 4 && round % 4 < 2;
+    EXPECT_EQ(plane.partitioned(round, PeerId{3}), dark) << round;
+  }
+}
+
+TEST(FaultPlane, PartitionKeyIsPerWindowAndNode) {
+  FaultConfig config;
+  ASSERT_TRUE(
+      parse_fault_spec("part_period=4,part_width=1,part_frac=0.5", config));
+  FaultPlane a(config, util::Rng(11), 1);
+  FaultPlane b(config, util::Rng(11), 4);
+  bool any_dark = false;
+  bool any_bright = false;
+  for (PeerId node = 0; node < 64; ++node) {
+    const bool dark = a.partitioned(8, node);
+    // Same seed, same window, same node => same verdict, lanes aside.
+    EXPECT_EQ(dark, b.partitioned(8, node)) << node;
+    // Within one window the verdict is stable across repeated queries
+    // (protocols sharing a round index see the same nodes dark).
+    EXPECT_EQ(dark, a.partitioned(8, node)) << node;
+    any_dark = any_dark || dark;
+    any_bright = any_bright || !dark;
+  }
+  EXPECT_TRUE(any_dark);
+  EXPECT_TRUE(any_bright);
+}
+
+TEST(FaultPlane, PartitionedEncountersAreVoidedAndCounted) {
+  FaultConfig config;
+  ASSERT_TRUE(
+      parse_fault_spec("part_period=2,part_width=2,part_frac=1.0", config));
+  FaultPlane plane(config, util::Rng(3), 1);
+  const auto encounters = ring_round(16);
+  // Rounds 0 and 1 are cold start; round 2 onward everything is dark.
+  (void)plane.draw_round(Protocol::kVote, encounters);
+  (void)plane.finish_round();
+  (void)plane.draw_round(Protocol::kVote, encounters);
+  (void)plane.finish_round();
+  EXPECT_EQ(plane.stats().vote.partitioned, 0u);
+  const auto& table = plane.draw_round(Protocol::kVote, encounters);
+  for (const auto& f : table) EXPECT_TRUE(f.unreachable);
+  EXPECT_EQ(plane.stats().vote.partitioned, 16u);
 }
 
 // ---- lane buffers and the round outcome ------------------------------------

@@ -280,7 +280,8 @@ TEST(Degradation, ColumnSchemaIsByteStable) {
       "delayed",         "late_drops",       "crashes",
       "unreachable",     "corrupted",        "rejected",
       "one_sided",       "vp_timeouts",      "vp_retries",
-      "vp_retry_successes", "mod_reoffers",  "pss_drops"};
+      "vp_retry_successes", "mod_reoffers",  "pss_drops",
+      "partitioned",     "ge_bad_encounters"};
   sim::FaultStats stats;
   const auto cols = metrics::degradation_columns(stats);
   ASSERT_EQ(cols.size(), expected.size());
